@@ -1,0 +1,41 @@
+"""Shared fixtures for the benchmark harness.
+
+Each benchmark regenerates (at benchmark-friendly scale) the computation
+behind one paper artifact; the experiment drivers in
+``repro.experiments`` produce the full-scale numbers.  Policies used by
+closed-loop benchmarks are trained once per session at a small size.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture(scope="session")
+def panda_model():
+    from repro.robot import panda
+
+    return panda()
+
+
+@pytest.fixture(scope="session")
+def bench_policies():
+    """Small trained policies shared by the closed-loop benchmarks."""
+    from repro.core import (
+        BaselinePolicy,
+        CorkiPolicy,
+        TrainingConfig,
+        train_baseline,
+        train_corki,
+    )
+    from repro.sim import OBSERVATION_DIM, SEEN_LAYOUT, TASKS, collect_demonstrations
+
+    rng = np.random.default_rng(0)
+    demos = collect_demonstrations(SEEN_LAYOUT, rng, per_task=3)
+    baseline = BaselinePolicy(OBSERVATION_DIM, len(TASKS), rng, token_dim=16, hidden_dim=32)
+    corki = CorkiPolicy(OBSERVATION_DIM, len(TASKS), rng, token_dim=16, hidden_dim=32)
+    config = TrainingConfig(epochs=1, batch_size=64)
+    train_baseline(baseline, demos, config)
+    train_corki(corki, demos, config)
+    return baseline, corki, demos

@@ -1,0 +1,67 @@
+"""Benchmarks for the accelerator model (Sec. 4.2/4.3/6.1 artifacts)."""
+
+import numpy as np
+import pytest
+
+from repro.accelerator import (
+    CorkiAccelerator,
+    JointImpactModel,
+    ablation,
+    mass_matrix_joint_sensitivity,
+    resource_report,
+)
+from repro.robot import TaskSpaceReference, end_effector_pose
+
+
+@pytest.fixture(scope="module")
+def impact(panda_model):
+    return JointImpactModel.from_model(panda_model)
+
+
+def test_ablation_schedules(benchmark):
+    """[abl-dp] Sec. 4.2: baseline vs reuse vs pipelined cycle counts."""
+    reports = benchmark(ablation, 7)
+    assert reports["reuse+pipeline"].cycles < reports["baseline"].cycles
+
+
+def test_resource_report(benchmark):
+    """[res] Sec. 6.1: ZC706 utilisation table."""
+    report = benchmark(resource_report)
+    assert report.bram_pct < 10.0
+
+
+def test_fig9_mass_matrix_sensitivity(benchmark, panda_model):
+    """[fig9] single-angle slice of the mass-matrix sensitivity study."""
+    result = benchmark(
+        mass_matrix_joint_sensitivity, panda_model, (np.deg2rad(17),)
+    )
+    assert max(result[float(np.deg2rad(17))]) > 0.1
+
+
+def test_accelerator_control_tick_exact(benchmark, panda_model, impact):
+    """Functional control tick with approximation disabled."""
+    accelerator = CorkiAccelerator(panda_model, threshold=0.0, impact=impact)
+    reference = TaskSpaceReference(
+        end_effector_pose(panda_model, panda_model.q_home), np.zeros(6), np.zeros(6)
+    )
+    q = panda_model.q_home
+    benchmark(accelerator.control_tick, reference, q, np.zeros(7))
+
+
+def test_accelerator_control_tick_approximate(benchmark, panda_model, impact):
+    """[abl-ace] control tick at the 40% design threshold (mostly reusing)."""
+    accelerator = CorkiAccelerator(panda_model, threshold=0.4, impact=impact)
+    reference = TaskSpaceReference(
+        end_effector_pose(panda_model, panda_model.q_home), np.zeros(6), np.zeros(6)
+    )
+    accelerator.control_tick(reference, panda_model.q_home, np.zeros(7))
+    benchmark(accelerator.control_tick, reference, panda_model.q_home, np.zeros(7))
+
+
+def test_ace_decision(benchmark, panda_model, impact):
+    """The ACE probability computation itself (paper: <100 FLOPs)."""
+    from repro.accelerator import AceUnit
+
+    ace = AceUnit(impact, threshold=0.4)
+    ace.decide(panda_model.q_home)
+    benchmark(ace.decide, panda_model.q_home + 1e-4)

@@ -1,0 +1,76 @@
+"""Benchmarks regenerating the pipeline-model artifacts (Fig. 2/13/14, Tbl. 3/4)."""
+
+import numpy as np
+import pytest
+
+from repro import constants
+from repro.pipeline import SystemStages, simulate_baseline, simulate_corki
+
+
+def test_fig2_baseline_breakdown(benchmark):
+    """[fig2] 300-frame baseline trace with per-stage breakdown."""
+    def run():
+        trace = simulate_baseline(300, rng=np.random.default_rng(2))
+        return trace.latency_breakdown(), trace.energy_breakdown()
+
+    latency, energy = benchmark(run)
+    assert latency["inference"] == pytest.approx(0.727, abs=0.03)
+    assert energy["inference"] == pytest.approx(0.958, abs=0.02)
+
+
+def test_fig13_variation_sweep(benchmark):
+    """[fig13] latency/energy for the baseline and all fixed-step variations."""
+    def run():
+        rng = np.random.default_rng(3)
+        baseline = simulate_baseline(90, rng=rng)
+        speedups = {}
+        for steps in (1, 3, 5, 7, 9):
+            trace = simulate_corki([steps] * (90 // steps), rng=rng)
+            speedups[steps] = trace.speedup_vs(baseline)
+        return speedups
+
+    speedups = benchmark(run)
+    assert speedups[9] > speedups[1]
+
+
+def test_fig14_frame_series(benchmark):
+    """[fig14] frame-by-frame trace and long-tail statistics for one sequence."""
+    def run():
+        rng = np.random.default_rng(14)
+        baseline = simulate_baseline(100, rng=rng)
+        corki = simulate_corki([5] * 20, rng=rng)
+        return baseline.latency_variation, corki.latency_variation, corki.sorted_latencies_ms()
+
+    base_cv, corki_cv, tail = benchmark(run)
+    assert corki_cv > base_cv  # the paper's long-tail observation
+    assert tail[0] >= tail[-1]
+
+
+def test_tbl3_server_sweep(benchmark):
+    """[tbl3] speedup under V100/H100/Jetson/Xeon inference scaling."""
+    def run():
+        results = {}
+        for name, scale in constants.GPU_INFERENCE_SCALE.items():
+            rng = np.random.default_rng(33)
+            base = simulate_baseline(60, stages=SystemStages.baseline(scale), rng=rng)
+            corki = simulate_corki([5] * 12, stages=SystemStages.corki(scale), rng=rng)
+            results[name] = corki.speedup_vs(base)
+        return results
+
+    results = benchmark(run)
+    assert results["h100"] > results["v100"] > results["jetson-orin"]
+
+
+def test_tbl4_datarep_sweep(benchmark):
+    """[tbl4] speedup under fp32/fp16/int8 inference scaling."""
+    def run():
+        results = {}
+        for name, scale in constants.DATA_REPRESENTATION_SCALE.items():
+            rng = np.random.default_rng(44)
+            base = simulate_baseline(60, stages=SystemStages.baseline(scale), rng=rng)
+            corki = simulate_corki([5] * 12, stages=SystemStages.corki(scale), rng=rng)
+            results[name] = corki.speedup_vs(base)
+        return results
+
+    results = benchmark(run)
+    assert results["int8"] > results["fp32"]

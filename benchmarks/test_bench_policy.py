@@ -1,0 +1,89 @@
+"""Benchmarks of the policy stack: inference, training steps, episodes.
+
+These ground the algorithm half of the evaluation: the cost of one VLM +
+policy-head inference (the unit Corki amortises over a trajectory) and the
+closed-loop episode machinery behind Tbl. 1/2 and Fig. 11/12.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    VARIATIONS,
+    WINDOW_LENGTH,
+    run_baseline_episode,
+    run_corki_episode,
+)
+from repro.sim import OBSERVATION_DIM, SEEN_LAYOUT, TASKS, ManipulationEnv
+
+
+def test_baseline_policy_inference(benchmark, bench_policies):
+    """One per-frame action prediction (runs every 33 ms frame, Fig. 1a)."""
+    baseline, _, _ = bench_policies
+    rng = np.random.default_rng(0)
+    window = rng.normal(size=(WINDOW_LENGTH, OBSERVATION_DIM))
+    benchmark(baseline.predict, window, 0)
+
+
+def test_corki_trajectory_inference(benchmark, bench_policies):
+    """One trajectory prediction (runs once per executed trajectory, Fig. 1b)."""
+    _, corki, _ = bench_policies
+    rng = np.random.default_rng(0)
+    tokens = rng.normal(size=(WINDOW_LENGTH, corki.token_dim))
+    origin = np.zeros(6)
+    benchmark(corki.predict_trajectory, tokens, origin, 1.0 / 30.0)
+
+
+def test_corki_token_encode(benchmark, bench_policies):
+    """One VLM token encode -- the unit of the 181.3 ms inference stage."""
+    _, corki, _ = bench_policies
+    rng = np.random.default_rng(0)
+    observation = rng.normal(size=OBSERVATION_DIM)
+    benchmark(corki.encode_frame_token, observation, 0)
+
+
+def test_training_step_baseline(benchmark, bench_policies):
+    """One optimiser step of Eq. 3 training on a 32-window batch."""
+    from repro.core import TrainingConfig, train_baseline
+
+    baseline, _, demos = bench_policies
+    config = TrainingConfig(epochs=1, batch_size=32)
+    subset = demos[:2]
+    benchmark(train_baseline, baseline, subset, config)
+
+
+def test_tbl1_episode_baseline(benchmark, bench_policies):
+    """[tbl1/tbl2] one closed-loop baseline episode (30 Hz control path)."""
+    baseline, _, _ = bench_policies
+
+    def run():
+        env = ManipulationEnv(SEEN_LAYOUT, np.random.default_rng(1))
+        return run_baseline_episode(env, baseline, TASKS[0], max_frames=40)
+
+    trace = benchmark(run)
+    assert trace.frames <= 40
+
+
+def test_tbl1_episode_corki5(benchmark, bench_policies):
+    """[tbl1/tbl2, fig11/fig12] one closed-loop Corki-5 episode."""
+    _, corki, _ = bench_policies
+
+    def run():
+        env = ManipulationEnv(SEEN_LAYOUT, np.random.default_rng(1))
+        return run_corki_episode(
+            env, corki, TASKS[0], VARIATIONS["corki-5"], np.random.default_rng(2),
+            max_frames=40,
+        )
+
+    trace = benchmark(run)
+    assert trace.frames <= 40
+
+
+def test_adaptive_termination_decision(benchmark, bench_policies):
+    """Algorithm 1 at deployment scale (paper: <500 FLOPs)."""
+    from repro.core import adaptive_termination_step, gripper_change_flags
+
+    rng = np.random.default_rng(0)
+    waypoints = np.cumsum(rng.normal(0.0, 0.005, size=(9, 3)), axis=0)
+    flags = gripper_change_flags(np.ones(9, dtype=bool), True)
+    benchmark(adaptive_termination_step, np.zeros(3), waypoints, flags, 0.02)

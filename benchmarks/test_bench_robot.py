@@ -1,0 +1,68 @@
+"""Benchmarks of the robot-dynamics substrate (feeds every control figure).
+
+These are the computations the Corki accelerator replaces; their software
+cost grounds the control-acceleration comparison of Sec. 6.3.
+"""
+
+import numpy as np
+import pytest
+
+from repro.robot import (
+    TaskSpaceComputedTorqueController,
+    TaskSpaceReference,
+    bias_forces,
+    end_effector_pose,
+    forward_kinematics,
+    geometric_jacobian,
+    mass_matrix,
+    operational_space_quantities,
+    rnea,
+)
+
+
+@pytest.fixture()
+def state(panda_model):
+    rng = np.random.default_rng(0)
+    return panda_model.q_home, 0.1 * rng.normal(size=panda_model.dof)
+
+
+def test_forward_kinematics(benchmark, panda_model, state):
+    q, _ = state
+    benchmark(forward_kinematics, panda_model, q)
+
+
+def test_geometric_jacobian(benchmark, panda_model, state):
+    q, _ = state
+    benchmark(geometric_jacobian, panda_model, q)
+
+
+def test_rnea_inverse_dynamics(benchmark, panda_model, state):
+    q, qd = state
+    qdd = np.zeros(panda_model.dof)
+    benchmark(rnea, panda_model, q, qd, qdd)
+
+
+def test_mass_matrix_crba(benchmark, panda_model, state):
+    q, _ = state
+    benchmark(mass_matrix, panda_model, q)
+
+
+def test_bias_forces(benchmark, panda_model, state):
+    q, qd = state
+    benchmark(bias_forces, panda_model, q, qd)
+
+
+def test_operational_space_quantities(benchmark, panda_model, state):
+    """The full five-block TS-CTC preparation (paper Fig. 6) in software."""
+    q, qd = state
+    benchmark(operational_space_quantities, panda_model, q, qd)
+
+
+def test_tsctc_control_cycle(benchmark, panda_model, state):
+    """One complete software control tick: the paper's 24.7 ms CPU stage."""
+    q, qd = state
+    controller = TaskSpaceComputedTorqueController(panda_model)
+    reference = TaskSpaceReference(
+        end_effector_pose(panda_model, q), np.zeros(6), np.zeros(6)
+    )
+    benchmark(controller.torque, reference, q, qd)

@@ -1,0 +1,64 @@
+"""Benchmarks of the simulation substrate (environment, camera, expert)."""
+
+import numpy as np
+import pytest
+
+from repro.sim import (
+    PERFECT_ACTUATION,
+    SEEN_LAYOUT,
+    TASKS,
+    CameraModel,
+    ManipulationEnv,
+    collect_demonstrations,
+    render_keyframes,
+    sample_scene,
+)
+
+
+def test_env_step(benchmark):
+    env = ManipulationEnv(SEEN_LAYOUT, np.random.default_rng(0))
+    env.reset(TASKS[0])
+    target = env.scene.ee_pose + np.array([0.01, 0.0, 0.0, 0.0, 0.0, 0.0])
+    benchmark(env.step, target, True)
+
+
+def test_camera_render(benchmark):
+    scene = sample_scene(SEEN_LAYOUT, np.random.default_rng(0))
+    camera = CameraModel()
+    rng = np.random.default_rng(1)
+    benchmark(camera.render, scene, rng)
+
+
+def test_expert_rendering(benchmark):
+    scene = sample_scene(SEEN_LAYOUT, np.random.default_rng(0))
+    keyframes = TASKS[3].expert(scene)
+    benchmark(render_keyframes, scene.ee_pose, keyframes)
+
+
+def test_demo_collection(benchmark):
+    """One scripted-expert demonstration episode end to end."""
+    def run():
+        rng = np.random.default_rng(7)
+        return collect_demonstrations(SEEN_LAYOUT, rng, per_task=1, tasks=[TASKS[0]])
+
+    demos = benchmark(run)
+    assert len(demos) >= 0
+
+
+def test_fig15_tracking_slice(benchmark, panda_model):
+    """[fig15] one short dynamics-tier tracking run with the accelerator."""
+    from repro.accelerator import CorkiAccelerator, JointImpactModel
+    from repro.analysis import sample_trajectory, track_trajectory
+
+    impact = JointImpactModel.from_model(panda_model)
+    trajectory = sample_trajectory(panda_model, np.random.default_rng(0), steps=3)
+
+    def run():
+        accelerator = CorkiAccelerator(panda_model, threshold=0.4, impact=impact)
+        return track_trajectory(
+            panda_model, trajectory, control_hz=100, physics_hz=200,
+            accelerator=accelerator,
+        )
+
+    report = benchmark(run)
+    assert report.rmse_m < 0.05

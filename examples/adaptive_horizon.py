@@ -1,0 +1,72 @@
+"""Algorithm 1 in action: adaptive trajectory length selection.
+
+Constructs trajectories with known geometry -- straight, sharply curved, and
+with a gripper change -- and shows where the waypoint identification
+algorithm terminates each one.  Then compares the execution-length
+distribution Corki-ADAP produces against fixed-step variants on the
+system-level latency model.
+
+Run:  python examples/adaptive_horizon.py
+"""
+
+import numpy as np
+
+from repro.core import (
+    CubicTrajectory,
+    adaptive_termination_step,
+    fit_cubic,
+    gripper_change_flags,
+)
+from repro.pipeline import simulate_baseline, simulate_corki
+
+
+def make_trajectory(offsets: np.ndarray, gripper_open: np.ndarray) -> CubicTrajectory:
+    return CubicTrajectory(
+        origin=np.zeros(6),
+        coefficients=fit_cubic(offsets),
+        duration=len(offsets) / 30.0,
+        gripper_open=gripper_open,
+    )
+
+
+def describe(name: str, trajectory: CubicTrajectory, current_gripper_open: bool) -> int:
+    waypoints = trajectory.waypoints()[:, :3]
+    flags = gripper_change_flags(trajectory.gripper_open, current_gripper_open)
+    step = adaptive_termination_step(trajectory.origin[:3], waypoints, flags, 0.02)
+    print(f"  {name:28s} -> execute {step} of {trajectory.steps} steps")
+    return step
+
+
+def main() -> None:
+    steps = 9
+    tau = np.arange(1, steps + 1)[:, None] / steps
+
+    print("Algorithm 1 termination decisions:")
+    straight = np.concatenate([tau * [0.06, 0.0, 0.0], np.zeros((steps, 3))], axis=1)
+    describe("straight reach", make_trajectory(straight, np.ones(steps, dtype=bool)), True)
+
+    hook = straight.copy()
+    hook[5:, 0] = hook[4, 0] - (tau[5:, 0] - tau[4, 0]) * 0.12  # reverses direction
+    describe("sharp turn at step 5", make_trajectory(hook, np.ones(steps, dtype=bool)), True)
+
+    grasp_schedule = np.ones(steps, dtype=bool)
+    grasp_schedule[3:] = False  # gripper closes at step 4
+    describe("gripper closes at step 4", make_trajectory(straight, grasp_schedule), True)
+
+    print("\nlatency consequences (pipeline model):")
+    baseline = simulate_baseline(90)
+    mixes = {
+        "corki-9 (fixed)": [9] * 10,
+        "corki-5 (fixed)": [5] * 18,
+        "corki-adap (mixed lengths)": [9, 9, 4, 9, 3, 9, 9, 5, 9, 9, 6, 9],
+    }
+    for name, executed in mixes.items():
+        trace = simulate_corki(executed)
+        print(f"  {name:28s} {trace.mean_latency_ms:6.1f} ms/frame, "
+              f"speedup {trace.speedup_vs(baseline):4.1f}x")
+    print("\nadaptive length keeps near-Corki-9 speed while re-planning early at"
+          "\nhigh-curvature or gripper-change waypoints (paper Sec. 3.3).")
+
+
+if __name__ == "__main__":
+    main()

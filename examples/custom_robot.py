@@ -1,0 +1,100 @@
+"""Bring your own arm: build a custom robot model and run the Corki stack.
+
+The library is parameterised by robot morphology (as the accelerator
+literature it builds on argues it should be): a UR5-class 6-DoF arm is
+assembled from modified-DH and inertial parameters, validated, and driven
+through TS-CTC and the accelerator model -- whose datapath cycle counts and
+ablation automatically re-scale with the link count.
+
+Run:  python examples/custom_robot.py
+"""
+
+import numpy as np
+
+from repro.accelerator import CorkiAccelerator, ablation
+from repro.analysis import sample_trajectory, track_trajectory
+from repro.robot import (
+    LinkParameters,
+    RobotModel,
+    forward_kinematics,
+    mass_matrix,
+    solve_ik,
+    end_effector_pose,
+)
+
+
+def build_ur5_like() -> RobotModel:
+    """A UR5-class 6-DoF arm from public kinematic/inertial figures."""
+    mdh = [
+        # (a, alpha, d)
+        (0.0, 0.0, 0.1625),
+        (0.0, np.pi / 2.0, 0.0),
+        (-0.425, 0.0, 0.0),
+        (-0.3922, 0.0, 0.1333),
+        (0.0, np.pi / 2.0, 0.0997),
+        (0.0, -np.pi / 2.0, 0.0996),
+    ]
+    masses = [3.761, 8.058, 2.846, 1.37, 1.3, 0.365]
+    coms = [
+        (0.0, -0.02561, 0.00193),
+        (0.2125, 0.0, 0.11336),
+        (0.15, 0.0, 0.0265),
+        (0.0, -0.0018, 0.01634),
+        (0.0, 0.0018, 0.01634),
+        (0.0, 0.0, -0.001159),
+    ]
+    links = []
+    for (a, alpha, d), mass, com in zip(mdh, masses, coms):
+        # Rough rotational inertia: solid-cylinder estimate about the COM.
+        inertia = np.eye(3) * max(0.002, 0.02 * mass * 0.05)
+        links.append(
+            LinkParameters(a=a, alpha=alpha, d=d, mass=mass, com=np.array(com), inertia_com=inertia)
+        )
+    flange = np.eye(4)
+    big = np.full(6, 28.0)
+    return RobotModel(
+        name="ur5-like",
+        links=links,
+        flange=flange,
+        q_home=np.array([0.0, -1.2, 1.4, -1.6, -1.5, 0.0]),
+        q_lower=-2.9 * np.ones(6),
+        q_upper=2.9 * np.ones(6),
+        qd_limit=np.full(6, 3.14),
+        tau_limit=np.array([150.0, 150.0, 150.0, 28.0, 28.0, 28.0]),
+    )
+
+
+def main() -> None:
+    robot = build_ur5_like()
+    print(f"built {robot.name}: {robot.dof} joints")
+
+    pose = forward_kinematics(robot, robot.q_home)
+    print(f"home end-effector position: {np.round(pose[:3, 3], 3)}")
+
+    m = mass_matrix(robot, robot.q_home)
+    eigenvalues = np.linalg.eigvalsh(m)
+    print(f"mass matrix PD: {bool(eigenvalues.min() > 0)} "
+          f"(eigenvalues {eigenvalues.min():.3f} .. {eigenvalues.max():.3f})")
+
+    target = end_effector_pose(robot, robot.q_home)
+    target[2] -= 0.08
+    result = solve_ik(robot, target)
+    print(f"IK to 8 cm below home: converged={result.converged} "
+          f"in {result.iterations} iterations ({result.position_error * 1000:.2f} mm)")
+
+    trajectory = sample_trajectory(robot, np.random.default_rng(0), steps=6)
+    report = track_trajectory(robot, trajectory, control_hz=100, physics_hz=400)
+    print(f"TS-CTC tracking: rmse {report.rmse_m * 1000:.2f} mm")
+
+    accelerator = CorkiAccelerator(robot, threshold=0.4)
+    print(f"accelerator full tick: {accelerator.full_tick_cycles()} cycles "
+          f"(6-link datapath, vs {ablation(7)['reuse+pipeline'].cycles} for the Panda)")
+    reports = ablation(robot.dof)
+    base = reports["baseline"]
+    for name, schedule in reports.items():
+        print(f"  {name:15s} {schedule.cycles:4d} cycles "
+              f"(-{schedule.reduction_vs(base) * 100:4.1f}%)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,47 @@
+"""System-pipeline comparison across servers and data representations.
+
+Pure latency/energy modelling (no training needed): reproduces the shape of
+the paper's Fig. 13 and Tbl. 3/4 from the calibrated stage constants.
+
+Run:  python examples/pipeline_comparison.py
+"""
+
+import numpy as np
+
+from repro import constants
+from repro.pipeline import SystemStages, simulate_baseline, simulate_corki
+
+
+def main() -> None:
+    rng = np.random.default_rng(0)
+    baseline = simulate_baseline(300, rng=rng)
+    print(f"baseline (RoboFlamingo): {baseline.mean_latency_ms:.1f} ms/frame, "
+          f"{baseline.mean_energy_j:.1f} J/frame")
+    breakdown = baseline.latency_breakdown()
+    print("  latency shares:", {k: f"{v * 100:.1f}%" for k, v in breakdown.items()})
+
+    print("\nCorki variations (fixed execution lengths):")
+    for steps in (1, 3, 5, 7, 9):
+        trace = simulate_corki([steps] * (300 // steps), rng=rng)
+        print(f"  corki-{steps}: {trace.mean_latency_ms:6.1f} ms "
+              f"({trace.frequency_hz:4.1f} Hz)  "
+              f"speedup {trace.speedup_vs(baseline):5.2f}x  "
+              f"energy reduction {trace.energy_reduction_vs(baseline):5.2f}x")
+    sw = simulate_corki([5] * 60, stages=SystemStages.corki(control="cpu"), rng=rng)
+    print(f"  corki-sw (CPU control): {sw.mean_latency_ms:.1f} ms ({sw.frequency_hz:.1f} Hz)")
+
+    print("\nTbl. 3 -- server sweep (Corki-5 vs the same server's baseline):")
+    for server, scale in constants.GPU_INFERENCE_SCALE.items():
+        base = simulate_baseline(100, stages=SystemStages.baseline(scale), rng=rng)
+        corki = simulate_corki([5] * 20, stages=SystemStages.corki(scale), rng=rng)
+        print(f"  {server:12s} inference x{scale:4.1f}: speedup {corki.speedup_vs(base):4.1f}x")
+
+    print("\nTbl. 4 -- data representation sweep:")
+    for rep, scale in constants.DATA_REPRESENTATION_SCALE.items():
+        base = simulate_baseline(100, stages=SystemStages.baseline(scale), rng=rng)
+        corki = simulate_corki([5] * 20, stages=SystemStages.corki(scale), rng=rng)
+        print(f"  {rep:5s} inference x{scale:3.1f}: speedup {corki.speedup_vs(base):4.1f}x")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,21 @@
+"""Reproduction of DaDu-Corki (ISCA 2025).
+
+Corki is an algorithm-architecture co-design for embodied-AI robotic
+manipulation: the policy predicts near-future *trajectories* instead of
+per-frame actions, a dedicated accelerator turns trajectories into
+task-space computed-torque control signals, and the system pipeline overlaps
+communication with execution.
+
+Subpackages:
+    core:        the Corki algorithm framework (trajectories, waypoints,
+                 adaptive length, policies, episode runner).
+    nn:          numpy autograd and the compact vision-language model stack.
+    robot:       Franka Panda kinematics/dynamics and the TS-CTC controller.
+    sim:         the CALVIN-like manipulation benchmark environment.
+    accelerator: functional + cycle-level model of the Corki hardware.
+    pipeline:    discrete-event latency/energy model of the full system.
+    analysis:    metrics, evaluation drivers and report formatting.
+    experiments: one driver per paper table/figure.
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,123 @@
+"""On-chip buffer models: FIFOs, the line buffer, and the scratchpad.
+
+Paper Sec. 4.2 (memory optimisation): the first four dataflow stages are
+decoupled by FIFOs because producer and consumer rates match; a line buffer
+absorbs the rate mismatch between the force and torque units; remaining
+intermediates live in a small scratchpad.  These models track occupancy and
+high-water marks so tests can assert the no-DRAM-traffic property and the
+resource model can size BRAM.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["Fifo", "LineBuffer", "Scratchpad", "BufferOverflow", "BufferUnderflow"]
+
+
+class BufferOverflow(RuntimeError):
+    """Raised when a push exceeds a buffer's capacity."""
+
+
+class BufferUnderflow(RuntimeError):
+    """Raised when a pop finds the buffer empty."""
+
+
+@dataclass
+class Fifo:
+    """A fixed-capacity first-in first-out queue of fixed-size words."""
+
+    name: str
+    capacity: int
+    word_bytes: int = 8  # one double-precision spatial-vector lane
+    _items: list = field(default_factory=list, repr=False)
+    high_water: int = 0
+
+    def push(self, item) -> None:
+        if len(self._items) >= self.capacity:
+            raise BufferOverflow(f"FIFO {self.name} overflow at capacity {self.capacity}")
+        self._items.append(item)
+        self.high_water = max(self.high_water, len(self._items))
+
+    def pop(self):
+        if not self._items:
+            raise BufferUnderflow(f"FIFO {self.name} underflow")
+        return self._items.pop(0)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def bytes(self) -> int:
+        return self.capacity * self.word_bytes
+
+
+@dataclass
+class LineBuffer:
+    """Random-access line buffer between the force and torque units.
+
+    The torque unit walks links tip-to-base while the force unit produces
+    them base-to-tip, so a full line of per-link forces must be buffered --
+    this is the rate/order mismatch the paper calls out.
+    """
+
+    name: str
+    lines: int
+    line_words: int
+    word_bytes: int = 8
+    _storage: dict = field(default_factory=dict, repr=False)
+    high_water: int = 0
+
+    def write(self, index: int, value) -> None:
+        if not 0 <= index < self.lines:
+            raise BufferOverflow(f"line buffer {self.name} index {index} out of range")
+        self._storage[index] = value
+        self.high_water = max(self.high_water, len(self._storage))
+
+    def read(self, index: int):
+        if index not in self._storage:
+            raise BufferUnderflow(f"line buffer {self.name} read of unwritten line {index}")
+        return self._storage[index]
+
+    def clear(self) -> None:
+        self._storage.clear()
+
+    @property
+    def bytes(self) -> int:
+        return self.lines * self.line_words * self.word_bytes
+
+
+@dataclass
+class Scratchpad:
+    """Key-addressed scratchpad for matrices that persist across cycles.
+
+    Holds the Jacobian, its dedicated transpose copy (the paper allocates a
+    separate memory to avoid access conflicts), the mass matrix and the bias
+    force between control cycles -- including the stale copies the ACE unit
+    reuses in approximate mode.
+    """
+
+    name: str
+    capacity_bytes: int
+    word_bytes: int = 8
+    _entries: dict = field(default_factory=dict, repr=False)
+
+    def store(self, key: str, words: int, value) -> None:
+        new_total = self.used_bytes - self._entry_bytes(key) + words * self.word_bytes
+        if new_total > self.capacity_bytes:
+            raise BufferOverflow(
+                f"scratchpad {self.name}: {new_total} bytes exceeds {self.capacity_bytes}"
+            )
+        self._entries[key] = (words, value)
+
+    def load(self, key: str):
+        if key not in self._entries:
+            raise BufferUnderflow(f"scratchpad {self.name}: missing entry {key!r}")
+        return self._entries[key][1]
+
+    def _entry_bytes(self, key: str) -> int:
+        return self._entries[key][0] * self.word_bytes if key in self._entries else 0
+
+    @property
+    def used_bytes(self) -> int:
+        return sum(words * self.word_bytes for words, _ in self._entries.values())

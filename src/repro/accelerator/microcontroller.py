@@ -1,0 +1,128 @@
+"""The micro-controller that sequences the accelerator (paper Fig. 8).
+
+"A simple micro-controller manages the control flow of the accelerator":
+it receives trajectory parameters from the server, loops over control ticks
+at the configured rate, samples the cubic at each tick, launches the
+datapath, and retires torques to the motor drivers.  This module models that
+sequencer as a small instruction set with cycle accounting, so the control
+overhead (dominated by the datapath, not the sequencing) can be asserted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+import numpy as np
+
+from repro.accelerator.accelerator import CorkiAccelerator, TickResult
+from repro.core.trajectory import CubicTrajectory
+from repro.robot.control import TaskSpaceReference
+
+__all__ = ["Opcode", "Instruction", "MicroController", "TrajectoryRun"]
+
+
+class Opcode(Enum):
+    """Sequencer operations, each with a fixed cycle cost."""
+
+    LOAD_TRAJECTORY = "load_trajectory"  # latch coefficients from the NIC buffer
+    SAMPLE_REFERENCE = "sample_reference"  # evaluate the cubic at tick time
+    READ_SENSORS = "read_sensors"  # latch joint encoders / velocity estimates
+    LAUNCH_DATAPATH = "launch_datapath"  # start a control tick
+    RETIRE_TORQUE = "retire_torque"  # hand torques to the motor drivers
+    BRANCH_NOT_DONE = "branch_not_done"  # loop until the trajectory window ends
+
+
+_OPCODE_CYCLES = {
+    Opcode.LOAD_TRAJECTORY: 16,  # 33 words over a 2-word/cycle bus
+    Opcode.SAMPLE_REFERENCE: 12,  # Horner evaluation of 6 cubics + derivatives
+    Opcode.READ_SENSORS: 4,
+    Opcode.LAUNCH_DATAPATH: 2,
+    Opcode.RETIRE_TORQUE: 4,
+    Opcode.BRANCH_NOT_DONE: 1,
+}
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One retired sequencer instruction with its cycle cost."""
+
+    opcode: Opcode
+    cycles: int
+
+
+@dataclass
+class TrajectoryRun:
+    """Result of executing one trajectory window on the accelerator."""
+
+    torques: list[np.ndarray]
+    tick_results: list[TickResult]
+    instructions: list[Instruction] = field(repr=False, default_factory=list)
+
+    @property
+    def sequencer_cycles(self) -> int:
+        return sum(instruction.cycles for instruction in self.instructions)
+
+    @property
+    def datapath_cycles(self) -> int:
+        return sum(result.cycles for result in self.tick_results)
+
+    @property
+    def sequencer_overhead(self) -> float:
+        """Sequencing cycles as a fraction of total accelerator cycles."""
+        total = self.sequencer_cycles + self.datapath_cycles
+        return self.sequencer_cycles / total if total else 0.0
+
+
+class MicroController:
+    """Sequences control ticks for one trajectory window.
+
+    ``control_hz`` is the tick rate (the paper targets 100 Hz); sensors are
+    provided by a callback so the sequencer works against both the dynamics
+    tier and recorded joint-state traces.
+    """
+
+    def __init__(self, accelerator: CorkiAccelerator, control_hz: float = 100.0):
+        self.accelerator = accelerator
+        self.control_hz = control_hz
+
+    def execute(
+        self,
+        trajectory: CubicTrajectory,
+        read_sensors,
+        steps: int | None = None,
+    ) -> TrajectoryRun:
+        """Run the trajectory's (possibly truncated) window of control ticks.
+
+        ``read_sensors(t)`` returns ``(q, qd)`` at trajectory time ``t``;
+        ``steps`` truncates execution to the first waypoints (early
+        termination / Corki-T), defaulting to the full window.
+        """
+        steps = trajectory.steps if steps is None else steps
+        if not 1 <= steps <= trajectory.steps:
+            raise ValueError(f"steps must be in [1, {trajectory.steps}]")
+        window_seconds = steps * trajectory.step_dt
+        tick_count = max(1, int(round(window_seconds * self.control_hz)))
+
+        instructions = [self._retire(Opcode.LOAD_TRAJECTORY)]
+        torques: list[np.ndarray] = []
+        results: list[TickResult] = []
+        for tick in range(tick_count):
+            t = tick / self.control_hz
+            instructions.append(self._retire(Opcode.SAMPLE_REFERENCE))
+            reference = TaskSpaceReference(
+                trajectory.pose(t), trajectory.velocity(t), trajectory.acceleration(t)
+            )
+            instructions.append(self._retire(Opcode.READ_SENSORS))
+            q, qd = read_sensors(t)
+            instructions.append(self._retire(Opcode.LAUNCH_DATAPATH))
+            result = self.accelerator.control_tick(reference, q, qd)
+            results.append(result)
+            torques.append(result.torque)
+            instructions.append(self._retire(Opcode.RETIRE_TORQUE))
+            instructions.append(self._retire(Opcode.BRANCH_NOT_DONE))
+        return TrajectoryRun(torques=torques, tick_results=results, instructions=instructions)
+
+    @staticmethod
+    def _retire(opcode: Opcode) -> Instruction:
+        return Instruction(opcode=opcode, cycles=_OPCODE_CYCLES[opcode])

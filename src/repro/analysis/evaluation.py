@@ -1,0 +1,201 @@
+"""End-to-end evaluation: train once, roll out every system, aggregate.
+
+This is the driver behind Tbl. 1/2 and Fig. 11-14: it trains the baseline
+and Corki policies on seen-layout demonstrations (cached on disk so repeated
+experiments and benchmarks do not retrain), rolls out five-task jobs for
+every variation on the requested layout, and aggregates success and
+trajectory statistics.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.analysis.metrics import JobStatistics, TrajectoryMetrics, job_statistics, trajectory_metrics
+from repro.core.config import CorkiVariation, VARIATIONS
+from repro.core.policy import BaselinePolicy, CorkiPolicy
+from repro.core.runner import EpisodeTrace, run_baseline_episode, run_corki_episode, run_job
+from repro.core.training import TrainingConfig, train_baseline, train_corki
+from repro.nn.serialization import load_module, save_module
+from repro.sim.camera import OBSERVATION_DIM
+from repro.sim.dataset import ActionNormalizer, collect_demonstrations
+from repro.sim.env import ManipulationEnv, TRACKING_100HZ, TRACKING_30HZ
+from repro.sim.tasks import TASKS, sample_job
+from repro.sim.world import SEEN_LAYOUT, SceneLayout
+
+__all__ = ["TrainedPolicies", "SystemEvaluation", "get_trained_policies", "evaluate_system", "evaluate_all_systems"]
+
+_CACHE_DIR = os.path.join(os.path.dirname(__file__), "..", "..", "..", "artifacts")
+
+JOB_LENGTH = 5
+
+
+@dataclass
+class TrainedPolicies:
+    """The trained baseline and Corki policies plus training metadata."""
+
+    baseline: BaselinePolicy
+    corki: CorkiPolicy
+    demos_per_task: int
+    epochs: int
+
+
+def _cache_paths(tag: str) -> dict[str, str]:
+    root = os.path.abspath(_CACHE_DIR)
+    return {
+        "baseline": os.path.join(root, f"baseline-{tag}.npz"),
+        "corki": os.path.join(root, f"corki-{tag}.npz"),
+        "normalizer": os.path.join(root, f"normalizer-{tag}.npy"),
+    }
+
+
+def get_trained_policies(
+    demos_per_task: int = 24,
+    epochs: int = 12,
+    seed: int = 7,
+    use_cache: bool = True,
+    hidden_dim: int = 96,
+    token_dim: int = 48,
+) -> TrainedPolicies:
+    """Train (or load cached) baseline and Corki policies on the seen layout.
+
+    The cache key encodes every hyper-parameter, so changing any of them
+    retrains rather than silently reusing stale weights.
+    """
+    rng = np.random.default_rng(seed)
+    baseline = BaselinePolicy(
+        OBSERVATION_DIM, len(TASKS), rng, token_dim=token_dim, hidden_dim=hidden_dim
+    )
+    corki = CorkiPolicy(
+        OBSERVATION_DIM, len(TASKS), rng, token_dim=token_dim, hidden_dim=hidden_dim
+    )
+    tag = f"d{demos_per_task}-e{epochs}-s{seed}-h{hidden_dim}-t{token_dim}"
+    paths = _cache_paths(tag)
+
+    if use_cache and all(os.path.exists(path) for path in paths.values()):
+        load_module(baseline, paths["baseline"])
+        load_module(corki, paths["corki"])
+        scale = np.load(paths["normalizer"])
+        baseline.set_normalizer(ActionNormalizer(scale))
+        corki.set_normalizer(ActionNormalizer(scale))
+        return TrainedPolicies(baseline, corki, demos_per_task, epochs)
+
+    demos = collect_demonstrations(SEEN_LAYOUT, rng, per_task=demos_per_task)
+    config = TrainingConfig(epochs=epochs, seed=seed)
+    train_baseline(baseline, demos, config)
+    train_corki(corki, demos, config)
+    if use_cache:
+        os.makedirs(os.path.dirname(paths["baseline"]), exist_ok=True)
+        save_module(baseline, paths["baseline"])
+        save_module(corki, paths["corki"])
+        np.save(paths["normalizer"], baseline.normalizer.scale)
+    return TrainedPolicies(baseline, corki, demos_per_task, epochs)
+
+
+@dataclass
+class SystemEvaluation:
+    """Everything one system produced over a batch of jobs."""
+
+    name: str
+    job_stats: JobStatistics
+    traces: list[EpisodeTrace] = field(repr=False)
+    completed_counts: list[int] = field(default_factory=list)
+
+    @property
+    def executed_steps(self) -> list[int]:
+        """Concatenated executed-steps sequence for the pipeline model."""
+        steps: list[int] = []
+        for trace in self.traces:
+            steps.extend(trace.executed_steps)
+        return steps
+
+    @property
+    def mean_steps_per_inference(self) -> float:
+        steps = self.executed_steps
+        return float(np.mean(steps)) if steps else 0.0
+
+    def trajectory_stats(self) -> TrajectoryMetrics:
+        executed = [trace.ee_path for trace in self.traces]
+        reference = [trace.reference_path for trace in self.traces]
+        return trajectory_metrics(executed, reference)
+
+
+def evaluate_system(
+    policies: TrainedPolicies,
+    system: str,
+    layout: SceneLayout,
+    jobs: int,
+    seed: int = 1234,
+) -> SystemEvaluation:
+    """Roll out ``jobs`` five-task jobs for one system on one layout.
+
+    ``system`` is ``"roboflamingo"`` or a Corki variation name.  All systems
+    see identical job sequences and scene randomness for a given seed, so
+    comparisons are paired.
+    """
+    job_rng = np.random.default_rng(seed)  # drives job/task sampling only
+    env_rng = np.random.default_rng(seed + 1)
+    policy_rng = np.random.default_rng(seed + 2)
+    env = ManipulationEnv(layout, env_rng)
+
+    variation: CorkiVariation | None = None
+    if system != "roboflamingo":
+        variation = VARIATIONS[system]
+
+    completed = []
+    traces: list[EpisodeTrace] = []
+    for _ in range(jobs):
+        tasks = sample_job(job_rng, JOB_LENGTH)
+
+        if variation is None:
+            def episode(task, chained):
+                return run_baseline_episode(
+                    env, policies.baseline, task, actuation=TRACKING_30HZ, chained=chained
+                )
+        else:
+            def episode(task, chained, _variation=variation):
+                return run_corki_episode(
+                    env, policies.corki, task, _variation, policy_rng,
+                    actuation=TRACKING_100HZ, chained=chained,
+                )
+
+        job_traces = run_job(env, tasks, episode)
+        traces.extend(job_traces)
+        completed.append(sum(trace.success for trace in job_traces))
+    return SystemEvaluation(
+        name=system,
+        job_stats=job_statistics(completed, JOB_LENGTH),
+        traces=traces,
+        completed_counts=completed,
+    )
+
+
+def evaluate_all_systems(
+    policies: TrainedPolicies,
+    layout: SceneLayout,
+    jobs: int,
+    seed: int = 1234,
+    systems: list[str] | None = None,
+) -> dict[str, SystemEvaluation]:
+    """Evaluate the baseline and every Corki variation on one layout.
+
+    Corki-SW shares Corki-5's episodes (the paper: accuracy is identical
+    because only the control substrate differs), so it is aliased rather
+    than re-rolled.
+    """
+    names = systems or ["roboflamingo", "corki-1", "corki-3", "corki-5", "corki-7", "corki-9", "corki-adap"]
+    results: dict[str, SystemEvaluation] = {}
+    for name in names:
+        results[name] = evaluate_system(policies, name, layout, jobs, seed)
+    if systems is None:
+        corki5 = results["corki-5"]
+        results["corki-sw"] = SystemEvaluation(
+            name="corki-sw",
+            job_stats=corki5.job_stats,
+            traces=corki5.traces,
+            completed_counts=corki5.completed_counts,
+        )
+    return results

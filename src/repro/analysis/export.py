@@ -1,0 +1,63 @@
+"""Persist experiment reports to the artifacts directory.
+
+``repro-experiments --save`` routes every report through here so a full
+sweep leaves a browsable record: one text file per experiment plus a JSON
+index with timestamps and profile metadata.  EXPERIMENTS.md cites these
+files as the provenance of its paper-vs-measured numbers.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+__all__ = ["default_artifact_dir", "save_report", "load_index"]
+
+_INDEX_NAME = "experiments-index.json"
+
+
+def default_artifact_dir() -> str:
+    """The repository-local artifacts directory used by all caches."""
+    return os.path.abspath(os.path.join(os.path.dirname(__file__), "..", "..", "..", "artifacts"))
+
+
+def save_report(
+    experiment_id: str,
+    report: str,
+    profile_name: str,
+    directory: str | None = None,
+) -> str:
+    """Write one report and update the index; returns the report path."""
+    directory = directory or default_artifact_dir()
+    os.makedirs(directory, exist_ok=True)
+    filename = f"{experiment_id}-{profile_name}.txt"
+    path = os.path.join(directory, filename)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(report)
+        if not report.endswith("\n"):
+            handle.write("\n")
+
+    index_path = os.path.join(directory, _INDEX_NAME)
+    index = {}
+    if os.path.exists(index_path):
+        with open(index_path, encoding="utf-8") as handle:
+            index = json.load(handle)
+    index[experiment_id] = {
+        "file": filename,
+        "profile": profile_name,
+        "written_at": time.strftime("%Y-%m-%d %H:%M:%S"),
+    }
+    with open(index_path, "w", encoding="utf-8") as handle:
+        json.dump(index, handle, indent=2, sort_keys=True)
+    return path
+
+
+def load_index(directory: str | None = None) -> dict:
+    """Read the experiment index; empty when nothing was saved yet."""
+    directory = directory or default_artifact_dir()
+    index_path = os.path.join(directory, _INDEX_NAME)
+    if not os.path.exists(index_path):
+        return {}
+    with open(index_path, encoding="utf-8") as handle:
+        return json.load(handle)

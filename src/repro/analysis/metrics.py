@@ -1,0 +1,107 @@
+"""Evaluation metrics: success rates, job lengths, and trajectory quality.
+
+Paper Sec. 5.1 defines four metrics: the per-task success rate, the average
+job length over five-task jobs, the mean trajectory error (RMSE against the
+ground-truth trajectory) and the maximum trajectory distance per dimension.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "JobStatistics",
+    "job_statistics",
+    "trajectory_rmse",
+    "max_trajectory_distance",
+    "TrajectoryMetrics",
+    "trajectory_metrics",
+]
+
+
+@dataclass(frozen=True)
+class JobStatistics:
+    """Success statistics over a batch of five-task jobs.
+
+    ``success_at`` holds the fraction of jobs that completed at least
+    1, 2, ..., ``length`` consecutive tasks (Tbl. 1/2's columns);
+    ``average_length`` is the mean number of completed tasks per job.
+    """
+
+    success_at: np.ndarray
+    average_length: float
+    jobs: int
+
+    def row(self) -> str:
+        cells = " ".join(f"{value * 100:5.1f}%" for value in self.success_at)
+        return f"{cells}  avg {self.average_length:.3f}"
+
+
+def job_statistics(completed_counts: list[int], length: int = 5) -> JobStatistics:
+    """Aggregate per-job completed-task counts into Tbl. 1/2 statistics."""
+    if not completed_counts:
+        raise ValueError("need at least one job")
+    counts = np.asarray(completed_counts)
+    if (counts < 0).any() or (counts > length).any():
+        raise ValueError(f"completed counts must lie in [0, {length}]")
+    success_at = np.array([(counts >= k).mean() for k in range(1, length + 1)])
+    return JobStatistics(
+        success_at=success_at,
+        average_length=float(counts.mean()),
+        jobs=len(counts),
+    )
+
+
+def _aligned(executed: np.ndarray, reference: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Trim both paths to their common length for pointwise comparison."""
+    frames = min(len(executed), len(reference))
+    return executed[:frames], reference[:frames]
+
+
+def trajectory_rmse(executed: np.ndarray, reference: np.ndarray) -> float:
+    """Root-mean-square positional error between two pose paths (metres).
+
+    Only the translational dimensions enter, matching the paper's geographic
+    distance metric.
+    """
+    executed, reference = _aligned(np.asarray(executed), np.asarray(reference))
+    difference = executed[:, :3] - reference[:, :3]
+    return float(np.sqrt(np.mean(np.sum(difference**2, axis=1))))
+
+
+def max_trajectory_distance(executed: np.ndarray, reference: np.ndarray) -> np.ndarray:
+    """Maximum absolute deviation per translational dimension (x, y, z)."""
+    executed, reference = _aligned(np.asarray(executed), np.asarray(reference))
+    return np.abs(executed[:, :3] - reference[:, :3]).max(axis=0)
+
+
+@dataclass(frozen=True)
+class TrajectoryMetrics:
+    """Fig. 11's two statistics, averaged over a batch of episodes."""
+
+    mean_rmse: float
+    max_distance: np.ndarray  # (3,): x, y, z
+
+
+def trajectory_metrics(
+    executed_paths: list[np.ndarray], reference_paths: list[np.ndarray]
+) -> TrajectoryMetrics:
+    """Aggregate trajectory error statistics over a batch of episodes."""
+    if len(executed_paths) != len(reference_paths) or not executed_paths:
+        raise ValueError("need matching, non-empty executed/reference path lists")
+    rmses = [
+        trajectory_rmse(executed, reference)
+        for executed, reference in zip(executed_paths, reference_paths)
+    ]
+    distances = np.array(
+        [
+            max_trajectory_distance(executed, reference)
+            for executed, reference in zip(executed_paths, reference_paths)
+        ]
+    )
+    return TrajectoryMetrics(
+        mean_rmse=float(np.mean(rmses)),
+        max_distance=distances.mean(axis=0),
+    )

@@ -1,0 +1,39 @@
+"""Plain-text report formatting matching the paper's tables and figures."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["format_table", "format_series", "paper_vs_measured"]
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]], title: str | None = None
+) -> str:
+    """Render an aligned monospace table."""
+    cells = [[str(value) for value in row] for row in rows]
+    widths = [
+        max(len(headers[column]), *(len(row[column]) for row in cells)) if cells else len(headers[column])
+        for column in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(header.ljust(width) for header, width in zip(headers, widths)))
+    lines.append("  ".join("-" * width for width in widths))
+    for row in cells:
+        lines.append("  ".join(value.ljust(width) for value, width in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(name: str, xs: Sequence[float], ys: Sequence[float], unit: str = "") -> str:
+    """Render a figure data series as ``x -> y`` pairs (one per line)."""
+    lines = [f"{name}{f' ({unit})' if unit else ''}:"]
+    for x, y in zip(xs, ys):
+        lines.append(f"  {x:>10.4g} -> {y:.4g}")
+    return "\n".join(lines)
+
+
+def paper_vs_measured(rows: Sequence[tuple[str, object, object]], title: str) -> str:
+    """A paper-value vs measured-value comparison block for EXPERIMENTS.md."""
+    return format_table(("quantity", "paper", "measured"), rows, title=title)

@@ -1,0 +1,72 @@
+"""Command-line front-end: regenerate any of the paper's tables and figures.
+
+Usage::
+
+    repro-experiments all            # every experiment, in paper order
+    repro-experiments tbl1 fig13     # a subset
+    repro-experiments --list
+    REPRO_PROFILE=full repro-experiments tbl1
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments import EXPERIMENTS, get_profile
+
+_ORDER = [
+    "fig2", "fig9", "tbl1", "tbl2", "fig11", "fig12", "fig13", "fig14",
+    "fig15", "tbl3", "tbl4", "resources", "ablation", "ablation-algo", "power",
+]
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate the DaDu-Corki paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiments", nargs="*",
+        help="experiment ids (see --list); 'all' runs everything",
+    )
+    parser.add_argument("--list", action="store_true", help="list experiment ids and exit")
+    parser.add_argument(
+        "--profile", choices=("quick", "full"), default=None,
+        help="evaluation scale (default: REPRO_PROFILE env var or 'quick')",
+    )
+    parser.add_argument(
+        "--save", action="store_true",
+        help="also write each report to artifacts/<id>-<profile>.txt",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list or not args.experiments:
+        print("available experiments:", ", ".join(_ORDER))
+        return 0
+
+    requested = _ORDER if args.experiments == ["all"] else args.experiments
+    unknown = [name for name in requested if name not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiments: {', '.join(unknown)}", file=sys.stderr)
+        print("available:", ", ".join(_ORDER), file=sys.stderr)
+        return 2
+
+    profile = get_profile(args.profile)
+    for name in requested:
+        started = time.perf_counter()
+        print(f"=== {name} (profile: {profile.name}) ===")
+        report = EXPERIMENTS[name](profile)
+        print(report)
+        if args.save:
+            from repro.analysis.export import save_report
+
+            path = save_report(name, report, profile.name)
+            print(f"[saved {path}]")
+        print(f"--- {name} done in {time.perf_counter() - started:.1f}s ---\n")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

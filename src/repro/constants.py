@@ -1,0 +1,57 @@
+"""Calibrated constants from the paper's measurements.
+
+Every latency/energy/scale number the system-level model uses is collected
+here with its provenance in the paper, so the pipeline composition logic in
+:mod:`repro.pipeline` carries no magic numbers of its own.
+"""
+
+from __future__ import annotations
+
+FRAME_DT_MS = 1000.0 / 30.0
+"""Camera frame period: the CALVIN front-end runs at 30 Hz."""
+
+# -- Fig. 2: baseline per-frame breakdown on V100 + i7-6770HQ + Wi-Fi ---------
+BASELINE_FRAME_MS = 249.4
+"""End-to-end per-frame latency of RoboFlamingo (Sec. 2.2)."""
+
+INFERENCE_SHARE = 0.727
+CONTROL_SHARE = 0.099
+COMMUNICATION_SHARE = 0.174
+
+INFERENCE_MS = BASELINE_FRAME_MS * INFERENCE_SHARE  # 181.3 ms
+CONTROL_CPU_MS = BASELINE_FRAME_MS * CONTROL_SHARE  # 24.7 ms
+COMMUNICATION_MS = BASELINE_FRAME_MS * COMMUNICATION_SHARE  # 43.4 ms
+
+# -- Sec. 6.3: accelerator acceleration of the control process ----------------
+CONTROL_ACCELERATION = 29.0
+""""Corki hardware successfully accelerates the control process by up to 29.0x"."""
+
+CONTROL_FPGA_MS = CONTROL_CPU_MS / CONTROL_ACCELERATION  # ~0.85 ms
+
+# -- Fig. 2b energy: stage power draws ----------------------------------------
+# Chosen so the baseline inference energy share reproduces the paper's 95.8%
+# and the per-frame energy peaks near 25 J.
+GPU_POWER_W = 135.0
+CPU_POWER_W = 35.0
+WIFI_POWER_W = 5.0
+FPGA_POWER_W = 3.0
+
+# -- Tbl. 3: normalised inference latency under different server baselines ----
+GPU_INFERENCE_SCALE = {
+    "v100": 1.0,
+    "h100": 0.4,
+    "jetson-orin": 10.0,
+    "xeon-8260": 8.9,
+}
+
+# -- Tbl. 4: normalised inference latency under different data representations -
+DATA_REPRESENTATION_SCALE = {
+    "fp32": 1.0,
+    "fp16": 0.8,
+    "int8": 0.4,
+}
+
+# -- measurement realism -------------------------------------------------------
+STAGE_JITTER = 0.03
+"""Relative per-stage measurement jitter applied by the executor, matching
+the frame-to-frame variation visible in the paper's Fig. 2/Fig. 14 traces."""

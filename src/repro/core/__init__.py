@@ -1,0 +1,71 @@
+"""Corki algorithm framework: the paper's primary contribution."""
+
+from repro.core.closed_loop import (
+    FeedbackSchedule,
+    MIDPOINT_FEEDBACK,
+    NO_FEEDBACK,
+    RANDOM_FEEDBACK,
+    schedule_by_name,
+)
+from repro.core.config import (
+    ADAPTIVE_DISTANCE_THRESHOLD,
+    PREDICTION_HORIZON,
+    CorkiVariation,
+    VARIATIONS,
+    variation_by_name,
+)
+from repro.core.policy import WINDOW_LENGTH, BaselinePolicy, CorkiPolicy
+from repro.core.runner import (
+    MAX_EPISODE_FRAMES,
+    EpisodeTrace,
+    run_baseline_episode,
+    run_corki_episode,
+    run_job,
+)
+from repro.core.training import (
+    TrainingConfig,
+    build_baseline_dataset,
+    deployment_slot_pattern,
+    train_baseline,
+    train_corki,
+)
+from repro.core.trajectory import CubicTrajectory, fit_cubic, polynomial_design_matrix
+from repro.core.waypoints import (
+    adaptive_termination_step,
+    gripper_change_flags,
+    point_line_distance,
+    segment_angles,
+)
+
+__all__ = [
+    "ADAPTIVE_DISTANCE_THRESHOLD",
+    "BaselinePolicy",
+    "CorkiPolicy",
+    "CorkiVariation",
+    "CubicTrajectory",
+    "EpisodeTrace",
+    "FeedbackSchedule",
+    "MAX_EPISODE_FRAMES",
+    "MIDPOINT_FEEDBACK",
+    "NO_FEEDBACK",
+    "PREDICTION_HORIZON",
+    "RANDOM_FEEDBACK",
+    "TrainingConfig",
+    "VARIATIONS",
+    "WINDOW_LENGTH",
+    "adaptive_termination_step",
+    "build_baseline_dataset",
+    "deployment_slot_pattern",
+    "fit_cubic",
+    "gripper_change_flags",
+    "point_line_distance",
+    "polynomial_design_matrix",
+    "run_baseline_episode",
+    "run_corki_episode",
+    "run_job",
+    "schedule_by_name",
+    "segment_angles",
+    "train_baseline",
+    "train_corki",
+    "variation_by_name",
+]

@@ -1,0 +1,60 @@
+"""Closed-loop feedback scheduling (paper Sec. 3.4) and its ablations.
+
+During trajectory execution Corki "randomly sends images back before the
+endpoint"; the ViT-encoded feature conditions the next prediction.  The
+paper fixes the random policy; this module exposes it as one of several
+schedules so the design choice can be ablated:
+
+* ``random`` -- the paper's policy: one uniformly random step per trajectory.
+* ``midpoint`` -- deterministic middle of the executed window.
+* ``none`` -- open-loop: no feedback at all (the paper's motivation case).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["FeedbackSchedule", "RANDOM_FEEDBACK", "MIDPOINT_FEEDBACK", "NO_FEEDBACK", "schedule_by_name"]
+
+
+@dataclass(frozen=True)
+class FeedbackSchedule:
+    """Chooses which executed step (1-based) sends a feedback image."""
+
+    name: str
+
+    def feedback_step(self, steps: int, rng: np.random.Generator) -> int | None:
+        """The step index carrying a feedback frame, or ``None`` for open loop.
+
+        Only steps strictly before the final one qualify ("before the
+        endpoint of the trajectory"), so single-step executions never
+        produce feedback.
+        """
+        if steps <= 1:
+            return None
+        if self.name == "none":
+            return None
+        if self.name == "midpoint":
+            return steps // 2 if steps // 2 >= 1 else None
+        if self.name == "random":
+            return int(rng.integers(1, steps))
+        raise ValueError(f"unknown feedback schedule {self.name!r}")
+
+
+RANDOM_FEEDBACK = FeedbackSchedule("random")
+MIDPOINT_FEEDBACK = FeedbackSchedule("midpoint")
+NO_FEEDBACK = FeedbackSchedule("none")
+
+_SCHEDULES = {
+    schedule.name: schedule
+    for schedule in (RANDOM_FEEDBACK, MIDPOINT_FEEDBACK, NO_FEEDBACK)
+}
+
+
+def schedule_by_name(name: str) -> FeedbackSchedule:
+    """Look up a feedback schedule by name."""
+    if name not in _SCHEDULES:
+        raise KeyError(f"unknown feedback schedule {name!r}; known: {sorted(_SCHEDULES)}")
+    return _SCHEDULES[name]

@@ -1,0 +1,63 @@
+"""Named Corki variations evaluated in the paper (Sec. 5.2).
+
+The model always predicts a nine-step trajectory; a variation fixes how many
+steps are *executed* before the next inference (``Corki-T``), lets
+Algorithm 1 choose at runtime (``Corki-ADAP``), or keeps Corki-5's algorithm
+but runs control on the CPU instead of the accelerator (``Corki-SW``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["PREDICTION_HORIZON", "CorkiVariation", "VARIATIONS", "variation_by_name"]
+
+PREDICTION_HORIZON = 9
+"""Steps predicted per inference ("we predict nine steps each time")."""
+
+ADAPTIVE_DISTANCE_THRESHOLD = 0.02
+"""Algorithm 1's chord-distance threshold ``d`` (metres)."""
+
+
+@dataclass(frozen=True)
+class CorkiVariation:
+    """One evaluated configuration of the Corki framework.
+
+    ``execute_steps`` is ``None`` for the adaptive variant.  ``control``
+    selects the control substrate for the pipeline model ("fpga" or "cpu");
+    it does not change algorithmic behaviour, matching the paper's finding
+    that Corki-SW equals Corki-5 in accuracy.
+    """
+
+    name: str
+    execute_steps: int | None
+    control: str = "fpga"
+    closed_loop: bool = True
+    feedback: str = "random"  # schedule name, see repro.core.closed_loop
+
+    @property
+    def adaptive(self) -> bool:
+        return self.execute_steps is None
+
+
+VARIATIONS: dict[str, CorkiVariation] = {
+    variation.name: variation
+    for variation in (
+        CorkiVariation("corki-1", execute_steps=1),
+        CorkiVariation("corki-3", execute_steps=3),
+        CorkiVariation("corki-5", execute_steps=5),
+        CorkiVariation("corki-7", execute_steps=7),
+        CorkiVariation("corki-9", execute_steps=9),
+        CorkiVariation("corki-adap", execute_steps=None),
+        CorkiVariation("corki-sw", execute_steps=5, control="cpu"),
+    )
+}
+"""All Corki variations of Tbl. 1/2, keyed by name."""
+
+
+def variation_by_name(name: str) -> CorkiVariation:
+    """Look up a variation, accepting paper-style names like ``Corki-5``."""
+    key = name.lower()
+    if key not in VARIATIONS:
+        raise KeyError(f"unknown variation {name!r}; known: {sorted(VARIATIONS)}")
+    return VARIATIONS[key]

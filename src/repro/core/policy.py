@@ -1,0 +1,226 @@
+"""The two policy heads the paper compares.
+
+``BaselinePolicy`` reproduces RoboFlamingo's head (paper Fig. 3): at every
+frame, the 12-token vision-language window runs through an LSTM and two MLP
+heads emit the next-step 6-DoF pose delta and the gripper bit.
+
+``CorkiPolicy`` is the paper's contribution (Sec. 3.2): the same backbone
+predicts cubic trajectory coefficients for the next nine steps plus a
+per-step gripper schedule.  Token slots for frames the deployed system never
+encodes are filled by a learned mask embedding (Fig. 4), and slots carrying
+a closed-loop feedback frame use a ViT-encoded feature instead (Sec. 3.4).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.config import PREDICTION_HORIZON
+from repro.core.trajectory import CubicTrajectory, polynomial_design_matrix
+from repro.nn.layers import LSTM, MLP, Module
+from repro.nn.tensor import Tensor, no_grad
+from repro.nn.vit import PatchFeatureEncoder
+from repro.nn.vlm import CompactVLM
+from repro.sim.dataset import ActionNormalizer
+
+__all__ = ["WINDOW_LENGTH", "BaselinePolicy", "CorkiPolicy"]
+
+WINDOW_LENGTH = 12
+"""The vision-language token window length (RoboFlamingo's queue of 12)."""
+
+
+class _PolicyBase(Module):
+    """Shared backbone: VLM token encoder plus the window LSTM."""
+
+    def __init__(
+        self,
+        observation_dim: int,
+        num_instructions: int,
+        token_dim: int,
+        hidden_dim: int,
+        rng: np.random.Generator,
+    ):
+        self.observation_dim = observation_dim
+        self.token_dim = token_dim
+        self.hidden_dim = hidden_dim
+        self.vlm = CompactVLM(observation_dim, num_instructions, token_dim, rng)
+        self.lstm = LSTM(token_dim, hidden_dim, rng)
+        self.normalizer = ActionNormalizer(np.ones(6))
+
+    def set_normalizer(self, normalizer: ActionNormalizer) -> None:
+        """Attach the delta-scale normaliser fitted on the training demos."""
+        self.normalizer = normalizer
+
+    def encode_tokens(self, observations: Tensor | np.ndarray, instruction) -> Tensor:
+        """Vision-language tokens for a (batch, window, obs) block."""
+        return self.vlm(observations, instruction)
+
+    def _run_lstm(self, tokens: list[Tensor]) -> Tensor:
+        hidden_states, _ = self.lstm(tokens)
+        return hidden_states[-1]
+
+
+class BaselinePolicy(_PolicyBase):
+    """RoboFlamingo-style per-frame action prediction."""
+
+    def __init__(
+        self,
+        observation_dim: int,
+        num_instructions: int,
+        rng: np.random.Generator,
+        token_dim: int = 32,
+        hidden_dim: int = 64,
+    ):
+        super().__init__(observation_dim, num_instructions, token_dim, hidden_dim, rng)
+        self.pose_head = MLP([hidden_dim, hidden_dim, 6], rng)
+        self.gripper_head = MLP([hidden_dim, hidden_dim // 2, 1], rng)
+
+    def forward(
+        self, observations: np.ndarray | Tensor, instruction: int | np.ndarray
+    ) -> tuple[Tensor, Tensor]:
+        """Training forward pass on a (batch, window, obs) block.
+
+        Returns ``(pose, gripper_logit)`` where ``pose`` is the *normalised*
+        next-frame delta (batch, 6) and ``gripper_logit`` (batch, 1).
+        """
+        tokens = self.encode_tokens(observations, instruction)
+        sequence = [tokens[:, t, :] for t in range(tokens.shape[1])]
+        hidden = self._run_lstm(sequence)
+        return self.pose_head(hidden), self.gripper_head(hidden)
+
+    def predict(
+        self, observation_window: np.ndarray, instruction: int
+    ) -> tuple[np.ndarray, bool]:
+        """Deployment inference: physical pose delta plus the gripper bit."""
+        with no_grad():
+            tokens = self.encode_tokens(observation_window, instruction)
+            sequence = [tokens[t] for t in range(tokens.shape[0])]
+            hidden = self._run_lstm(sequence)
+            pose = self.pose_head(hidden).numpy()
+            gripper = self.gripper_head(hidden).numpy()
+        return self.normalizer.denormalize(pose), bool(gripper[0] > 0.0)
+
+
+class CorkiPolicy(_PolicyBase):
+    """Corki's trajectory-prediction head (paper Sec. 3.2-3.4)."""
+
+    def __init__(
+        self,
+        observation_dim: int,
+        num_instructions: int,
+        rng: np.random.Generator,
+        token_dim: int = 32,
+        hidden_dim: int = 64,
+        horizon: int = PREDICTION_HORIZON,
+        vit_patches: int = 8,
+    ):
+        super().__init__(observation_dim, num_instructions, token_dim, hidden_dim, rng)
+        self.horizon = horizon
+        self.coefficient_head = MLP([hidden_dim, hidden_dim, 6 * 4], rng)
+        self.gripper_head = MLP([hidden_dim, hidden_dim, horizon], rng)
+        self.mask_embedding = Tensor(rng.normal(0.0, 0.1, size=token_dim), requires_grad=True)
+        self.feedback_encoder = PatchFeatureEncoder(
+            observation_dim, vit_patches, token_dim, rng
+        )
+        # Normalised waypoint times tau_j = j / horizon for j = 0..horizon.
+        # Eq. 5 sums from j = 0: the zero-offset sample pins the cubic's
+        # constant term so the trajectory starts at the current pose.
+        self._basis = polynomial_design_matrix(np.arange(0, horizon + 1) / horizon)
+
+    # -- training ------------------------------------------------------------
+
+    def forward(
+        self,
+        observations: np.ndarray | Tensor,
+        instruction: int | np.ndarray,
+        real_slots: np.ndarray,
+        feedback_slots: np.ndarray | None = None,
+    ) -> tuple[Tensor, Tensor]:
+        """Training forward pass with token masking (paper Fig. 4).
+
+        ``real_slots`` is a boolean (batch, window) array marking slots whose
+        frames the deployed system would actually encode with the VLM;
+        ``feedback_slots`` marks slots carrying a ViT closed-loop feature.
+        Remaining slots use the learned mask embedding.  Returns
+        ``(coefficients, gripper_logits)`` with shapes (batch, 6, 4) and
+        (batch, horizon).
+        """
+        observations = (
+            observations if isinstance(observations, Tensor) else Tensor(observations)
+        )
+        batch, window = observations.shape[0], observations.shape[1]
+        real = np.asarray(real_slots, dtype=float)
+        feedback = (
+            np.zeros((batch, window))
+            if feedback_slots is None
+            else np.asarray(feedback_slots, dtype=float)
+        )
+        masked = 1.0 - np.clip(real + feedback, 0.0, 1.0)
+
+        tokens = self.encode_tokens(observations, instruction)
+        feedback_tokens = self.feedback_encoder(observations)
+        sequence: list[Tensor] = []
+        for t in range(window):
+            keep = Tensor(real[:, t : t + 1])
+            feed = Tensor(feedback[:, t : t + 1])
+            drop = Tensor(masked[:, t : t + 1])
+            mixed = (
+                tokens[:, t, :] * keep
+                + feedback_tokens[:, t, :] * feed
+                + self.mask_embedding * drop
+            )
+            sequence.append(mixed)
+        hidden = self._run_lstm(sequence)
+        coefficients = self.coefficient_head(hidden).reshape(batch, 6, 4)
+        gripper_logits = self.gripper_head(hidden)
+        return coefficients, gripper_logits
+
+    def waypoint_offsets(self, coefficients: Tensor) -> Tensor:
+        """Sample the predicted cubic at the waypoint times (Eq. 5's r(j)).
+
+        Input (batch, 6, 4) coefficients; output (batch, 6, horizon + 1) of
+        normalised pose offsets for j = 0..horizon (j = 0 supervises the
+        start-of-trajectory offset against zero, as in the paper's Eq. 5).
+        """
+        return coefficients @ Tensor(self._basis.T)
+
+    # -- deployment -----------------------------------------------------------
+
+    def encode_frame_token(self, observation: np.ndarray, instruction: int) -> np.ndarray:
+        """Token for one frame the system chose to run VLM inference on."""
+        with no_grad():
+            return self.encode_tokens(observation, instruction).numpy()
+
+    def encode_feedback_token(self, observation: np.ndarray) -> np.ndarray:
+        """ViT-encoded closed-loop feature token for a mid-trajectory frame."""
+        with no_grad():
+            return self.feedback_encoder(observation).numpy()
+
+    def mask_token(self) -> np.ndarray:
+        """The learned mask embedding used for never-encoded frames."""
+        return self.mask_embedding.numpy()
+
+    def predict_trajectory(
+        self,
+        token_window: np.ndarray,
+        origin_pose: np.ndarray,
+        step_dt: float,
+    ) -> CubicTrajectory:
+        """Deployment inference from an already assembled token window.
+
+        ``token_window`` has shape (window, token_dim) with mask/feedback
+        tokens already substituted; ``origin_pose`` is the end-effector pose
+        at inference time.  Returns the physical-unit cubic trajectory.
+        """
+        with no_grad():
+            sequence = [Tensor(token_window[t]) for t in range(token_window.shape[0])]
+            hidden = self._run_lstm(sequence)
+            coefficients = self.coefficient_head(hidden).numpy().reshape(6, 4)
+            gripper_logits = self.gripper_head(hidden).numpy()
+        physical = coefficients * self.normalizer.scale[:, None]
+        return CubicTrajectory(
+            origin=np.asarray(origin_pose, dtype=float).copy(),
+            coefficients=physical,
+            duration=self.horizon * step_dt,
+            gripper_open=gripper_logits > 0.0,
+        )

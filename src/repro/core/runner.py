@@ -1,0 +1,238 @@
+"""Closed-loop episode runners for the baseline and every Corki variation.
+
+The runner is where the paper's execution models live:
+
+* The **baseline** encodes every frame, predicts one action, and executes it
+  with 30 Hz control (paper Fig. 1a).
+* **Corki** runs inference only at trajectory boundaries, executes
+  ``T`` waypoints of the predicted cubic with 100 Hz TS-CTC control, captures
+  a random mid-trajectory feedback frame, and re-plans (paper Fig. 1b).
+  The adaptive variation terminates early via Algorithm 1.
+
+Each episode returns an :class:`EpisodeTrace` carrying everything the
+pipeline latency/energy model and the trajectory metrics need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.closed_loop import NO_FEEDBACK, schedule_by_name
+from repro.core.config import (
+    ADAPTIVE_DISTANCE_THRESHOLD,
+    CorkiVariation,
+)
+from repro.core.policy import WINDOW_LENGTH, BaselinePolicy, CorkiPolicy
+from repro.core.waypoints import adaptive_termination_step, gripper_change_flags
+from repro.sim.env import TRACKING_100HZ, TRACKING_30HZ, ActuationModel, ManipulationEnv
+from repro.sim.expert import render_keyframes
+from repro.sim.tasks import Task
+
+__all__ = ["EpisodeTrace", "run_baseline_episode", "run_corki_episode", "run_job"]
+
+MAX_EPISODE_FRAMES = 150
+"""Frame budget per task; generous versus expert episodes of 45-80 frames."""
+
+
+@dataclass
+class EpisodeTrace:
+    """Record of one closed-loop episode.
+
+    ``executed_steps`` lists, per inference, how many trajectory steps were
+    executed before re-planning (always ``[1, 1, ...]`` for the baseline);
+    the pipeline model derives inference frequency from it.  ``ee_path`` is
+    the realised end-effector pose per frame; ``reference_path`` the clean
+    expert trajectory for the same scene (the metrics' ground truth).
+    """
+
+    success: bool
+    frames: int
+    executed_steps: list[int]
+    ee_path: np.ndarray
+    reference_path: np.ndarray
+    gripper_path: np.ndarray
+
+    @property
+    def inference_count(self) -> int:
+        return len(self.executed_steps)
+
+
+def _reference_path(env: ManipulationEnv, task: Task) -> np.ndarray:
+    """The clean expert trajectory for the episode's initial scene."""
+    assert env.scene is not None
+    keyframes = task.expert(env.scene)
+    return render_keyframes(env.scene.ee_pose, keyframes, env.frame_dt).poses
+
+
+def run_baseline_episode(
+    env: ManipulationEnv,
+    policy: BaselinePolicy,
+    task: Task,
+    actuation: ActuationModel = TRACKING_30HZ,
+    max_frames: int = MAX_EPISODE_FRAMES,
+    chained: bool = False,
+) -> EpisodeTrace:
+    """Frame-by-frame execution (paper Fig. 1a)."""
+    observation = env.continue_with(task) if chained else env.reset(task)
+    assert env.scene is not None
+    reference = _reference_path(env, task)
+    observations = [observation] * WINDOW_LENGTH
+    path = [env.scene.ee_pose.copy()]
+    gripper_path = [env.scene.gripper_open]
+    executed = []
+
+    for _ in range(max_frames):
+        window = np.array(observations[-WINDOW_LENGTH:])
+        delta, gripper_open = policy.predict(window, task.instruction_id)
+        target = env.scene.ee_pose + delta
+        observation = env.step(target, gripper_open, actuation)
+        observations.append(observation)
+        path.append(env.scene.ee_pose.copy())
+        gripper_path.append(env.scene.gripper_open)
+        executed.append(1)
+        if env.succeeded:
+            break
+    return EpisodeTrace(
+        success=env.succeeded,
+        frames=len(executed),
+        executed_steps=executed,
+        ee_path=np.array(path),
+        reference_path=reference,
+        gripper_path=np.array(gripper_path, dtype=bool),
+    )
+
+
+class _TokenWindow:
+    """Deployment-side token bookkeeping for Corki.
+
+    Tracks which frames were VLM-encoded (inference frames) or ViT-encoded
+    (feedback frames); every other slot yields the learned mask embedding,
+    mirroring the training-time pattern of
+    :func:`repro.core.training.deployment_slot_pattern`.
+    """
+
+    def __init__(self, policy: CorkiPolicy):
+        self._policy = policy
+        self._tokens: dict[int, np.ndarray] = {}
+        self._first_real: np.ndarray | None = None
+
+    def add_inference_frame(self, frame: int, observation: np.ndarray, instruction: int) -> None:
+        token = self._policy.encode_frame_token(observation, instruction)
+        if self._first_real is None:
+            self._first_real = token
+        self._tokens[frame] = token
+
+    def add_feedback_frame(self, frame: int, observation: np.ndarray) -> None:
+        self._tokens[frame] = self._policy.encode_feedback_token(observation)
+
+    def assemble(self, current_frame: int) -> np.ndarray:
+        mask = self._policy.mask_token()
+        rows = []
+        for frame in range(current_frame - WINDOW_LENGTH + 1, current_frame + 1):
+            if frame in self._tokens:
+                rows.append(self._tokens[frame])
+            elif frame < 0 and self._first_real is not None:
+                rows.append(self._first_real)  # warm-up padding, as in training
+            else:
+                rows.append(mask)
+        return np.array(rows)
+
+
+def run_corki_episode(
+    env: ManipulationEnv,
+    policy: CorkiPolicy,
+    task: Task,
+    variation: CorkiVariation,
+    rng: np.random.Generator,
+    actuation: ActuationModel = TRACKING_100HZ,
+    max_frames: int = MAX_EPISODE_FRAMES,
+    chained: bool = False,
+) -> EpisodeTrace:
+    """Trajectory-level execution (paper Fig. 1b) for one Corki variation."""
+    observation = env.continue_with(task) if chained else env.reset(task)
+    assert env.scene is not None
+    reference = _reference_path(env, task)
+    window = _TokenWindow(policy)
+    path = [env.scene.ee_pose.copy()]
+    gripper_path = [env.scene.gripper_open]
+    executed: list[int] = []
+
+    schedule = (
+        schedule_by_name(variation.feedback) if variation.closed_loop else NO_FEEDBACK
+    )
+    frame = 0
+    while frame < max_frames:
+        window.add_inference_frame(frame, observation, task.instruction_id)
+        trajectory = policy.predict_trajectory(
+            window.assemble(frame), env.scene.ee_pose, env.frame_dt
+        )
+        steps = _decide_steps(trajectory, variation, env.scene.gripper_open)
+        steps = min(steps, max_frames - frame)
+        feedback_step = schedule.feedback_step(steps, rng)
+
+        for step in range(1, steps + 1):
+            target = trajectory.pose(step * trajectory.step_dt)
+            gripper_open = trajectory.gripper_at_step(step)
+            observation = env.step(target, gripper_open, actuation)
+            frame += 1
+            path.append(env.scene.ee_pose.copy())
+            gripper_path.append(env.scene.gripper_open)
+            if step == feedback_step:
+                window.add_feedback_frame(frame, observation)
+            if env.succeeded:
+                executed.append(step)
+                return EpisodeTrace(
+                    success=True,
+                    frames=frame,
+                    executed_steps=executed,
+                    ee_path=np.array(path),
+                    reference_path=reference,
+                    gripper_path=np.array(gripper_path, dtype=bool),
+                )
+        executed.append(steps)
+
+    return EpisodeTrace(
+        success=env.succeeded,
+        frames=frame,
+        executed_steps=executed,
+        ee_path=np.array(path),
+        reference_path=reference,
+        gripper_path=np.array(gripper_path, dtype=bool),
+    )
+
+
+def _decide_steps(trajectory, variation: CorkiVariation, gripper_open_now: bool) -> int:
+    """Execution length: fixed for Corki-T, Algorithm 1 for Corki-ADAP."""
+    if not variation.adaptive:
+        return int(variation.execute_steps)
+    waypoints = trajectory.waypoints()
+    flags = gripper_change_flags(trajectory.gripper_open, gripper_open_now)
+    return adaptive_termination_step(
+        trajectory.origin[:3],
+        waypoints[:, :3],
+        flags,
+        ADAPTIVE_DISTANCE_THRESHOLD,
+    )
+
+
+def run_job(
+    env: ManipulationEnv,
+    tasks: list[Task],
+    run_episode,
+) -> list[EpisodeTrace]:
+    """Run a long-horizon job: consecutive tasks until the first failure.
+
+    ``run_episode(task, chained)`` is a closure over the policy/variation;
+    the environment's scene persists across tasks, as in CALVIN's rollouts.
+    Returns the traces of the attempted tasks (the job's score is the number
+    of successes, i.e. the index of the first failed trace).
+    """
+    traces = []
+    for index, task in enumerate(tasks):
+        trace = run_episode(task, index > 0)
+        traces.append(trace)
+        if not trace.success:
+            break
+    return traces

@@ -1,0 +1,207 @@
+"""Training loops for the baseline and Corki policy heads.
+
+Both heads train on the same demonstrations with the losses of paper Eq. 3
+(per-frame MSE + lambda BCE) and Eq. 5 (trajectory-waypoint MSE + lambda
+BCE on the gripper schedule).  Corki's windows are additionally masked with
+deployment-realistic patterns (paper Fig. 4): only the frames an executing
+system would encode are visible; the rest see the learned mask embedding or
+a ViT closed-loop feature.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.policy import WINDOW_LENGTH, BaselinePolicy, CorkiPolicy
+from repro.nn.functional import bce_with_logits, mse_loss
+from repro.nn.optim import Adam, clip_gradients
+from repro.sim.dataset import ActionNormalizer, Demonstration, corki_targets
+
+__all__ = [
+    "TrainingConfig",
+    "deployment_slot_pattern",
+    "build_baseline_dataset",
+    "train_baseline",
+    "train_corki",
+]
+
+
+@dataclass
+class TrainingConfig:
+    """Hyper-parameters shared by both trainers."""
+
+    epochs: int = 4
+    batch_size: int = 32
+    learning_rate: float = 3e-3
+    gripper_weight: float = 0.5  # the paper's lambda in Eq. 3
+    grad_clip: float = 5.0
+    seed: int = 7
+    log_every: int = 0  # 0 disables progress printing
+
+
+def deployment_slot_pattern(
+    window: int,
+    period: int,
+    rng: np.random.Generator,
+    closed_loop: bool = True,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Which window slots a deployed Corki system would actually encode.
+
+    With inference every ``period`` frames and the newest slot being an
+    inference frame, real slots lie at ``window-1, window-1-period, ...``.
+    With closed-loop feedback enabled, one random slot inside each executed
+    segment carries a ViT feature instead of the mask embedding
+    (paper Sec. 3.4).  Returns boolean arrays ``(real, feedback)``.
+    """
+    real = np.zeros(window, dtype=bool)
+    feedback = np.zeros(window, dtype=bool)
+    slot = window - 1
+    while slot >= 0:
+        real[slot] = True
+        if closed_loop and period > 1:
+            low = max(slot - period + 1, 0)
+            if low < slot:
+                feedback[int(rng.integers(low, slot))] = True
+        slot -= period
+    feedback &= ~real
+    return real, feedback
+
+
+def _window_indices(demo_lengths: list[int]) -> list[tuple[int, int]]:
+    """(demo index, frame index) pairs for every supervisable frame."""
+    pairs = []
+    for demo_index, length in enumerate(demo_lengths):
+        pairs.extend((demo_index, t) for t in range(length - 1))
+    return pairs
+
+
+def _observation_window(demo: Demonstration, t: int) -> np.ndarray:
+    """The last ``WINDOW_LENGTH`` observations ending at frame ``t``.
+
+    Frames before the episode start repeat the first observation, matching
+    RoboFlamingo's warm-up behaviour with a partially filled queue.
+    """
+    indices = np.arange(t - WINDOW_LENGTH + 1, t + 1)
+    indices = np.clip(indices, 0, len(demo) - 1)
+    return demo.observations[indices]
+
+
+def build_baseline_dataset(
+    demonstrations: list[Demonstration], normalizer: ActionNormalizer
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Materialise all per-frame supervision windows for the baseline.
+
+    Returns ``(windows, instructions, pose_targets, gripper_targets)``.
+    Pose targets are normalised next-frame deltas.
+    """
+    windows, instructions, poses, grippers = [], [], [], []
+    for demo in demonstrations:
+        for t in range(len(demo) - 1):
+            windows.append(_observation_window(demo, t))
+            instructions.append(demo.instruction_id)
+            poses.append(normalizer.normalize(demo.poses[t + 1] - demo.poses[t]))
+            grippers.append(float(demo.gripper_open[t + 1]))
+    return (
+        np.array(windows),
+        np.array(instructions),
+        np.array(poses),
+        np.array(grippers)[:, None],
+    )
+
+
+def train_baseline(
+    policy: BaselinePolicy,
+    demonstrations: list[Demonstration],
+    config: TrainingConfig | None = None,
+) -> list[float]:
+    """Train the RoboFlamingo-style head; returns per-epoch mean losses."""
+    config = config or TrainingConfig()
+    rng = np.random.default_rng(config.seed)
+    normalizer = ActionNormalizer.fit(demonstrations)
+    policy.set_normalizer(normalizer)
+    windows, instructions, poses, grippers = build_baseline_dataset(demonstrations, normalizer)
+
+    optimizer = Adam(policy.parameters(), lr=config.learning_rate)
+    history = []
+    for epoch in range(config.epochs):
+        order = rng.permutation(len(windows))
+        losses = []
+        for start in range(0, len(order), config.batch_size):
+            batch = order[start : start + config.batch_size]
+            pose_pred, gripper_pred = policy(windows[batch], instructions[batch])
+            loss = mse_loss(pose_pred, poses[batch]) + config.gripper_weight * bce_with_logits(
+                gripper_pred, grippers[batch]
+            )
+            optimizer.zero_grad()
+            loss.backward()
+            clip_gradients(policy.parameters(), config.grad_clip)
+            optimizer.step()
+            losses.append(loss.item())
+        history.append(float(np.mean(losses)))
+        if config.log_every:
+            print(f"[baseline] epoch {epoch + 1}/{config.epochs} loss {history[-1]:.4f}")
+    return history
+
+
+def train_corki(
+    policy: CorkiPolicy,
+    demonstrations: list[Demonstration],
+    config: TrainingConfig | None = None,
+) -> list[float]:
+    """Train the Corki trajectory head; returns per-epoch mean losses.
+
+    Every sample draws a random execution period in [1, horizon] and masks
+    the window with the corresponding deployment pattern, so one model
+    serves every Corki-T variation (paper Sec. 5.2).
+    """
+    config = config or TrainingConfig()
+    rng = np.random.default_rng(config.seed)
+    normalizer = ActionNormalizer.fit(demonstrations)
+    policy.set_normalizer(normalizer)
+
+    pairs = _window_indices([len(demo) for demo in demonstrations])
+    horizon = policy.horizon
+    optimizer = Adam(policy.parameters(), lr=config.learning_rate)
+    history = []
+    for epoch in range(config.epochs):
+        order = rng.permutation(len(pairs))
+        losses = []
+        for start in range(0, len(order), config.batch_size):
+            batch_pairs = [pairs[i] for i in order[start : start + config.batch_size]]
+            batch = len(batch_pairs)
+            windows = np.zeros((batch, WINDOW_LENGTH, policy.observation_dim))
+            instructions = np.zeros(batch, dtype=int)
+            # Targets cover j = 0..horizon; row 0 is the zero start offset.
+            offset_targets = np.zeros((batch, horizon + 1, 6))
+            gripper_targets = np.zeros((batch, horizon))
+            real = np.zeros((batch, WINDOW_LENGTH), dtype=bool)
+            feedback = np.zeros((batch, WINDOW_LENGTH), dtype=bool)
+            for row, (demo_index, t) in enumerate(batch_pairs):
+                demo = demonstrations[demo_index]
+                windows[row] = _observation_window(demo, t)
+                instructions[row] = demo.instruction_id
+                offsets, gripper = corki_targets(demo, t, horizon)
+                offset_targets[row, 1:] = offsets / normalizer.scale
+                gripper_targets[row] = gripper
+                period = int(rng.integers(1, horizon + 1))
+                real[row], feedback[row] = deployment_slot_pattern(
+                    WINDOW_LENGTH, period, rng
+                )
+
+            coefficients, gripper_logits = policy(windows, instructions, real, feedback)
+            waypoints = policy.waypoint_offsets(coefficients)  # (batch, 6, horizon + 1)
+            target = np.transpose(offset_targets, (0, 2, 1))
+            loss = mse_loss(waypoints, target) + config.gripper_weight * bce_with_logits(
+                gripper_logits, gripper_targets
+            )
+            optimizer.zero_grad()
+            loss.backward()
+            clip_gradients(policy.parameters(), config.grad_clip)
+            optimizer.step()
+            losses.append(loss.item())
+        history.append(float(np.mean(losses)))
+        if config.log_every:
+            print(f"[corki] epoch {epoch + 1}/{config.epochs} loss {history[-1]:.4f}")
+    return history

@@ -1,0 +1,106 @@
+"""Waypoint extraction and identification -- the paper's Algorithm 1.
+
+The adaptive variant of Corki terminates a predicted trajectory early at the
+first waypoint showing "significant movement": either the curvature test
+fails (an interior point subtends more than 90 degrees against the chord, or
+lies farther than ``d`` from it) or the gripper state changes.  The routine
+is deliberately cheap -- the paper reports under 500 FLOPs per invocation --
+and this implementation mirrors its loop structure exactly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "gripper_change_flags",
+    "segment_angles",
+    "point_line_distance",
+    "adaptive_termination_step",
+]
+
+_ANGLE_LIMIT = np.pi / 2.0
+
+
+def gripper_change_flags(gripper_open: np.ndarray, current_open: bool) -> np.ndarray:
+    """Mark waypoints where the commanded gripper state changes.
+
+    ``gripper_open`` is the per-waypoint schedule; a waypoint is flagged when
+    its state differs from the state in force just before it (the paper's
+    ``G`` sequence, e.g. ``0,0,0,1,0``).
+    """
+    states = np.concatenate([[current_open], np.asarray(gripper_open, dtype=bool)])
+    return states[1:] != states[:-1]
+
+
+def segment_angles(point: np.ndarray, start: np.ndarray, end: np.ndarray) -> tuple[float, float]:
+    """Angles ``(angle at start, angle at end)`` of triangle start-point-end.
+
+    These are the paper's ``angle(BAD)`` and ``angle(BDA)`` tests: how far the
+    interior point swings away from the chord between the trajectory start
+    and the candidate endpoint.
+    """
+    to_point_from_start = point - start
+    to_point_from_end = point - end
+    chord = end - start
+    chord_norm = float(np.linalg.norm(chord))
+    if chord_norm < 1e-12:
+        # Degenerate chord: the candidate endpoint coincides with the start,
+        # so any interior displacement is "significant".
+        displaced = float(np.linalg.norm(to_point_from_start)) > 1e-12
+        return (np.pi, np.pi) if displaced else (0.0, 0.0)
+
+    def angle(vector: np.ndarray, reference: np.ndarray) -> float:
+        norm = float(np.linalg.norm(vector))
+        if norm < 1e-12:
+            return 0.0
+        cosine = float(np.dot(vector, reference)) / (norm * float(np.linalg.norm(reference)))
+        return float(np.arccos(np.clip(cosine, -1.0, 1.0)))
+
+    return angle(to_point_from_start, chord), angle(to_point_from_end, -chord)
+
+
+def point_line_distance(point: np.ndarray, start: np.ndarray, end: np.ndarray) -> float:
+    """Distance from ``point`` to the line through ``start`` and ``end``."""
+    chord = end - start
+    norm = float(np.linalg.norm(chord))
+    if norm < 1e-12:
+        return float(np.linalg.norm(point - start))
+    projection = np.dot(point - start, chord) / norm
+    closest = start + projection * chord / norm
+    return float(np.linalg.norm(point - closest))
+
+
+def adaptive_termination_step(
+    start: np.ndarray,
+    waypoints: np.ndarray,
+    gripper_flags: np.ndarray,
+    distance_threshold: float,
+) -> int:
+    """Algorithm 1: the earliest termination step (1-based).
+
+    ``start`` is point A (3-D position), ``waypoints`` the positions of the
+    trajectory's waypoints B..F (shape (steps, 3)), ``gripper_flags`` the
+    change indicators from :func:`gripper_change_flags`.  Returns how many
+    steps of the trajectory to execute before re-planning.
+    """
+    waypoints = np.asarray(waypoints, dtype=float)
+    steps = len(waypoints)
+    if gripper_flags.shape != (steps,):
+        raise ValueError("gripper_flags must align with waypoints")
+
+    for index in range(steps - 1):  # candidates B .. E (F always accepted)
+        candidate = waypoints[index]
+        # Gripper change at the candidate or the next waypoint ends the
+        # trajectory here so the gripper acts on fresh observations.
+        if gripper_flags[index] or gripper_flags[index + 1]:
+            return index + 1
+        # Curvature checks against every interior point (A, P].
+        for interior_index in range(index):
+            interior = waypoints[interior_index]
+            angle_start, angle_end = segment_angles(interior, start, candidate)
+            if angle_start > _ANGLE_LIMIT or angle_end > _ANGLE_LIMIT:
+                return index + 1
+            if point_line_distance(interior, start, candidate) > distance_threshold:
+                return index + 1
+    return steps

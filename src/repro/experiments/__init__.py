@@ -1,0 +1,49 @@
+"""Experiment drivers: one module per paper table/figure.
+
+Each module exposes ``run(profile=None) -> str`` returning the report text;
+the CLI (``repro-experiments``) dispatches by experiment id.
+"""
+
+from repro.experiments.profiles import FULL, QUICK, Profile, get_profile
+
+__all__ = ["FULL", "Profile", "QUICK", "get_profile", "EXPERIMENTS"]
+
+
+def _registry():
+    from repro.experiments import (
+        ablation_algorithm,
+        ablation_datapath,
+        accuracy_tables,
+        discussion_power,
+        fig02_breakdown,
+        fig09_mass_matrix,
+        fig11_traj_error,
+        fig12_traj_example,
+        fig13_latency_energy,
+        fig14_frame_analysis,
+        fig15_threshold,
+        resources_report,
+        tbl3_tbl4_scaling,
+    )
+
+    return {
+        "fig2": fig02_breakdown.run,
+        "fig9": fig09_mass_matrix.run,
+        "fig11": fig11_traj_error.run,
+        "fig12": fig12_traj_example.run,
+        "fig13": fig13_latency_energy.run,
+        "fig14": fig14_frame_analysis.run,
+        "fig15": fig15_threshold.run,
+        "tbl1": accuracy_tables.run_seen,
+        "tbl2": accuracy_tables.run_unseen,
+        "tbl3": tbl3_tbl4_scaling.run_gpus,
+        "tbl4": tbl3_tbl4_scaling.run_datarep,
+        "resources": resources_report.run,
+        "ablation": ablation_datapath.run,
+        "ablation-algo": ablation_algorithm.run,
+        "power": discussion_power.run,
+    }
+
+
+EXPERIMENTS = _registry()
+"""Mapping of experiment id -> ``run`` callable."""

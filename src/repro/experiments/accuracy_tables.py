@@ -1,0 +1,79 @@
+"""Tbl. 1 and Tbl. 2: success rates and average job length per variation.
+
+Both tables share one implementation; ``scenario`` picks the layout.  All
+systems are rolled out on identical job sequences, so columns are paired
+comparisons as in the paper.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.reporting import format_table
+from repro.experiments.context import shared_context
+from repro.experiments.profiles import Profile
+
+__all__ = ["run_seen", "run_unseen", "accuracy_table"]
+
+_SYSTEM_ORDER = (
+    "roboflamingo",
+    "corki-1",
+    "corki-3",
+    "corki-5",
+    "corki-7",
+    "corki-9",
+    "corki-adap",
+    "corki-sw",
+)
+
+_PAPER_AVG_LEN = {
+    "seen": {
+        "roboflamingo": 2.916, "corki-1": 3.078, "corki-3": 3.234, "corki-5": 3.421,
+        "corki-7": 3.092, "corki-9": 2.983, "corki-adap": 3.2, "corki-sw": 3.421,
+    },
+    "unseen": {
+        "roboflamingo": 2.48, "corki-1": 2.769, "corki-3": 2.642, "corki-5": 2.824,
+        "corki-7": 2.723, "corki-9": 2.413, "corki-adap": 2.827, "corki-sw": 2.824,
+    },
+}
+
+
+def accuracy_table(scenario: str, profile: Profile | None = None) -> str:
+    import numpy as np
+
+    from repro.analysis.statistics import bootstrap_mean_ci
+
+    context = shared_context(profile)
+    evaluations = context.evaluations(scenario)
+    rows = []
+    for name in _SYSTEM_ORDER:
+        evaluation = evaluations[name]
+        stats = evaluation.job_stats
+        if evaluation.completed_counts:
+            ci = bootstrap_mean_ci(np.array(evaluation.completed_counts, dtype=float))
+            interval = f"[{ci.lower:.2f}, {ci.upper:.2f}]"
+        else:
+            interval = "-"
+        rows.append(
+            [name]
+            + [f"{value * 100:.1f}%" for value in stats.success_at]
+            + [f"{stats.average_length:.3f}", interval, f"{_PAPER_AVG_LEN[scenario][name]:.3f}"]
+        )
+    headers = ["system", "1", "2", "3", "4", "5", "avg len", "95% CI", "paper avg"]
+    table_number = "Tbl. 1" if scenario == "seen" else "Tbl. 2"
+    jobs = evaluations[_SYSTEM_ORDER[0]].job_stats.jobs
+    return format_table(
+        headers, rows, title=f"{table_number} -- accuracy on {scenario} tasks ({jobs} jobs/system)"
+    )
+
+
+def run_seen(profile: Profile | None = None) -> str:
+    return accuracy_table("seen", profile)
+
+
+def run_unseen(profile: Profile | None = None) -> str:
+    return accuracy_table("unseen", profile)
+
+
+if __name__ == "__main__":
+    print(run_seen())
+    print()
+    print(run_unseen())

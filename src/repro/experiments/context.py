@@ -1,0 +1,59 @@
+"""Shared experiment context: train once, evaluate once, reuse everywhere.
+
+Tables 1/2 and Figures 11-14 all consume the same trained policies and
+closed-loop evaluations.  The context memoises them per (profile, layout) so
+a full experiment sweep trains the models exactly once and rolls each system
+out exactly once per layout.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.evaluation import (
+    SystemEvaluation,
+    TrainedPolicies,
+    evaluate_all_systems,
+    get_trained_policies,
+)
+from repro.experiments.profiles import Profile, get_profile
+from repro.sim.world import SEEN_LAYOUT, UNSEEN_LAYOUT
+
+__all__ = ["ExperimentContext", "shared_context"]
+
+
+@dataclass
+class ExperimentContext:
+    """Lazily trained policies and per-layout evaluations for one profile."""
+
+    profile: Profile = field(default_factory=get_profile)
+    _policies: TrainedPolicies | None = None
+    _evaluations: dict = field(default_factory=dict)
+
+    def policies(self) -> TrainedPolicies:
+        if self._policies is None:
+            self._policies = get_trained_policies(
+                demos_per_task=self.profile.demos_per_task,
+                epochs=self.profile.epochs,
+            )
+        return self._policies
+
+    def evaluations(self, scenario: str) -> dict[str, SystemEvaluation]:
+        """All systems evaluated on ``scenario`` ("seen" or "unseen")."""
+        if scenario not in self._evaluations:
+            layout = SEEN_LAYOUT if scenario == "seen" else UNSEEN_LAYOUT
+            self._evaluations[scenario] = evaluate_all_systems(
+                self.policies(), layout, jobs=self.profile.jobs, seed=self.profile.eval_seed
+            )
+        return self._evaluations[scenario]
+
+
+_SHARED: ExperimentContext | None = None
+
+
+def shared_context(profile: Profile | None = None) -> ExperimentContext:
+    """Process-wide context; experiments run from the CLI share one."""
+    global _SHARED
+    if _SHARED is None or (profile is not None and _SHARED.profile != profile):
+        _SHARED = ExperimentContext(profile or get_profile())
+    return _SHARED

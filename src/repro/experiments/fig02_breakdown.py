@@ -1,0 +1,31 @@
+"""Fig. 2: per-frame latency and energy breakdown of RoboFlamingo."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.reporting import paper_vs_measured
+from repro.experiments.profiles import Profile, get_profile
+from repro.pipeline import simulate_baseline
+
+__all__ = ["run"]
+
+
+def run(profile: Profile | None = None) -> str:
+    profile = profile or get_profile()
+    trace = simulate_baseline(profile.pipeline_frames, rng=np.random.default_rng(2))
+    latency = trace.latency_breakdown()
+    energy = trace.energy_breakdown()
+    rows = [
+        ("frame latency (ms)", "249.4", f"{trace.mean_latency_ms:.1f}"),
+        ("latency: inference", "72.7%", f"{latency['inference'] * 100:.1f}%"),
+        ("latency: control", "9.9%", f"{latency['control'] * 100:.1f}%"),
+        ("latency: communication", "17.4%", f"{latency['communication'] * 100:.1f}%"),
+        ("energy: inference", "95.8%", f"{energy['inference'] * 100:.1f}%"),
+        ("peak frame energy (J)", "~25", f"{trace.energies_j().max():.1f}"),
+    ]
+    return paper_vs_measured(rows, f"Fig. 2 -- baseline breakdown over {profile.pipeline_frames} frames")
+
+
+if __name__ == "__main__":
+    print(run())

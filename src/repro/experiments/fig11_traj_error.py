@@ -1,0 +1,52 @@
+"""Fig. 11: mean trajectory error and maximum trajectory distance."""
+
+from __future__ import annotations
+
+from repro.analysis.reporting import format_table
+from repro.experiments.context import shared_context
+from repro.experiments.profiles import Profile
+
+__all__ = ["run"]
+
+_SYSTEM_ORDER = (
+    "roboflamingo", "corki-1", "corki-3", "corki-5", "corki-7", "corki-9",
+    "corki-adap", "corki-sw",
+)
+
+
+def run(profile: Profile | None = None) -> str:
+    context = shared_context(profile)
+    evaluations = context.evaluations("seen")
+    rows = []
+    baseline_rmse = None
+    corki_rmses = []
+    for name in _SYSTEM_ORDER:
+        stats = evaluations[name].trajectory_stats()
+        if name == "roboflamingo":
+            baseline_rmse = stats.mean_rmse
+        else:
+            corki_rmses.append(stats.mean_rmse)
+        max_x, max_y, max_z = stats.max_distance
+        rows.append(
+            [
+                name,
+                f"{stats.mean_rmse * 100:.2f}",
+                f"{max_x * 100:.2f}",
+                f"{max_y * 100:.2f}",
+                f"{max_z * 100:.2f}",
+            ]
+        )
+    table = format_table(
+        ("system", "mean RMSE (cm)", "max |dx| (cm)", "max |dy| (cm)", "max |dz| (cm)"),
+        rows,
+        title="Fig. 11 -- trajectory error vs ground truth (seen scenario)",
+    )
+    mean_corki = sum(corki_rmses) / len(corki_rmses)
+    reduction = 100.0 * (1.0 - mean_corki / baseline_rmse)
+    return table + (
+        f"\nmean Corki error reduction vs baseline: {reduction:.1f}% (paper: 25.0%)"
+    )
+
+
+if __name__ == "__main__":
+    print(run())

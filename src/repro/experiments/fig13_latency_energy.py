@@ -1,0 +1,73 @@
+"""Fig. 13: runtime frame latency and energy per system.
+
+Fixed-step variations execute exactly T steps per inference; Corki-ADAP's
+execution lengths come from its measured accuracy rollouts, which is how the
+paper couples the two evaluations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.reporting import format_table
+from repro.experiments.context import shared_context
+from repro.experiments.profiles import Profile
+from repro.pipeline import SystemStages, simulate_baseline, simulate_corki
+
+__all__ = ["run", "system_traces"]
+
+_PAPER_SPEEDUP = {
+    "corki-1": "1.2x", "corki-3": "~3x", "corki-5": "(26.9 Hz)", "corki-7": "~7x",
+    "corki-9": "9.1x", "corki-adap": "5.9x", "corki-sw": "(18.7 Hz)",
+}
+
+
+def system_traces(profile: Profile | None = None):
+    """Pipeline traces for the baseline and every Corki variation."""
+    context = shared_context(profile)
+    frames = context.profile.pipeline_frames
+    rng = np.random.default_rng(3)
+    traces = {"roboflamingo": simulate_baseline(frames, rng=rng)}
+
+    for steps_taken in (1, 3, 5, 7, 9):
+        trajectories = [steps_taken] * max(1, frames // steps_taken)
+        traces[f"corki-{steps_taken}"] = simulate_corki(
+            trajectories, rng=rng, name=f"corki-{steps_taken}"
+        )
+
+    adap_steps = context.evaluations("seen")["corki-adap"].executed_steps
+    if not adap_steps:
+        adap_steps = [5]
+    traces["corki-adap"] = simulate_corki(adap_steps, rng=rng, name="corki-adap")
+    traces["corki-sw"] = simulate_corki(
+        [5] * max(1, frames // 5), stages=SystemStages.corki(control="cpu"),
+        rng=rng, name="corki-sw",
+    )
+    return traces
+
+
+def run(profile: Profile | None = None) -> str:
+    traces = system_traces(profile)
+    baseline = traces["roboflamingo"]
+    rows = []
+    for name, trace in traces.items():
+        rows.append(
+            [
+                name,
+                f"{trace.mean_latency_ms:.1f}",
+                f"{trace.frequency_hz:.1f}",
+                f"{trace.speedup_vs(baseline):.2f}x",
+                f"{trace.mean_energy_j:.2f}",
+                f"{trace.energy_reduction_vs(baseline):.2f}x",
+                _PAPER_SPEEDUP.get(name, "-"),
+            ]
+        )
+    return format_table(
+        ("system", "latency ms", "Hz", "speedup", "energy J", "energy red.", "paper"),
+        rows,
+        title="Fig. 13 -- runtime latency and energy per frame",
+    )
+
+
+if __name__ == "__main__":
+    print(run())

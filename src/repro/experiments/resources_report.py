@@ -1,0 +1,25 @@
+"""Sec. 6.1: FPGA resource consumption of the Corki accelerator."""
+
+from __future__ import annotations
+
+from repro.accelerator.resources import resource_report
+from repro.analysis.reporting import paper_vs_measured
+from repro.experiments.profiles import Profile
+
+__all__ = ["run"]
+
+_PAPER = {"DSP": "13.6%", "FF": "7.8%", "LUT": "16.9%", "BRAM": "6.6%"}
+
+
+def run(profile: Profile | None = None) -> str:
+    report = resource_report()
+    rows = [
+        (f"{name} ({used} used)", _PAPER[name], f"{pct:.1f}%")
+        for name, used, pct in report.rows()
+    ]
+    text = paper_vs_measured(rows, f"Sec. 6.1 -- resource consumption on {report.device.name}")
+    return text + "\nno off-chip DRAM traffic during a control cycle (buffer model asserts this)"
+
+
+if __name__ == "__main__":
+    print(run())

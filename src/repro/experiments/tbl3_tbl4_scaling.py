@@ -1,0 +1,69 @@
+"""Tbl. 3 and Tbl. 4: speedup under different servers and data representations.
+
+Both tables rescale the inference stage (the only stage that depends on the
+server or the numeric format) and recompute the end-to-end speedup of
+Corki-ADAP over the frame-by-frame baseline, as the paper does.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import constants
+from repro.analysis.reporting import format_table
+from repro.experiments.context import shared_context
+from repro.experiments.profiles import Profile
+from repro.pipeline import SystemStages, simulate_baseline, simulate_corki
+
+__all__ = ["run_gpus", "run_datarep", "scaled_speedup"]
+
+_PAPER_GPU_SPEEDUP = {"v100": "5.9x", "h100": "6.4x", "jetson-orin": "5.3x", "xeon-8260": "5.4x"}
+_PAPER_DATAREP_SPEEDUP = {"fp32": "5.9x", "fp16": "6.0x", "int8": "6.4x"}
+
+
+def _adaptive_steps(profile: Profile | None) -> list[int]:
+    context = shared_context(profile)
+    steps = context.evaluations("seen")["corki-adap"].executed_steps
+    return steps if steps else [5] * 60
+
+
+def scaled_speedup(inference_scale: float, steps: list[int]) -> float:
+    """End-to-end Corki-ADAP speedup with the inference stage scaled."""
+    rng = np.random.default_rng(33)
+    baseline = simulate_baseline(
+        len(steps), stages=SystemStages.baseline(inference_scale), rng=rng
+    )
+    corki = simulate_corki(steps, stages=SystemStages.corki(inference_scale), rng=rng)
+    return corki.speedup_vs(baseline)
+
+
+def run_gpus(profile: Profile | None = None) -> str:
+    steps = _adaptive_steps(profile)
+    rows = []
+    for name, scale in constants.GPU_INFERENCE_SCALE.items():
+        speedup = scaled_speedup(scale, steps)
+        rows.append([name, f"{scale:.1f}x", f"{speedup:.1f}x", _PAPER_GPU_SPEEDUP[name]])
+    return format_table(
+        ("server", "norm. inference", "speedup", "paper"),
+        rows,
+        title="Tbl. 3 -- Corki-ADAP speedup under different GPU/CPU baselines",
+    )
+
+
+def run_datarep(profile: Profile | None = None) -> str:
+    steps = _adaptive_steps(profile)
+    rows = []
+    for name, scale in constants.DATA_REPRESENTATION_SCALE.items():
+        speedup = scaled_speedup(scale, steps)
+        rows.append([name, f"{scale:.1f}x", f"{speedup:.1f}x", _PAPER_DATAREP_SPEEDUP[name]])
+    return format_table(
+        ("representation", "norm. inference", "speedup", "paper"),
+        rows,
+        title="Tbl. 4 -- Corki-ADAP speedup under different data representations",
+    )
+
+
+if __name__ == "__main__":
+    print(run_gpus())
+    print()
+    print(run_datarep())

@@ -1,0 +1,136 @@
+"""A small transformer encoder, offered as an alternative VLM backbone.
+
+RoboFlamingo's real backbone is a transformer VLM; :class:`CompactVLM`
+replaces it with an MLP fusion for speed.  This module provides a
+self-attention variant (:class:`TransformerVLM`) for studies where token
+mixing matters, built entirely from the autograd ops in
+:mod:`repro.nn.tensor` -- attention weights, softmax and projections are all
+differentiable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.functional import softmax
+from repro.nn.layers import Embedding, LayerNorm, Linear, Module
+from repro.nn.tensor import Tensor, concat
+
+__all__ = ["MultiHeadSelfAttention", "TransformerBlock", "TransformerVLM"]
+
+
+class MultiHeadSelfAttention(Module):
+    """Multi-head scaled dot-product self-attention over the last two axes.
+
+    Input shape ``(..., tokens, dim)``; heads split the channel dimension.
+    """
+
+    def __init__(self, dim: int, heads: int, rng: np.random.Generator):
+        if dim % heads != 0:
+            raise ValueError(f"dim ({dim}) must be divisible by heads ({heads})")
+        self.dim = dim
+        self.heads = heads
+        self.head_dim = dim // heads
+        self.query = Linear(dim, dim, rng)
+        self.key = Linear(dim, dim, rng)
+        self.value = Linear(dim, dim, rng)
+        self.output = Linear(dim, dim, rng)
+
+    def _split_heads(self, x: Tensor, tokens: int) -> list[Tensor]:
+        """Slice the channel axis into per-head tensors (keeps autograd simple)."""
+        return [
+            x[..., :, h * self.head_dim : (h + 1) * self.head_dim]
+            for h in range(self.heads)
+        ]
+
+    def forward(self, x: Tensor) -> Tensor:
+        tokens = x.shape[-2]
+        queries = self._split_heads(self.query(x), tokens)
+        keys = self._split_heads(self.key(x), tokens)
+        values = self._split_heads(self.value(x), tokens)
+        scale = 1.0 / np.sqrt(self.head_dim)
+
+        head_outputs = []
+        for q, k, v in zip(queries, keys, values):
+            # scores: (..., tokens, tokens)
+            scores = (q @ _swap_last_two(k)) * scale
+            weights = softmax(scores)
+            head_outputs.append(weights @ v)
+        return self.output(concat(head_outputs, axis=-1))
+
+
+def _swap_last_two(x: Tensor) -> Tensor:
+    """Transpose the last two axes, differentiable for 2-D and 3-D tensors."""
+    if x.ndim == 2:
+        return x.transpose()
+    if x.ndim == 3:
+        batch, tokens, dim = x.shape
+        # reshape-free transpose via per-batch slicing would be O(batch);
+        # reshape + stride tricks are not autograd-safe, so transpose through
+        # an explicit matmul-friendly reshape chain.
+        from repro.nn.tensor import stack
+
+        return stack([x[b].transpose() for b in range(batch)], axis=0)
+    raise ValueError(f"unsupported rank {x.ndim} for attention transpose")
+
+
+class TransformerBlock(Module):
+    """Pre-norm transformer block: attention + MLP with residuals."""
+
+    def __init__(self, dim: int, heads: int, rng: np.random.Generator):
+        self.attention = MultiHeadSelfAttention(dim, heads, rng)
+        self.norm1 = LayerNorm(dim)
+        self.norm2 = LayerNorm(dim)
+        self.expand = Linear(dim, 2 * dim, rng)
+        self.contract = Linear(2 * dim, dim, rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        x = x + self.attention(self.norm1(x))
+        return x + self.contract(self.expand(self.norm2(x)).tanh())
+
+
+class TransformerVLM(Module):
+    """Transformer-based vision-language encoder.
+
+    The observation vector is split into patches, each projected to the
+    model width; the instruction embedding is prepended as a [CLS]-style
+    token; transformer blocks mix them; the instruction token's final state
+    is the fused vision-language token, matching :class:`CompactVLM`'s
+    interface for single observations.
+    """
+
+    def __init__(
+        self,
+        observation_dim: int,
+        num_instructions: int,
+        token_dim: int,
+        rng: np.random.Generator,
+        num_patches: int = 8,
+        depth: int = 2,
+        heads: int = 4,
+    ):
+        if observation_dim % num_patches != 0:
+            raise ValueError("observation_dim must divide into num_patches")
+        self.observation_dim = observation_dim
+        self.token_dim = token_dim
+        self.num_patches = num_patches
+        self.patch_dim = observation_dim // num_patches
+        self.patch_projection = Linear(self.patch_dim, token_dim, rng)
+        self.instruction_embedding = Embedding(num_instructions, token_dim, rng)
+        self.position_embedding = Tensor(
+            rng.normal(0.0, 0.02, size=(num_patches + 1, token_dim)), requires_grad=True
+        )
+        self.blocks = [TransformerBlock(token_dim, heads, rng) for _ in range(depth)]
+        self.norm = LayerNorm(token_dim)
+
+    def forward(self, observation: np.ndarray | Tensor, instruction: int) -> Tensor:
+        obs = observation if isinstance(observation, Tensor) else Tensor(observation)
+        if obs.ndim != 1:
+            raise ValueError("TransformerVLM encodes one observation at a time")
+        patches = obs.reshape(self.num_patches, self.patch_dim)
+        projected = self.patch_projection(patches)
+        cls = self.instruction_embedding(instruction).reshape(1, self.token_dim)
+        sequence = concat([cls, projected], axis=0) + self.position_embedding
+        for block in self.blocks:
+            sequence = block(sequence)
+        return self.norm(sequence[0])

@@ -1,0 +1,66 @@
+"""Loss functions and stateless ops used by the policy heads.
+
+The paper's training objective (Eq. 3 and Eq. 5) combines a mean-squared
+error on poses/trajectories with a binary cross-entropy on the gripper
+channel, weighted by ``lambda``; both are provided here in autograd form.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.tensor import Tensor, as_tensor
+
+__all__ = ["mse_loss", "bce_with_logits", "softmax", "huber_loss", "combined_action_loss"]
+
+
+def mse_loss(prediction: Tensor, target: Tensor | np.ndarray) -> Tensor:
+    """Mean squared error over all elements."""
+    diff = prediction - as_tensor(target)
+    return (diff * diff).mean()
+
+
+def bce_with_logits(logits: Tensor, target: Tensor | np.ndarray) -> Tensor:
+    """Binary cross-entropy on logits, the gripper-channel loss of Eq. 3.
+
+    Uses the numerically stable form
+    ``max(z, 0) - z t + log(1 + exp(-|z|))`` expressed through the stable
+    sigmoid: ``-t log p - (1 - t) log (1 - p)`` with clamped probabilities.
+    """
+    target = as_tensor(target)
+    probs = logits.sigmoid()
+    eps = 1e-7
+    probs = probs * (1.0 - 2.0 * eps) + eps  # clamp away from {0, 1}
+    loss = -(target * probs.log() + (1.0 - target) * (1.0 - probs).log())
+    return loss.mean()
+
+
+def softmax(logits: Tensor) -> Tensor:
+    """Softmax over the last axis (shift-stabilised)."""
+    shifted = logits - Tensor(logits.data.max(axis=-1, keepdims=True))
+    exps = shifted.exp()
+    return exps / exps.sum(axis=-1, keepdims=True)
+
+
+def huber_loss(prediction: Tensor, target: Tensor | np.ndarray, delta: float = 1.0) -> Tensor:
+    """Smooth L1 loss; offered for ablations of the trajectory objective."""
+    diff = prediction - as_tensor(target)
+    abs_diff = np.abs(diff.data)
+    quadratic_mask = (abs_diff <= delta).astype(float)
+    quadratic = diff * diff * 0.5
+    linear = (diff * diff + delta * delta) * (delta / 2.0) / as_tensor(np.maximum(abs_diff, 1e-12))
+    blended = quadratic * Tensor(quadratic_mask) + linear * Tensor(1.0 - quadratic_mask)
+    return blended.mean()
+
+
+def combined_action_loss(
+    pose_prediction: Tensor,
+    pose_target: np.ndarray,
+    gripper_logits: Tensor,
+    gripper_target: np.ndarray,
+    gripper_weight: float,
+) -> Tensor:
+    """Paper Eq. 3: ``MSE(pose) + lambda * BCE(gripper)``."""
+    return mse_loss(pose_prediction, pose_target) + gripper_weight * bce_with_logits(
+        gripper_logits, gripper_target
+    )

@@ -1,0 +1,190 @@
+"""Neural network layers: Linear, MLP, LSTM, Embedding, LayerNorm.
+
+These mirror the structure of the RoboFlamingo policy head (paper Fig. 3):
+an LSTM over the 12-token vision-language window followed by two MLP heads.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.tensor import Tensor
+
+__all__ = ["Module", "Linear", "MLP", "LSTMCell", "LSTM", "Embedding", "LayerNorm", "Sequential"]
+
+
+class Module:
+    """Base class providing parameter discovery and train/eval bookkeeping."""
+
+    def parameters(self) -> list[Tensor]:
+        """All trainable tensors reachable from this module, depth-first."""
+        found: list[Tensor] = []
+        seen: set[int] = set()
+
+        def collect(obj) -> None:
+            if isinstance(obj, Tensor):
+                if obj.requires_grad and id(obj) not in seen:
+                    seen.add(id(obj))
+                    found.append(obj)
+            elif isinstance(obj, Module):
+                for value in vars(obj).values():
+                    collect(value)
+            elif isinstance(obj, (list, tuple)):
+                for item in obj:
+                    collect(item)
+            elif isinstance(obj, dict):
+                for item in obj.values():
+                    collect(item)
+
+        collect(self)
+        return found
+
+    def zero_grad(self) -> None:
+        for parameter in self.parameters():
+            parameter.zero_grad()
+
+    def parameter_count(self) -> int:
+        """Total number of scalar parameters (for model-size reporting)."""
+        return sum(p.data.size for p in self.parameters())
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+    def forward(self, *args, **kwargs):  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+def _glorot(rng: np.random.Generator, fan_in: int, fan_out: int) -> np.ndarray:
+    scale = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-scale, scale, size=(fan_in, fan_out))
+
+
+class Linear(Module):
+    """Affine layer ``y = x W + b`` with Glorot-uniform initialisation."""
+
+    def __init__(self, in_features: int, out_features: int, rng: np.random.Generator):
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Tensor(_glorot(rng, in_features, out_features), requires_grad=True)
+        self.bias = Tensor(np.zeros(out_features), requires_grad=True)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x @ self.weight + self.bias
+
+
+class Sequential(Module):
+    """Apply a list of modules/callables in order."""
+
+    def __init__(self, *stages):
+        self.stages = list(stages)
+
+    def forward(self, x: Tensor) -> Tensor:
+        for stage in self.stages:
+            x = stage(x)
+        return x
+
+
+class MLP(Module):
+    """Multi-layer perceptron with tanh hidden activations.
+
+    ``sizes`` lists layer widths including input and output, e.g.
+    ``MLP([64, 64, 7], rng)`` builds one hidden layer of width 64.
+    """
+
+    def __init__(self, sizes: list[int], rng: np.random.Generator):
+        if len(sizes) < 2:
+            raise ValueError("MLP needs at least an input and an output width")
+        self.layers = [Linear(a, b, rng) for a, b in zip(sizes[:-1], sizes[1:])]
+
+    def forward(self, x: Tensor) -> Tensor:
+        for layer in self.layers[:-1]:
+            x = layer(x).tanh()
+        return self.layers[-1](x)
+
+
+class LSTMCell(Module):
+    """A single LSTM cell with fused gate weights.
+
+    Gate layout in the fused matrices is ``[input, forget, cell, output]``.
+    The forget-gate bias is initialised to one, the standard fix for
+    vanishing memory early in training.
+    """
+
+    def __init__(self, input_size: int, hidden_size: int, rng: np.random.Generator):
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        self.weight_ih = Tensor(_glorot(rng, input_size, 4 * hidden_size), requires_grad=True)
+        self.weight_hh = Tensor(_glorot(rng, hidden_size, 4 * hidden_size), requires_grad=True)
+        bias = np.zeros(4 * hidden_size)
+        bias[hidden_size : 2 * hidden_size] = 1.0
+        self.bias = Tensor(bias, requires_grad=True)
+
+    def forward(self, x: Tensor, state: tuple[Tensor, Tensor]) -> tuple[Tensor, Tensor]:
+        h_prev, c_prev = state
+        gates = x @ self.weight_ih + h_prev @ self.weight_hh + self.bias
+        hs = self.hidden_size
+        i_gate = gates[..., 0:hs].sigmoid()
+        f_gate = gates[..., hs : 2 * hs].sigmoid()
+        g_gate = gates[..., 2 * hs : 3 * hs].tanh()
+        o_gate = gates[..., 3 * hs : 4 * hs].sigmoid()
+        c_next = f_gate * c_prev + i_gate * g_gate
+        h_next = o_gate * c_next.tanh()
+        return h_next, c_next
+
+    def initial_state(self, batch_shape: tuple[int, ...] = ()) -> tuple[Tensor, Tensor]:
+        shape = batch_shape + (self.hidden_size,)
+        return Tensor(np.zeros(shape)), Tensor(np.zeros(shape))
+
+
+class LSTM(Module):
+    """Unidirectional LSTM unrolled over the token window.
+
+    The policy head runs this over the 12-token vision-language window
+    ("LSTM x12 loops" in paper Fig. 3) and reads out the final hidden state.
+    """
+
+    def __init__(self, input_size: int, hidden_size: int, rng: np.random.Generator):
+        self.cell = LSTMCell(input_size, hidden_size, rng)
+
+    def forward(
+        self, sequence: list[Tensor], state: tuple[Tensor, Tensor] | None = None
+    ) -> tuple[list[Tensor], tuple[Tensor, Tensor]]:
+        """Run over ``sequence`` (list of [batch?, input] tensors).
+
+        Returns all hidden states plus the final ``(h, c)``.
+        """
+        if state is None:
+            batch_shape = sequence[0].shape[:-1]
+            state = self.cell.initial_state(batch_shape)
+        hidden_states = []
+        for token in sequence:
+            h, c = self.cell(token, state)
+            state = (h, c)
+            hidden_states.append(h)
+        return hidden_states, state
+
+
+class Embedding(Module):
+    """Lookup table for instruction ids and the mask token (paper Fig. 4)."""
+
+    def __init__(self, num_embeddings: int, dim: int, rng: np.random.Generator):
+        self.table = Tensor(rng.normal(0.0, 0.1, size=(num_embeddings, dim)), requires_grad=True)
+
+    def forward(self, index: int | np.ndarray) -> Tensor:
+        return self.table[index]
+
+
+class LayerNorm(Module):
+    """Layer normalisation over the last axis."""
+
+    def __init__(self, dim: int, eps: float = 1e-5):
+        self.gain = Tensor(np.ones(dim), requires_grad=True)
+        self.shift = Tensor(np.zeros(dim), requires_grad=True)
+        self.eps = eps
+
+    def forward(self, x: Tensor) -> Tensor:
+        mean = x.mean(axis=-1, keepdims=True)
+        centred = x - mean
+        variance = (centred * centred).mean(axis=-1, keepdims=True)
+        normalised = centred * (variance + self.eps) ** -0.5
+        return normalised * self.gain + self.shift

@@ -1,0 +1,65 @@
+"""Save and load module parameters as flat name->array mappings (npz on disk)."""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.nn.layers import Module
+from repro.nn.tensor import Tensor
+
+__all__ = ["state_dict", "load_state_dict", "save_module", "load_module"]
+
+
+def _walk(obj, prefix: str, out: dict[str, Tensor]) -> None:
+    if isinstance(obj, Tensor):
+        if obj.requires_grad:
+            out[prefix] = obj
+    elif isinstance(obj, Module):
+        for name, value in sorted(vars(obj).items()):
+            _walk(value, f"{prefix}.{name}" if prefix else name, out)
+    elif isinstance(obj, (list, tuple)):
+        for index, item in enumerate(obj):
+            _walk(item, f"{prefix}[{index}]", out)
+    elif isinstance(obj, dict):
+        for key in sorted(obj):
+            _walk(obj[key], f"{prefix}[{key}]", out)
+
+
+def state_dict(module: Module) -> dict[str, np.ndarray]:
+    """Named parameter arrays of a module tree (copies, safe to serialise)."""
+    tensors: dict[str, Tensor] = {}
+    _walk(module, "", tensors)
+    return {name: tensor.data.copy() for name, tensor in tensors.items()}
+
+
+def load_state_dict(module: Module, state: dict[str, np.ndarray]) -> None:
+    """Load parameters saved by :func:`state_dict` into ``module`` in place.
+
+    Raises ``KeyError`` on missing entries and ``ValueError`` on shape
+    mismatches, so silent architecture drift is impossible.
+    """
+    tensors: dict[str, Tensor] = {}
+    _walk(module, "", tensors)
+    for name, tensor in tensors.items():
+        if name not in state:
+            raise KeyError(f"missing parameter {name!r} in saved state")
+        value = np.asarray(state[name])
+        if value.shape != tensor.data.shape:
+            raise ValueError(
+                f"shape mismatch for {name!r}: saved {value.shape}, model {tensor.data.shape}"
+            )
+        tensor.data = value.astype(float).copy()
+
+
+def save_module(module: Module, path: str) -> None:
+    """Serialise a module's parameters to an ``.npz`` file."""
+    os.makedirs(os.path.dirname(os.path.abspath(path)), exist_ok=True)
+    np.savez(path, **state_dict(module))
+
+
+def load_module(module: Module, path: str) -> None:
+    """Restore parameters written by :func:`save_module`."""
+    with np.load(path) as archive:
+        load_state_dict(module, dict(archive.items()))

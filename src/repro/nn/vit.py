@@ -1,0 +1,45 @@
+"""Patch encoder for Corki's closed-loop features (paper Sec. 3.4).
+
+During trajectory execution, Corki randomly sends an intermediate image back
+to the server; the paper encodes it with a ViT and concatenates the result
+with the LLM tokens to condition the next prediction.  This module mirrors
+that: the synthetic camera feature vector is split into patches, linearly
+projected, mean-pooled and normalised into a fixed-width feedback feature.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers import LayerNorm, Linear, Module
+from repro.nn.tensor import Tensor
+
+__all__ = ["PatchFeatureEncoder"]
+
+
+class PatchFeatureEncoder(Module):
+    """A minimal ViT-style encoder: patchify -> project -> pool -> norm."""
+
+    def __init__(
+        self,
+        observation_dim: int,
+        num_patches: int,
+        feature_dim: int,
+        rng: np.random.Generator,
+    ):
+        if observation_dim % num_patches != 0:
+            raise ValueError(
+                f"observation_dim ({observation_dim}) must divide into "
+                f"num_patches ({num_patches}) equal patches"
+            )
+        self.num_patches = num_patches
+        self.patch_dim = observation_dim // num_patches
+        self.projection = Linear(self.patch_dim, feature_dim, rng)
+        self.norm = LayerNorm(feature_dim)
+
+    def forward(self, observation: np.ndarray | Tensor) -> Tensor:
+        obs = observation if isinstance(observation, Tensor) else Tensor(observation)
+        patches = obs.reshape(*obs.shape[:-1], self.num_patches, self.patch_dim)
+        projected = self.projection(patches).tanh()
+        pooled = projected.mean(axis=-2)
+        return self.norm(pooled)

@@ -1,0 +1,60 @@
+"""A compact stand-in for the RoboFlamingo vision-language model.
+
+The real system runs a 3-billion-parameter OpenFlamingo VLM whose only role
+in the Corki pipeline is to turn (image, instruction) pairs into
+vision-language tokens ``X_t`` consumed by the policy head; its *cost* is
+what the paper measures (181.3 ms per frame on a V100).  This module
+reproduces the interface -- a learned encoder from synthetic camera features
+and an instruction id to a token vector -- while the cost is modelled by
+:mod:`repro.pipeline`.  Substitution is documented in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers import Embedding, LayerNorm, Linear, Module
+from repro.nn.tensor import Tensor
+
+__all__ = ["CompactVLM"]
+
+
+class CompactVLM(Module):
+    """Encode (observation features, instruction id) into a fused token.
+
+    Architecture: a two-layer observation encoder and an instruction
+    embedding fused additively and layer-normalised.  Additive fusion keeps
+    gradients flowing through numpy broadcasting when a (batch, window)
+    block of observations shares one instruction per row.
+
+    Accepts observations of shape ``(obs,)``, ``(batch, obs)`` or
+    ``(batch, window, obs)``; the instruction may be an int or an int array
+    of shape ``(batch,)`` aligned with the leading axis.
+    """
+
+    def __init__(
+        self,
+        observation_dim: int,
+        num_instructions: int,
+        token_dim: int,
+        rng: np.random.Generator,
+        hidden_dim: int | None = None,
+    ):
+        hidden_dim = hidden_dim or 2 * token_dim
+        self.observation_dim = observation_dim
+        self.token_dim = token_dim
+        self.num_instructions = num_instructions
+        self.obs_in = Linear(observation_dim, hidden_dim, rng)
+        self.obs_out = Linear(hidden_dim, token_dim, rng)
+        self.instruction_embedding = Embedding(num_instructions, token_dim, rng)
+        self.norm = LayerNorm(token_dim)
+
+    def forward(self, observation: np.ndarray | Tensor, instruction: int | np.ndarray) -> Tensor:
+        """One VLM "inference": returns the vision-language token ``X_t``."""
+        obs = observation if isinstance(observation, Tensor) else Tensor(observation)
+        visual = self.obs_out(self.obs_in(obs).tanh())
+        text = self.instruction_embedding(instruction)
+        if visual.ndim == 3 and text.ndim == 2:
+            # One instruction per batch row, shared across the token window.
+            text = text.reshape(text.shape[0], 1, self.token_dim)
+        return self.norm((visual + text).tanh())

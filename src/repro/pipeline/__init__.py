@@ -1,0 +1,29 @@
+"""System-level execution pipeline: latency and energy composition."""
+
+from repro.pipeline.executor import (
+    executed_steps_from_trace,
+    simulate_baseline,
+    simulate_corki,
+)
+from repro.pipeline.power import RobotPowerModel, system_energy_per_frame
+from repro.pipeline.stages import (
+    CommunicationStage,
+    ControlStage,
+    InferenceStage,
+    SystemStages,
+)
+from repro.pipeline.trace import FrameRecord, PipelineTrace
+
+__all__ = [
+    "CommunicationStage",
+    "ControlStage",
+    "FrameRecord",
+    "InferenceStage",
+    "PipelineTrace",
+    "RobotPowerModel",
+    "SystemStages",
+    "executed_steps_from_trace",
+    "simulate_baseline",
+    "simulate_corki",
+    "system_energy_per_frame",
+]

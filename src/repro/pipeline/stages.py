@@ -1,0 +1,88 @@
+"""Stage models of the embodied-AI system pipeline.
+
+Three stages exist in both execution models (paper Fig. 1): LLM inference on
+the server, robot control on the robot's processor (CPU or the Corki
+accelerator), and image communication between them.  Each stage knows its
+latency and the power it burns while active.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro import constants
+
+__all__ = ["InferenceStage", "ControlStage", "CommunicationStage", "SystemStages"]
+
+
+@dataclass(frozen=True)
+class InferenceStage:
+    """VLM inference on the server.
+
+    ``scale`` is the normalised inference latency of Tbl. 3 (GPU choice) or
+    Tbl. 4 (data representation), multiplied together by callers that vary
+    both.
+    """
+
+    scale: float = 1.0
+    base_ms: float = constants.INFERENCE_MS
+    power_w: float = constants.GPU_POWER_W
+
+    @property
+    def latency_ms(self) -> float:
+        return self.base_ms * self.scale
+
+    def energy_j(self) -> float:
+        return self.latency_ms / 1000.0 * self.power_w
+
+
+@dataclass(frozen=True)
+class ControlStage:
+    """One control computation on the chosen substrate."""
+
+    substrate: str = "fpga"
+
+    @property
+    def latency_ms(self) -> float:
+        if self.substrate == "cpu":
+            return constants.CONTROL_CPU_MS
+        if self.substrate == "fpga":
+            return constants.CONTROL_FPGA_MS
+        raise ValueError(f"unknown control substrate {self.substrate!r}")
+
+    @property
+    def power_w(self) -> float:
+        return constants.CPU_POWER_W if self.substrate == "cpu" else constants.FPGA_POWER_W
+
+    def energy_j(self) -> float:
+        return self.latency_ms / 1000.0 * self.power_w
+
+
+@dataclass(frozen=True)
+class CommunicationStage:
+    """Wi-Fi transfer of one camera frame between robot and server."""
+
+    latency_ms: float = constants.COMMUNICATION_MS
+    power_w: float = constants.WIFI_POWER_W
+
+    def energy_j(self) -> float:
+        return self.latency_ms / 1000.0 * self.power_w
+
+
+@dataclass(frozen=True)
+class SystemStages:
+    """The full stage configuration of one evaluated system."""
+
+    inference: InferenceStage
+    control: ControlStage
+    communication: CommunicationStage
+
+    @classmethod
+    def baseline(cls, inference_scale: float = 1.0) -> "SystemStages":
+        """RoboFlamingo's configuration: server GPU + robot CPU + Wi-Fi."""
+        return cls(InferenceStage(inference_scale), ControlStage("cpu"), CommunicationStage())
+
+    @classmethod
+    def corki(cls, inference_scale: float = 1.0, control: str = "fpga") -> "SystemStages":
+        """Corki's configuration; ``control='cpu'`` models Corki-SW."""
+        return cls(InferenceStage(inference_scale), ControlStage(control), CommunicationStage())

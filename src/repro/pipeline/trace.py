@@ -1,0 +1,104 @@
+"""Per-frame traces and their aggregate statistics.
+
+The executor produces one :class:`FrameRecord` per camera frame; this module
+aggregates them into the quantities the paper's figures report: mean frame
+latency and energy (Fig. 13), per-stage breakdowns (Fig. 2), frame-by-frame
+series and sorted long-tail curves (Fig. 14), and speedups between systems.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["FrameRecord", "PipelineTrace"]
+
+
+@dataclass(frozen=True)
+class FrameRecord:
+    """Latency/energy contribution of one camera frame, split by stage."""
+
+    inference_ms: float
+    control_ms: float
+    communication_ms: float
+    inference_j: float
+    control_j: float
+    communication_j: float
+
+    @property
+    def latency_ms(self) -> float:
+        return self.inference_ms + self.control_ms + self.communication_ms
+
+    @property
+    def energy_j(self) -> float:
+        return self.inference_j + self.control_j + self.communication_j
+
+
+@dataclass
+class PipelineTrace:
+    """A sequence of frame records plus derived statistics."""
+
+    name: str
+    frames: list[FrameRecord]
+
+    def latencies_ms(self) -> np.ndarray:
+        return np.array([frame.latency_ms for frame in self.frames])
+
+    def energies_j(self) -> np.ndarray:
+        return np.array([frame.energy_j for frame in self.frames])
+
+    @property
+    def mean_latency_ms(self) -> float:
+        return float(self.latencies_ms().mean())
+
+    @property
+    def mean_energy_j(self) -> float:
+        return float(self.energies_j().mean())
+
+    @property
+    def frequency_hz(self) -> float:
+        """Average frame rate the system sustains."""
+        return 1000.0 / self.mean_latency_ms
+
+    def latency_breakdown(self) -> dict[str, float]:
+        """Mean per-stage latency shares (sums to 1.0)."""
+        inference = float(np.mean([f.inference_ms for f in self.frames]))
+        control = float(np.mean([f.control_ms for f in self.frames]))
+        communication = float(np.mean([f.communication_ms for f in self.frames]))
+        total = inference + control + communication
+        return {
+            "inference": inference / total,
+            "control": control / total,
+            "communication": communication / total,
+        }
+
+    def energy_breakdown(self) -> dict[str, float]:
+        """Mean per-stage energy shares (sums to 1.0)."""
+        inference = float(np.mean([f.inference_j for f in self.frames]))
+        control = float(np.mean([f.control_j for f in self.frames]))
+        communication = float(np.mean([f.communication_j for f in self.frames]))
+        total = inference + control + communication
+        return {
+            "inference": inference / total,
+            "control": control / total,
+            "communication": communication / total,
+        }
+
+    def sorted_latencies_ms(self) -> np.ndarray:
+        """Descending latency curve, the paper's Fig. 14c long-tail view."""
+        return np.sort(self.latencies_ms())[::-1]
+
+    @property
+    def latency_variation(self) -> float:
+        """Coefficient of variation of frame latency (long-tail severity)."""
+        latencies = self.latencies_ms()
+        return float(latencies.std() / latencies.mean())
+
+    def speedup_vs(self, other: "PipelineTrace") -> float:
+        """How much faster this system's mean frame latency is than ``other``'s."""
+        return other.mean_latency_ms / self.mean_latency_ms
+
+    def energy_reduction_vs(self, other: "PipelineTrace") -> float:
+        """Energy ratio ``other / self`` (>1 means this system saves energy)."""
+        return other.mean_energy_j / self.mean_energy_j

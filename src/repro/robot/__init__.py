@@ -1,0 +1,56 @@
+"""Robot-arm substrate: kinematics, dynamics, and task-space control.
+
+Public surface of the subpackage; everything the rest of the library (and
+downstream users) need from the robot model is re-exported here.
+"""
+
+from repro.robot.control import (
+    ControlGains,
+    TaskSpaceComputedTorqueController,
+    TaskSpaceReference,
+)
+from repro.robot.dynamics import (
+    bias_forces,
+    forward_dynamics,
+    gravity_forces,
+    mass_matrix,
+    operational_space_quantities,
+    rnea,
+    task_space_bias_force,
+    task_space_mass_matrix,
+)
+from repro.robot.ik import IkResult, solve_ik, trajectory_to_joint_path
+from repro.robot.integrators import JointState, semi_implicit_euler_step, simulate_torque_steps
+from repro.robot.jacobian import end_effector_velocity, geometric_jacobian, jacobian_dot_qd
+from repro.robot.kinematics import end_effector_pose, forward_kinematics, link_transforms
+from repro.robot.model import LinkParameters, RobotModel, panda, two_link_planar
+
+__all__ = [
+    "ControlGains",
+    "IkResult",
+    "JointState",
+    "LinkParameters",
+    "RobotModel",
+    "TaskSpaceComputedTorqueController",
+    "TaskSpaceReference",
+    "bias_forces",
+    "end_effector_pose",
+    "end_effector_velocity",
+    "forward_dynamics",
+    "forward_kinematics",
+    "geometric_jacobian",
+    "gravity_forces",
+    "jacobian_dot_qd",
+    "link_transforms",
+    "mass_matrix",
+    "operational_space_quantities",
+    "panda",
+    "rnea",
+    "semi_implicit_euler_step",
+    "simulate_torque_steps",
+    "solve_ik",
+    "task_space_bias_force",
+    "task_space_mass_matrix",
+    "trajectory_to_joint_path",
+    "two_link_planar",
+]

@@ -1,0 +1,204 @@
+"""Rigid-body dynamics: RNEA, CRBA, and the task-space quantities of TS-CTC.
+
+These are the four computationally heavy blocks the Corki accelerator is
+built around (paper Fig. 6 and Fig. 7): forward kinematics, the Jacobian,
+the task-space mass matrix ``M_x(theta)`` and the task-space bias force
+``h_x(theta, theta_dot)``.  The implementations follow Featherstone's
+spatial-vector formulation so that the per-link pose/velocity/acceleration/
+force structure the accelerator pipelines (Sec. 4.2) is explicit in the code.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.robot.jacobian import geometric_jacobian, jacobian_dot_qd
+from repro.robot.model import RobotModel
+from repro.robot.spatial import (
+    crf,
+    crm,
+    mdh_transform,
+    spatial_inertia,
+    spatial_transform,
+)
+
+__all__ = [
+    "joint_spatial_quantities",
+    "rnea",
+    "bias_forces",
+    "gravity_forces",
+    "mass_matrix",
+    "forward_dynamics",
+    "task_space_mass_matrix",
+    "task_space_bias_force",
+    "operational_space_quantities",
+]
+
+# Revolute joint about the link-frame z axis, in [angular; linear] coordinates.
+_REVOLUTE_AXIS = np.array([0.0, 0.0, 1.0, 0.0, 0.0, 0.0])
+
+
+def joint_spatial_quantities(
+    model: RobotModel, q: np.ndarray
+) -> tuple[list[np.ndarray], list[np.ndarray]]:
+    """Per-joint spatial transforms and inertias for the current configuration.
+
+    Returns ``(xup, inertias)`` where ``xup[i]`` maps spatial motion vectors
+    from the parent link frame into link i's frame and ``inertias[i]`` is the
+    link's spatial inertia about its own frame.  Shared by RNEA and CRBA --
+    this is exactly the intermediate-result reuse the accelerator exploits.
+    """
+    q = np.asarray(q, dtype=float)
+    xup, inertias = [], []
+    for link, angle in zip(model.links, q):
+        t = mdh_transform(link.a, link.alpha, link.d, angle + link.theta_offset)
+        xup.append(spatial_transform(t[:3, :3], t[:3, 3]))
+        inertias.append(spatial_inertia(link.mass, link.com, link.inertia_com))
+    return xup, inertias
+
+
+def rnea(
+    model: RobotModel,
+    q: np.ndarray,
+    qd: np.ndarray,
+    qdd: np.ndarray,
+    gravity: np.ndarray | None = None,
+) -> np.ndarray:
+    """Inverse dynamics via the recursive Newton-Euler algorithm.
+
+    Returns the joint torques that realise accelerations ``qdd`` at state
+    ``(q, qd)``.  Gravity defaults to the model's gravity vector; pass a zero
+    vector to compute pure inertial/Coriolis torques.
+    """
+    qd = np.asarray(qd, dtype=float)
+    qdd = np.asarray(qdd, dtype=float)
+    if gravity is None:
+        gravity = model.gravity
+    xup, inertias = joint_spatial_quantities(model, q)
+
+    n = model.dof
+    velocities = [np.zeros(6)] * n
+    accelerations = [np.zeros(6)] * n
+    forces = [np.zeros(6)] * n
+    # The classic trick: a fictitious upward base acceleration -g makes
+    # gravity fall out of the recursion for free.
+    a_base = np.concatenate([np.zeros(3), -np.asarray(gravity, dtype=float)])
+
+    for i in range(n):
+        vj = _REVOLUTE_AXIS * qd[i]
+        if i == 0:
+            velocities[i] = vj
+            accelerations[i] = xup[i] @ a_base + _REVOLUTE_AXIS * qdd[i]
+        else:
+            velocities[i] = xup[i] @ velocities[i - 1] + vj
+            accelerations[i] = (
+                xup[i] @ accelerations[i - 1]
+                + _REVOLUTE_AXIS * qdd[i]
+                + crm(velocities[i]) @ vj
+            )
+        forces[i] = inertias[i] @ accelerations[i] + crf(velocities[i]) @ (
+            inertias[i] @ velocities[i]
+        )
+
+    tau = np.zeros(n)
+    for i in range(n - 1, -1, -1):
+        tau[i] = _REVOLUTE_AXIS @ forces[i]
+        if i > 0:
+            forces[i - 1] = forces[i - 1] + xup[i].T @ forces[i]
+    return tau
+
+
+def bias_forces(model: RobotModel, q: np.ndarray, qd: np.ndarray) -> np.ndarray:
+    """Coriolis, centrifugal and gravity torques ``h(q, qd)``."""
+    return rnea(model, q, qd, np.zeros(model.dof))
+
+
+def gravity_forces(model: RobotModel, q: np.ndarray) -> np.ndarray:
+    """Gravity torques ``g(q)``."""
+    zeros = np.zeros(model.dof)
+    return rnea(model, q, zeros, zeros)
+
+
+def mass_matrix(model: RobotModel, q: np.ndarray) -> np.ndarray:
+    """Joint-space mass matrix ``M(q)`` via the composite rigid body algorithm."""
+    xup, inertias = joint_spatial_quantities(model, q)
+    n = model.dof
+    composite = [inertia.copy() for inertia in inertias]
+    for i in range(n - 1, 0, -1):
+        composite[i - 1] += xup[i].T @ composite[i] @ xup[i]
+
+    m = np.zeros((n, n))
+    for i in range(n):
+        force = composite[i] @ _REVOLUTE_AXIS
+        m[i, i] = _REVOLUTE_AXIS @ force
+        j = i
+        while j > 0:
+            force = xup[j].T @ force
+            j -= 1
+            m[i, j] = m[j, i] = _REVOLUTE_AXIS @ force
+    return m
+
+
+def forward_dynamics(
+    model: RobotModel, q: np.ndarray, qd: np.ndarray, tau: np.ndarray
+) -> np.ndarray:
+    """Joint accelerations produced by torques ``tau`` at state ``(q, qd)``."""
+    m = mass_matrix(model, q)
+    h = bias_forces(model, q, qd)
+    return np.linalg.solve(m, np.asarray(tau, dtype=float) - h)
+
+
+def task_space_mass_matrix(
+    m: np.ndarray, jac: np.ndarray, damping: float = 1e-6
+) -> np.ndarray:
+    """Task-space (operational-space) mass matrix ``M_x = (J M^-1 J^T)^-1``.
+
+    A small Tikhonov damping keeps the inverse well conditioned near
+    kinematic singularities, where ``J M^-1 J^T`` loses rank.
+    """
+    m_inv_jt = np.linalg.solve(m, jac.T)
+    core = jac @ m_inv_jt
+    return np.linalg.inv(core + damping * np.eye(core.shape[0]))
+
+
+def task_space_bias_force(
+    m: np.ndarray,
+    jac: np.ndarray,
+    h: np.ndarray,
+    jdot_qd: np.ndarray,
+    lambda_x: np.ndarray,
+) -> np.ndarray:
+    """Task-space bias force ``h_x = M_x (J M^-1 h - Jdot qd)``.
+
+    With ``tau = J^T F`` the task-space dynamics read
+    ``xdd = J M^-1 J^T F - J M^-1 h + Jdot qd``; solving for the force that
+    realises a desired ``xdd`` yields this bias term (paper Fig. 6).
+    """
+    return lambda_x @ (jac @ np.linalg.solve(m, h) - jdot_qd)
+
+
+def operational_space_quantities(
+    model: RobotModel, q: np.ndarray, qd: np.ndarray
+) -> dict[str, np.ndarray]:
+    """All task-space quantities TS-CTC needs, computed with full data reuse.
+
+    This is the software mirror of the accelerator's datapath: forward
+    kinematics feeds the Jacobian, which feeds the task-space mass matrix,
+    which feeds the bias force (paper Fig. 7).  Returns a dict with keys
+    ``jacobian``, ``mass_matrix``, ``bias``, ``lambda_x``, ``h_x``,
+    ``jdot_qd``.
+    """
+    jac = geometric_jacobian(model, q)
+    m = mass_matrix(model, q)
+    h = bias_forces(model, q, qd)
+    jdot_qd = jacobian_dot_qd(model, q, qd)
+    lambda_x = task_space_mass_matrix(m, jac)
+    h_x = task_space_bias_force(m, jac, h, jdot_qd, lambda_x)
+    return {
+        "jacobian": jac,
+        "mass_matrix": m,
+        "bias": h,
+        "lambda_x": lambda_x,
+        "h_x": h_x,
+        "jdot_qd": jdot_qd,
+    }

@@ -1,0 +1,111 @@
+"""Inverse kinematics: damped least squares with a nullspace posture task.
+
+The Corki pipeline itself never solves IK (TS-CTC consumes task-space
+references directly), but a joint-space view of a predicted trajectory is
+needed whenever the arm substrate replaces the frame-level environment --
+e.g. the dynamics-tier examples and the trajectory-to-joint-space utilities.
+The solver is the standard Levenberg-Marquardt-damped Jacobian iteration
+with joint-limit clamping and a secondary posture objective projected into
+the Jacobian nullspace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.robot.jacobian import geometric_jacobian
+from repro.robot.kinematics import forward_kinematics
+from repro.robot.model import RobotModel
+from repro.robot.spatial import rotation_error, rpy_to_matrix
+
+__all__ = ["IkResult", "solve_ik", "trajectory_to_joint_path"]
+
+
+@dataclass(frozen=True)
+class IkResult:
+    """Outcome of an IK solve."""
+
+    q: np.ndarray
+    converged: bool
+    iterations: int
+    position_error: float
+    orientation_error: float
+
+
+def _pose_error(model: RobotModel, q: np.ndarray, target_pose: np.ndarray) -> np.ndarray:
+    current = forward_kinematics(model, q)
+    position_error = target_pose[:3] - current[:3, 3]
+    orientation_error = rotation_error(rpy_to_matrix(target_pose[3:]), current[:3, :3])
+    return np.concatenate([position_error, orientation_error])
+
+
+def solve_ik(
+    model: RobotModel,
+    target_pose: np.ndarray,
+    q_initial: np.ndarray | None = None,
+    position_tolerance: float = 1e-4,
+    orientation_tolerance: float = 1e-3,
+    max_iterations: int = 200,
+    damping: float = 1e-3,
+    step_scale: float = 0.8,
+    posture_weight: float = 0.05,
+) -> IkResult:
+    """Solve for joint angles reaching ``target_pose`` (``[xyz, rpy]``).
+
+    Damped least squares: ``dq = J^T (J J^T + lambda^2 I)^-1 e``, with a
+    posture task pulling toward the home configuration through the nullspace
+    projector ``(I - J^+ J)`` -- the standard way to keep the redundant
+    seventh degree of freedom well conditioned.  Joint limits are enforced by
+    clamping each iterate.
+    """
+    q = (model.q_home if q_initial is None else np.asarray(q_initial, dtype=float)).copy()
+    target_pose = np.asarray(target_pose, dtype=float)
+    iterations = 0
+    for iterations in range(1, max_iterations + 1):
+        error = _pose_error(model, q, target_pose)
+        position_error = float(np.linalg.norm(error[:3]))
+        orientation_error = float(np.linalg.norm(error[3:]))
+        if position_error < position_tolerance and orientation_error < orientation_tolerance:
+            return IkResult(q, True, iterations, position_error, orientation_error)
+
+        jac = geometric_jacobian(model, q)
+        gram = jac @ jac.T + damping**2 * np.eye(6)
+        dq_task = jac.T @ np.linalg.solve(gram, error)
+        # Nullspace posture task toward home keeps the elbow from drifting.
+        pseudo_inverse = jac.T @ np.linalg.inv(gram)
+        nullspace = np.eye(model.dof) - pseudo_inverse @ jac
+        dq_posture = posture_weight * (model.q_home - q)
+        q = model.clamp_configuration(q + step_scale * dq_task + nullspace @ dq_posture)
+
+    error = _pose_error(model, q, target_pose)
+    return IkResult(
+        q,
+        converged=False,
+        iterations=iterations,
+        position_error=float(np.linalg.norm(error[:3])),
+        orientation_error=float(np.linalg.norm(error[3:])),
+    )
+
+
+def trajectory_to_joint_path(
+    model: RobotModel,
+    poses: np.ndarray,
+    q_initial: np.ndarray | None = None,
+) -> tuple[np.ndarray, bool]:
+    """Convert a dense task-space pose path into a joint-space path.
+
+    Each pose seeds the next solve with the previous solution, so the path
+    stays on one IK branch.  Returns ``(joint_path, all_converged)``.
+    """
+    poses = np.asarray(poses, dtype=float)
+    q = model.q_home if q_initial is None else np.asarray(q_initial, dtype=float)
+    path = np.zeros((len(poses), model.dof))
+    all_converged = True
+    for index, pose in enumerate(poses):
+        result = solve_ik(model, pose, q_initial=q)
+        q = result.q
+        path[index] = q
+        all_converged = all_converged and result.converged
+    return path, all_converged

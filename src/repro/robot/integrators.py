@@ -1,0 +1,66 @@
+"""Joint-state integration for closed-loop dynamics simulation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.robot.dynamics import forward_dynamics
+from repro.robot.model import RobotModel
+
+__all__ = ["JointState", "semi_implicit_euler_step", "simulate_torque_steps"]
+
+
+@dataclass
+class JointState:
+    """Joint positions and velocities of the arm."""
+
+    q: np.ndarray
+    qd: np.ndarray
+
+    def copy(self) -> "JointState":
+        return JointState(self.q.copy(), self.qd.copy())
+
+
+def semi_implicit_euler_step(
+    model: RobotModel, state: JointState, tau: np.ndarray, dt: float
+) -> JointState:
+    """Advance the arm one time step under torques ``tau``.
+
+    Semi-implicit (symplectic) Euler: velocities are updated first and the
+    new velocity advances the positions, which is stable for stiff PD-style
+    torque controllers at modest step sizes.  Velocities are clamped to the
+    actuator limits and positions to the joint limits (hard stops absorb the
+    impact by zeroing the offending velocity component).
+    """
+    qdd = forward_dynamics(model, state.q, state.qd, tau)
+    qd_next = np.clip(state.qd + dt * qdd, -model.qd_limit, model.qd_limit)
+    q_next = state.q + dt * qd_next
+    below = q_next < model.q_lower
+    above = q_next > model.q_upper
+    if below.any() or above.any():
+        q_next = model.clamp_configuration(q_next)
+        qd_next = np.where(below | above, 0.0, qd_next)
+    return JointState(q_next, qd_next)
+
+
+def simulate_torque_steps(
+    model: RobotModel,
+    state: JointState,
+    torque_fn,
+    dt: float,
+    steps: int,
+) -> list[JointState]:
+    """Roll the dynamics forward, querying ``torque_fn(state, k)`` each step.
+
+    Returns the list of visited states (length ``steps + 1``, including the
+    initial state).
+    """
+    trajectory = [state.copy()]
+    current = state.copy()
+    for k in range(steps):
+        tau = torque_fn(current, k)
+        current = semi_implicit_euler_step(model, current, tau, dt)
+        trajectory.append(current.copy())
+    return trajectory

@@ -1,0 +1,57 @@
+"""Geometric Jacobian of the end-effector and its directional derivative.
+
+The Jacobian maps joint velocities to the end-effector spatial velocity
+``[v; omega]`` (linear on top, angular below) expressed in the world frame.
+This is one of the five key computing blocks of the TS-CTC control law that
+the Corki accelerator implements (paper Fig. 6).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.robot.kinematics import link_transforms
+from repro.robot.model import RobotModel
+
+__all__ = ["geometric_jacobian", "jacobian_dot_qd", "end_effector_velocity"]
+
+
+def geometric_jacobian(model: RobotModel, q: np.ndarray) -> np.ndarray:
+    """The 6xN world-frame geometric Jacobian at the end-effector."""
+    transforms = link_transforms(model, q)
+    p_ee = (transforms[-1] @ model.flange)[:3, 3]
+    jac = np.zeros((6, model.dof))
+    # Joint i rotates link i about the z axis of link frame i.  The frame
+    # origin itself is placed by the *preceding* joints, so the axis point for
+    # column i is the origin of frame i.
+    for i, t in enumerate(transforms):
+        z_axis = t[:3, 2]
+        origin = t[:3, 3]
+        jac[:3, i] = np.cross(z_axis, p_ee - origin)
+        jac[3:, i] = z_axis
+    return jac
+
+
+def jacobian_dot_qd(
+    model: RobotModel, q: np.ndarray, qd: np.ndarray, step: float = 1e-6
+) -> np.ndarray:
+    """The bias acceleration ``Jdot(q, qd) @ qd`` of the end-effector.
+
+    Computed as the directional derivative of the Jacobian along the current
+    joint velocity using a central difference, which avoids carrying the full
+    rank-3 Jacobian derivative tensor: ``Jdot @ qd = d/ds J(q + s qd)|_0 @ qd``.
+    """
+    qd = np.asarray(qd, dtype=float)
+    speed = float(np.linalg.norm(qd))
+    if speed < 1e-12:
+        return np.zeros(6)
+    direction = qd / speed
+    j_plus = geometric_jacobian(model, q + step * direction)
+    j_minus = geometric_jacobian(model, q - step * direction)
+    jdot = (j_plus - j_minus) / (2.0 * step) * speed
+    return jdot @ qd
+
+
+def end_effector_velocity(model: RobotModel, q: np.ndarray, qd: np.ndarray) -> np.ndarray:
+    """World-frame end-effector twist ``[v; omega]`` for joint velocities ``qd``."""
+    return geometric_jacobian(model, q) @ np.asarray(qd, dtype=float)

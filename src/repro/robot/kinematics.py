@@ -1,0 +1,42 @@
+"""Forward kinematics for serial-chain robot models."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.robot.model import RobotModel
+from repro.robot.spatial import matrix_to_rpy, mdh_transform
+
+__all__ = ["link_transforms", "forward_kinematics", "end_effector_pose"]
+
+
+def link_transforms(model: RobotModel, q: np.ndarray) -> list[np.ndarray]:
+    """World-frame homogeneous transforms of every link frame.
+
+    Returns one 4x4 transform per joint, base to tip.  The end-effector
+    frame is *not* included; use :func:`forward_kinematics` for it.
+    """
+    q = np.asarray(q, dtype=float)
+    if q.shape != (model.dof,):
+        raise ValueError(f"expected configuration of shape ({model.dof},), got {q.shape}")
+    transforms = []
+    current = np.eye(4)
+    for link, angle in zip(model.links, q):
+        current = current @ mdh_transform(link.a, link.alpha, link.d, angle + link.theta_offset)
+        transforms.append(current)
+    return transforms
+
+
+def forward_kinematics(model: RobotModel, q: np.ndarray) -> np.ndarray:
+    """World-frame pose of the end-effector (tool) frame as a 4x4 transform."""
+    return link_transforms(model, q)[-1] @ model.flange
+
+
+def end_effector_pose(model: RobotModel, q: np.ndarray) -> np.ndarray:
+    """End-effector pose as a 6-vector ``[x, y, z, roll, pitch, yaw]``.
+
+    This is the representation the CALVIN-style action space and the Corki
+    trajectories use for the first six degrees of freedom.
+    """
+    t = forward_kinematics(model, q)
+    return np.concatenate([t[:3, 3], matrix_to_rpy(t[:3, :3])])

@@ -1,0 +1,205 @@
+"""Rigid-body robot model and the Franka Emika Panda instantiation.
+
+A :class:`RobotModel` is a serial kinematic chain of revolute joints
+described by modified Denavit-Hartenberg parameters plus per-link inertial
+parameters (mass, centre of mass, rotational inertia about the COM).  The
+Panda factory uses Franka's published MDH table and the dynamic parameters
+identified by Gaz et al. (2019), which is the robot the paper characterises
+(Sec. 2.2, Fig. 9, Fig. 10).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["LinkParameters", "RobotModel", "panda", "two_link_planar"]
+
+
+@dataclass(frozen=True)
+class LinkParameters:
+    """Kinematic and inertial description of one link and its parent joint.
+
+    ``a``, ``alpha`` and ``d`` are modified-DH constants; the joint variable
+    is the rotation about the link frame's z axis.  ``com`` and
+    ``inertia_com`` are expressed in the link frame.
+    """
+
+    a: float
+    alpha: float
+    d: float
+    mass: float
+    com: np.ndarray
+    inertia_com: np.ndarray
+    theta_offset: float = 0.0
+
+
+@dataclass
+class RobotModel:
+    """A serial-chain robot arm with revolute joints.
+
+    Attributes:
+        name: Human-readable robot name.
+        links: One :class:`LinkParameters` per joint, base to tip.
+        flange: Fixed transform from the last link frame to the end-effector
+            (tool) frame.
+        q_home: A reference "home" configuration used by characterisation
+            experiments.
+        q_lower / q_upper: Joint position limits (radians).
+        qd_limit: Joint velocity limits (radians / second).
+        tau_limit: Joint torque limits (newton-metres).
+        gravity: Gravity vector in the world frame.
+    """
+
+    name: str
+    links: list[LinkParameters]
+    flange: np.ndarray
+    q_home: np.ndarray
+    q_lower: np.ndarray
+    q_upper: np.ndarray
+    qd_limit: np.ndarray
+    tau_limit: np.ndarray
+    gravity: np.ndarray = field(default_factory=lambda: np.array([0.0, 0.0, -9.81]))
+
+    @property
+    def dof(self) -> int:
+        """Number of actuated joints."""
+        return len(self.links)
+
+    def clamp_configuration(self, q: np.ndarray) -> np.ndarray:
+        """Clamp a joint configuration to the position limits."""
+        return np.clip(np.asarray(q, dtype=float), self.q_lower, self.q_upper)
+
+    def clamp_torque(self, tau: np.ndarray) -> np.ndarray:
+        """Clamp a joint torque vector to the actuator limits."""
+        return np.clip(np.asarray(tau, dtype=float), -self.tau_limit, self.tau_limit)
+
+    def random_configuration(self, rng: np.random.Generator, margin: float = 0.1) -> np.ndarray:
+        """Sample a uniformly random configuration inside the joint limits.
+
+        ``margin`` shrinks the sampled interval proportionally at both ends,
+        keeping samples away from the hard stops.
+        """
+        span = self.q_upper - self.q_lower
+        lo = self.q_lower + margin * span
+        hi = self.q_upper - margin * span
+        return rng.uniform(lo, hi)
+
+
+def _inertia_matrix(
+    ixx: float, ixy: float, ixz: float, iyy: float, iyz: float, izz: float
+) -> np.ndarray:
+    return np.array([[ixx, ixy, ixz], [ixy, iyy, iyz], [ixz, iyz, izz]])
+
+
+# Dynamic parameters identified by Gaz et al., "Dynamic Identification of the
+# Franka Emika Panda Robot With Retrieval of Feasible Parameters Using
+# Penalty-Based Optimization", RA-L 2019 -- the same parameter set the paper's
+# Fig. 9 experiment relies on.  COM positions are in the link frames of the
+# modified-DH convention; inertia tensors are about the COM.
+_PANDA_MASSES = [4.970684, 0.646926, 3.228604, 3.587895, 1.225946, 1.666555, 0.735522]
+
+_PANDA_COMS = [
+    (3.875e-03, 2.081e-03, -0.1750),
+    (-3.141e-03, -2.872e-02, 3.495e-03),
+    (2.7518e-02, 3.9252e-02, -6.6502e-02),
+    (-5.317e-02, 1.04419e-01, 2.7454e-02),
+    (-1.1953e-02, 4.1065e-02, -3.8437e-02),
+    (6.0149e-02, -1.4117e-02, -1.0517e-02),
+    (1.0517e-02, -4.252e-03, 6.1597e-02),
+]
+
+_PANDA_INERTIAS = [
+    (7.0337e-01, -1.3900e-04, 6.7720e-03, 7.0661e-01, 1.9169e-02, 9.1170e-03),
+    (7.9620e-03, -3.9250e-03, 1.0254e-02, 2.8110e-02, 7.0400e-04, 2.5995e-02),
+    (3.7242e-02, -4.7610e-03, -1.1396e-02, 3.6155e-02, -1.2805e-02, 1.0830e-02),
+    (2.5853e-02, 7.7960e-03, -1.3320e-03, 1.9552e-02, 8.6410e-03, 2.8323e-02),
+    (3.5549e-02, -2.1170e-03, -4.0370e-03, 2.9474e-02, 2.2900e-04, 8.6270e-03),
+    (1.9640e-03, 1.0900e-04, -1.1580e-03, 4.3540e-03, 3.4100e-04, 5.4330e-03),
+    (1.2516e-02, -4.2800e-04, -1.1960e-03, 1.0027e-02, -7.4100e-04, 4.8150e-03),
+]
+
+# Franka's published modified-DH table: (a_{i-1}, alpha_{i-1}, d_i).
+_PANDA_MDH = [
+    (0.0, 0.0, 0.333),
+    (0.0, -np.pi / 2.0, 0.0),
+    (0.0, np.pi / 2.0, 0.316),
+    (0.0825, np.pi / 2.0, 0.0),
+    (-0.0825, -np.pi / 2.0, 0.384),
+    (0.0, np.pi / 2.0, 0.0),
+    (0.088, np.pi / 2.0, 0.0),
+]
+
+
+def panda() -> RobotModel:
+    """Build the 7-DoF Franka Emika Panda model used throughout the paper."""
+    links = []
+    for (a, alpha, d), mass, com, inertia in zip(
+        _PANDA_MDH, _PANDA_MASSES, _PANDA_COMS, _PANDA_INERTIAS
+    ):
+        links.append(
+            LinkParameters(
+                a=a,
+                alpha=alpha,
+                d=d,
+                mass=mass,
+                com=np.array(com),
+                inertia_com=_inertia_matrix(*inertia),
+            )
+        )
+    flange = np.eye(4)
+    flange[2, 3] = 0.107  # flange offset along the last joint axis
+    return RobotModel(
+        name="franka-panda",
+        links=links,
+        flange=flange,
+        q_home=np.array([0.0, -0.3, 0.0, -1.8, 0.0, 1.5, np.pi / 4.0]),
+        q_lower=np.array([-2.8973, -1.7628, -2.8973, -3.0718, -2.8973, -0.0175, -2.8973]),
+        q_upper=np.array([2.8973, 1.7628, 2.8973, -0.0698, 2.8973, 3.7525, 2.8973]),
+        qd_limit=np.array([2.175, 2.175, 2.175, 2.175, 2.61, 2.61, 2.61]),
+        tau_limit=np.array([87.0, 87.0, 87.0, 87.0, 12.0, 12.0, 12.0]),
+    )
+
+
+def two_link_planar(
+    link_length: float = 0.5, link_mass: float = 1.0
+) -> RobotModel:
+    """A 2-DoF planar arm with closed-form dynamics, used as a test oracle.
+
+    Both links are point masses at their tips rotating about parallel z axes,
+    so the mass matrix and bias forces have textbook closed forms that the
+    generic RNEA/CRBA implementations can be validated against.
+    """
+    links = [
+        LinkParameters(
+            a=0.0,
+            alpha=0.0,
+            d=0.0,
+            mass=link_mass,
+            com=np.array([link_length, 0.0, 0.0]),
+            inertia_com=np.zeros((3, 3)),
+        ),
+        LinkParameters(
+            a=link_length,
+            alpha=0.0,
+            d=0.0,
+            mass=link_mass,
+            com=np.array([link_length, 0.0, 0.0]),
+            inertia_com=np.zeros((3, 3)),
+        ),
+    ]
+    flange = np.eye(4)
+    flange[0, 3] = link_length
+    big = np.full(2, 1e3)
+    return RobotModel(
+        name="two-link-planar",
+        links=links,
+        flange=flange,
+        q_home=np.zeros(2),
+        q_lower=-np.pi * np.ones(2),
+        q_upper=np.pi * np.ones(2),
+        qd_limit=big,
+        tau_limit=big,
+        gravity=np.array([0.0, -9.81, 0.0]),
+    )

@@ -1,0 +1,228 @@
+"""Spatial algebra primitives for rigid-body kinematics and dynamics.
+
+This module implements the small set of SO(3)/SE(3) and 6-D spatial-vector
+operations that the rest of :mod:`repro.robot` is built on.  Conventions:
+
+* Homogeneous transforms are 4x4 matrices mapping points from the child
+  frame to the parent frame.
+* Spatial motion vectors are ordered ``[angular; linear]`` (Featherstone
+  convention).  Task-space vectors used by the controller are ordered
+  ``[linear; angular]``; helpers that cross that boundary say so explicitly.
+* Rotations about principal axes follow the right-hand rule.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "rotx",
+    "roty",
+    "rotz",
+    "rpy_to_matrix",
+    "matrix_to_rpy",
+    "skew",
+    "unskew",
+    "so3_exp",
+    "so3_log",
+    "transform",
+    "transform_inverse",
+    "transform_point",
+    "mdh_transform",
+    "spatial_transform",
+    "spatial_inertia",
+    "crm",
+    "crf",
+    "rotation_error",
+]
+
+_EPS = 1e-12
+
+
+def rotx(angle: float) -> np.ndarray:
+    """Rotation matrix about the x axis by ``angle`` radians."""
+    c, s = np.cos(angle), np.sin(angle)
+    return np.array([[1.0, 0.0, 0.0], [0.0, c, -s], [0.0, s, c]])
+
+
+def roty(angle: float) -> np.ndarray:
+    """Rotation matrix about the y axis by ``angle`` radians."""
+    c, s = np.cos(angle), np.sin(angle)
+    return np.array([[c, 0.0, s], [0.0, 1.0, 0.0], [-s, 0.0, c]])
+
+
+def rotz(angle: float) -> np.ndarray:
+    """Rotation matrix about the z axis by ``angle`` radians."""
+    c, s = np.cos(angle), np.sin(angle)
+    return np.array([[c, -s, 0.0], [s, c, 0.0], [0.0, 0.0, 1.0]])
+
+
+def rpy_to_matrix(rpy: np.ndarray) -> np.ndarray:
+    """Convert extrinsic roll-pitch-yaw angles to a rotation matrix.
+
+    The convention is ``R = Rz(yaw) @ Ry(pitch) @ Rx(roll)``, matching the
+    XYZ extrinsic (ZYX intrinsic) convention used by the CALVIN action space.
+    """
+    roll, pitch, yaw = np.asarray(rpy, dtype=float)
+    return rotz(yaw) @ roty(pitch) @ rotx(roll)
+
+
+def matrix_to_rpy(rotation: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`rpy_to_matrix`; returns ``[roll, pitch, yaw]``.
+
+    At the pitch singularity (``|pitch| == pi/2``) the roll/yaw split is not
+    unique; roll is set to zero there, which keeps the function total.
+    """
+    r = np.asarray(rotation, dtype=float)
+    pitch = np.arcsin(np.clip(-r[2, 0], -1.0, 1.0))
+    if abs(abs(pitch) - np.pi / 2.0) < 1e-9:
+        roll = 0.0
+        yaw = np.arctan2(-r[0, 1], r[1, 1])
+    else:
+        roll = np.arctan2(r[2, 1], r[2, 2])
+        yaw = np.arctan2(r[1, 0], r[0, 0])
+    return np.array([roll, pitch, yaw])
+
+
+def skew(vector: np.ndarray) -> np.ndarray:
+    """Return the 3x3 skew-symmetric matrix such that ``skew(a) @ b == a x b``."""
+    x, y, z = np.asarray(vector, dtype=float)
+    return np.array([[0.0, -z, y], [z, 0.0, -x], [-y, x, 0.0]])
+
+
+def unskew(matrix: np.ndarray) -> np.ndarray:
+    """Extract the vector from a skew-symmetric matrix (inverse of :func:`skew`)."""
+    m = np.asarray(matrix, dtype=float)
+    return np.array([m[2, 1], m[0, 2], m[1, 0]])
+
+
+def so3_exp(omega: np.ndarray) -> np.ndarray:
+    """Exponential map from a rotation vector to a rotation matrix (Rodrigues)."""
+    omega = np.asarray(omega, dtype=float)
+    angle = float(np.linalg.norm(omega))
+    if angle < _EPS:
+        return np.eye(3) + skew(omega)
+    axis = omega / angle
+    k = skew(axis)
+    return np.eye(3) + np.sin(angle) * k + (1.0 - np.cos(angle)) * (k @ k)
+
+
+def so3_log(rotation: np.ndarray) -> np.ndarray:
+    """Logarithm map from a rotation matrix to a rotation vector."""
+    r = np.asarray(rotation, dtype=float)
+    cos_angle = np.clip((np.trace(r) - 1.0) / 2.0, -1.0, 1.0)
+    angle = float(np.arccos(cos_angle))
+    if angle < 1e-9:
+        return unskew(r - r.T) / 2.0
+    if abs(np.pi - angle) < 1e-6:
+        # Near pi the antisymmetric part vanishes; recover the axis from the
+        # diagonal of the symmetric part instead.
+        diag = np.clip((np.diag(r) + 1.0) / 2.0, 0.0, None)
+        axis = np.sqrt(diag)
+        # Fix signs using the off-diagonal terms relative to the largest axis
+        # component, which is numerically safe.
+        i = int(np.argmax(axis))
+        if axis[i] > _EPS:
+            j, k = (i + 1) % 3, (i + 2) % 3
+            axis[j] = np.copysign(axis[j], r[i, j] + r[j, i])
+            axis[k] = np.copysign(axis[k], r[i, k] + r[k, i])
+        return angle * axis / max(np.linalg.norm(axis), _EPS)
+    return angle / (2.0 * np.sin(angle)) * unskew(r - r.T)
+
+
+def transform(rotation: np.ndarray, translation: np.ndarray) -> np.ndarray:
+    """Build a homogeneous transform from a rotation matrix and a translation."""
+    t = np.eye(4)
+    t[:3, :3] = rotation
+    t[:3, 3] = translation
+    return t
+
+
+def transform_inverse(t: np.ndarray) -> np.ndarray:
+    """Invert a homogeneous transform without a general matrix inverse."""
+    r = t[:3, :3]
+    inv = np.eye(4)
+    inv[:3, :3] = r.T
+    inv[:3, 3] = -r.T @ t[:3, 3]
+    return inv
+
+
+def transform_point(t: np.ndarray, point: np.ndarray) -> np.ndarray:
+    """Apply a homogeneous transform to a 3-D point."""
+    return t[:3, :3] @ np.asarray(point, dtype=float) + t[:3, 3]
+
+
+def mdh_transform(a: float, alpha: float, d: float, theta: float) -> np.ndarray:
+    """Modified Denavit-Hartenberg (Craig) transform from frame i-1 to frame i.
+
+    ``T = Rx(alpha) Tx(a) Rz(theta) Tz(d)`` with the parameters attached to
+    the *preceding* link, which is the convention Franka publishes for the
+    Panda arm.
+    """
+    ct, st = np.cos(theta), np.sin(theta)
+    ca, sa = np.cos(alpha), np.sin(alpha)
+    return np.array(
+        [
+            [ct, -st, 0.0, a],
+            [st * ca, ct * ca, -sa, -d * sa],
+            [st * sa, ct * sa, ca, d * ca],
+            [0.0, 0.0, 0.0, 1.0],
+        ]
+    )
+
+
+def spatial_transform(rotation: np.ndarray, translation: np.ndarray) -> np.ndarray:
+    """Spatial motion transform ``X`` mapping motion vectors between frames.
+
+    Given the pose of frame B expressed in frame A (``rotation``,
+    ``translation``), the returned 6x6 matrix maps spatial motion vectors
+    from A coordinates to B coordinates (Featherstone's ``X = [R 0; -R p^ R]``
+    with vectors ordered ``[angular; linear]``).
+    """
+    r = np.asarray(rotation, dtype=float)
+    x = np.zeros((6, 6))
+    x[:3, :3] = r.T
+    x[3:, 3:] = r.T
+    x[3:, :3] = -r.T @ skew(translation)
+    return x
+
+
+def spatial_inertia(mass: float, com: np.ndarray, inertia_com: np.ndarray) -> np.ndarray:
+    """Spatial inertia of a rigid body about its link frame origin.
+
+    ``mass`` is the link mass, ``com`` the centre of mass in the link frame
+    and ``inertia_com`` the 3x3 rotational inertia about the centre of mass.
+    The result acts on ``[angular; linear]`` motion vectors.
+    """
+    c = skew(com)
+    inertia = np.zeros((6, 6))
+    inertia[:3, :3] = np.asarray(inertia_com, dtype=float) + mass * (c @ c.T)
+    inertia[:3, 3:] = mass * c
+    inertia[3:, :3] = mass * c.T
+    inertia[3:, 3:] = mass * np.eye(3)
+    return inertia
+
+
+def crm(v: np.ndarray) -> np.ndarray:
+    """Spatial cross-product operator for motion vectors (``v x``)."""
+    omega, linear = v[:3], v[3:]
+    m = np.zeros((6, 6))
+    m[:3, :3] = skew(omega)
+    m[3:, :3] = skew(linear)
+    m[3:, 3:] = skew(omega)
+    return m
+
+
+def crf(v: np.ndarray) -> np.ndarray:
+    """Spatial cross-product operator for force vectors (``v x*``)."""
+    return -crm(v).T
+
+
+def rotation_error(desired: np.ndarray, actual: np.ndarray) -> np.ndarray:
+    """Orientation error as a world-frame rotation vector.
+
+    Returns the rotation vector ``log(R_d R^T)``: the angular displacement
+    that takes the actual orientation to the desired one, expressed in the
+    world frame.  This is the standard error signal for task-space control.
+    """
+    return so3_log(np.asarray(desired) @ np.asarray(actual).T)

@@ -1,0 +1,55 @@
+"""CALVIN-like manipulation benchmark substrate."""
+
+from repro.sim.camera import OBSERVATION_DIM, RAW_FEATURE_DIM, CameraModel
+from repro.sim.dataset import (
+    ActionNormalizer,
+    Demonstration,
+    baseline_target,
+    collect_demonstrations,
+    corki_targets,
+)
+from repro.sim.env import (
+    PERFECT_ACTUATION,
+    TRACKING_100HZ,
+    TRACKING_30HZ,
+    ActuationModel,
+    ManipulationEnv,
+)
+from repro.sim.expert import ExpertTrajectory, min_jerk_profile, render_keyframes
+from repro.sim.objects import BLOCK_NAMES, Block, Drawer, SceneState, Switch
+from repro.sim.tasks import TASKS, Keyframe, Task, sample_job, task_by_instruction
+from repro.sim.world import SEEN_LAYOUT, UNSEEN_LAYOUT, WORKSPACE, SceneLayout, sample_scene
+
+__all__ = [
+    "ActionNormalizer",
+    "ActuationModel",
+    "BLOCK_NAMES",
+    "Block",
+    "CameraModel",
+    "Demonstration",
+    "Drawer",
+    "ExpertTrajectory",
+    "Keyframe",
+    "ManipulationEnv",
+    "OBSERVATION_DIM",
+    "PERFECT_ACTUATION",
+    "RAW_FEATURE_DIM",
+    "SEEN_LAYOUT",
+    "SceneLayout",
+    "SceneState",
+    "Switch",
+    "TASKS",
+    "TRACKING_100HZ",
+    "TRACKING_30HZ",
+    "Task",
+    "UNSEEN_LAYOUT",
+    "WORKSPACE",
+    "baseline_target",
+    "collect_demonstrations",
+    "corki_targets",
+    "min_jerk_profile",
+    "render_keyframes",
+    "sample_job",
+    "sample_scene",
+    "task_by_instruction",
+]

@@ -1,0 +1,99 @@
+"""Synthetic camera: renders scene state into observation feature vectors.
+
+The real system feeds RGB gripper-camera frames to the VLM.  Offline we
+render the scene into a raw state descriptor and pass it through a *fixed*
+random nonlinear projection -- the "pixels" -- so that policies must learn to
+decode observations rather than reading simulator state directly.  The
+unseen layout additionally shifts the projection bias (``camera_shift``),
+reproducing the visual domain gap between CALVIN's seen and unseen
+environments.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sim.objects import BLOCK_NAMES, SceneState
+
+__all__ = ["CameraModel", "RAW_FEATURE_DIM", "OBSERVATION_DIM"]
+
+RAW_FEATURE_DIM = 35
+OBSERVATION_DIM = 48
+
+def _channel_gains() -> np.ndarray:
+    """Per-channel gain on the raw state descriptor.
+
+    Metric channels (positions, the drawer opening) live on a +-0.3 m scale;
+    without gain a 10 cm offset moves a projected channel by ~0.02, barely
+    above the sensor noise.  Scaling only those channels (and not the
+    already O(1) sin/cos and binary channels) lifts task geometry above the
+    noise floor without saturating the tanh response.
+    """
+    gains = np.ones(RAW_FEATURE_DIM)
+    gains[0:3] = 3.0  # end-effector position
+    for block in range(3):
+        base = 7 + block * 7
+        gains[base : base + 3] = 3.0  # block position relative to the gripper
+        gains[base + 5 : base + 7] = 3.0  # block position on the table
+    gains[28] = 5.0  # drawer opening (0..0.18 m)
+    gains[31:35] = 3.0  # zone centres
+    return gains
+
+
+FEATURE_GAINS = _channel_gains()
+
+# The projection is part of the "optics", not of any learned model, so it is
+# generated once from a fixed seed and shared by every camera instance.
+_PROJECTION_SEED = 20250621  # ISCA'25 opening day
+
+
+def _projection() -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    rng = np.random.default_rng(_PROJECTION_SEED)
+    weights = rng.normal(0.0, 1.0 / np.sqrt(RAW_FEATURE_DIM), size=(OBSERVATION_DIM, RAW_FEATURE_DIM))
+    bias = rng.normal(0.0, 0.05, size=OBSERVATION_DIM)
+    shift_direction = rng.normal(0.0, 0.3, size=OBSERVATION_DIM)
+    return weights, bias, shift_direction
+
+
+_WEIGHTS, _BIAS, _SHIFT = _projection()
+
+
+class CameraModel:
+    """Render scenes to observations with sensor noise and domain shift.
+
+    ``noise_std`` is the per-channel Gaussian noise of the sensor;
+    ``domain_shift`` offsets the projection bias (the unseen layout passes a
+    non-zero value here).
+    """
+
+    def __init__(self, noise_std: float = 0.01, domain_shift: float = 0.0):
+        self.noise_std = noise_std
+        self.domain_shift = domain_shift
+
+    @staticmethod
+    def raw_features(scene: SceneState) -> np.ndarray:
+        """The underlying state descriptor (before projection and noise)."""
+        ee = scene.ee_pose
+        parts = [ee, [1.0 if scene.gripper_open else 0.0]]
+        for name in BLOCK_NAMES:
+            block = scene.blocks[name]
+            parts.append(block.position - ee[:3])
+            parts.append([np.sin(block.yaw), np.cos(block.yaw)])
+            parts.append(block.position[:2])
+        parts.append([scene.drawer.opening])
+        parts.append([scene.switch.level])
+        parts.append([1.0 if scene.switch.light_on else 0.0])
+        parts.append(scene.zones["left"][:2])
+        parts.append(scene.zones["right"][:2])
+        raw = np.concatenate([np.asarray(p, dtype=float).ravel() for p in parts])
+        if raw.shape != (RAW_FEATURE_DIM,):
+            raise AssertionError(f"raw feature dim drifted: {raw.shape}")
+        return raw
+
+    def render(self, scene: SceneState, rng: np.random.Generator) -> np.ndarray:
+        """One camera frame: projected, shifted, noisy observation vector."""
+        raw = self.raw_features(scene)
+        pixels = np.tanh(_WEIGHTS @ (FEATURE_GAINS * raw) + _BIAS + self.domain_shift * _SHIFT)
+        if self.noise_std > 0.0:
+            pixels = pixels + rng.normal(0.0, self.noise_std, size=pixels.shape)
+        return pixels

@@ -1,0 +1,225 @@
+"""The manipulation environment: closed-loop episodes at the frame level.
+
+The environment advances in 33 ms camera frames.  Each frame the policy (or
+expert) commands a target end-effector pose and a gripper state; an
+*actuation model* determines how faithfully the arm realises the command
+within the frame.  Actuation models are calibrated against the dynamics tier
+(TS-CTC on the full Panda rigid-body model) -- see
+``repro.analysis.calibration`` -- so that the 100 Hz accelerator-backed
+controller tracks tighter than the 30 Hz CPU baseline, which is the physical
+effect the paper's accuracy results rest on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.sim.camera import CameraModel
+from repro.sim.objects import SceneState
+from repro.sim.tasks import Task
+from repro.sim.world import SceneLayout, WORKSPACE, sample_scene
+
+__all__ = [
+    "ActuationModel",
+    "TRACKING_100HZ",
+    "TRACKING_30HZ",
+    "PERFECT_ACTUATION",
+    "ManipulationEnv",
+]
+
+_BLOCK_GRASP_RADIUS = 0.05
+_BLOCK_GRASP_HEIGHT = 0.05
+_TABLE_BLOCK_Z = 0.02
+
+
+@dataclass(frozen=True)
+class ActuationModel:
+    """How well the arm realises a commanded frame-level motion.
+
+    ``tracking_gain`` is the fraction of the commanded displacement realised
+    within one frame (a first-order tracking lag); ``noise_std`` is the
+    residual per-frame pose noise (metres / radians).  The two presets below
+    were calibrated by running TS-CTC on the Panda dynamics at the
+    corresponding control rates (see EXPERIMENTS.md, calibration section).
+    """
+
+    name: str
+    tracking_gain: float
+    noise_std: float
+
+
+# 100 Hz task-space computed torque control (the Corki accelerator path).
+TRACKING_100HZ = ActuationModel("tsctc-100hz", tracking_gain=0.985, noise_std=0.0008)
+# 30 Hz control matched to the camera rate (the baseline CPU path).
+TRACKING_30HZ = ActuationModel("tsctc-30hz", tracking_gain=0.93, noise_std=0.0020)
+# Idealised actuation, used by unit tests and the scripted-expert data collector.
+PERFECT_ACTUATION = ActuationModel("perfect", tracking_gain=1.0, noise_std=0.0)
+
+
+class ManipulationEnv:
+    """Frame-level simulation of the tabletop scene.
+
+    One instance runs one episode at a time; :meth:`reset` starts an episode
+    for a task and returns the first observation.
+    """
+
+    frame_dt = 1.0 / 30.0
+
+    def __init__(
+        self,
+        layout: SceneLayout,
+        rng: np.random.Generator,
+        actuation: ActuationModel = TRACKING_100HZ,
+        camera_noise_std: float = 0.01,
+    ):
+        self.layout = layout
+        self.rng = rng
+        self.actuation = actuation
+        self.camera = CameraModel(noise_std=camera_noise_std, domain_shift=layout.camera_shift)
+        self.scene: SceneState | None = None
+        self.initial_scene: SceneState | None = None
+        self.task: Task | None = None
+        self.frame_count = 0
+
+    # -- episode lifecycle ---------------------------------------------------
+
+    def reset(self, task: Task, scene: SceneState | None = None) -> np.ndarray:
+        """Start an episode of ``task``; returns the first observation."""
+        if scene is None:
+            scene = sample_scene(self.layout, self.rng)
+        task.prepare(scene, self.rng)
+        self.scene = scene
+        self.initial_scene = scene.copy()
+        self.task = task
+        self.frame_count = 0
+        return self.observe()
+
+    def continue_with(self, task: Task) -> np.ndarray:
+        """Chain the next task of a long-horizon job onto the current scene.
+
+        The gripper opens at the instruction boundary (releasing anything
+        still held), mirroring how CALVIN rollouts hand over between
+        subtasks; the arm stays wherever the previous task left it.
+        """
+        if self.scene is None:
+            raise RuntimeError("reset() must run before continue_with()")
+        self._release()
+        self.scene.gripper_open = True
+        task.prepare(self.scene, self.rng)
+        self.initial_scene = self.scene.copy()
+        self.task = task
+        self.frame_count = 0
+        return self.observe()
+
+    def observe(self) -> np.ndarray:
+        """Render the current camera frame."""
+        if self.scene is None:
+            raise RuntimeError("reset() must run before observe()")
+        return self.camera.render(self.scene, self.rng)
+
+    @property
+    def succeeded(self) -> bool:
+        """Whether the current task's success predicate holds."""
+        if self.scene is None or self.task is None or self.initial_scene is None:
+            return False
+        return bool(self.task.success(self.initial_scene, self.scene))
+
+    # -- frame dynamics --------------------------------------------------------
+
+    def step(
+        self,
+        target_pose: np.ndarray,
+        gripper_open: bool,
+        actuation: ActuationModel | None = None,
+    ) -> np.ndarray:
+        """Advance one camera frame toward ``target_pose``.
+
+        The arm moves by ``tracking_gain`` of the commanded displacement plus
+        actuation noise; the gripper command is applied instantaneously (the
+        Panda gripper is position-controlled and fast relative to a frame).
+        Returns the new observation.
+        """
+        if self.scene is None:
+            raise RuntimeError("reset() must run before step()")
+        model = actuation or self.actuation
+        scene = self.scene
+        target = np.asarray(target_pose, dtype=float)
+
+        displacement = target - scene.ee_pose
+        realised = model.tracking_gain * displacement
+        if model.noise_std > 0.0:
+            noise = self.rng.normal(0.0, model.noise_std, size=6)
+            noise[3:] *= 2.0  # orientation noise in radians is relatively larger
+            realised = realised + noise
+        new_pose = scene.ee_pose + realised
+        new_pose[:3] = WORKSPACE.clamp(new_pose[:3])
+        delta_yaw = new_pose[5] - scene.ee_pose[5]
+        scene.ee_pose = new_pose
+
+        self._update_gripper(gripper_open)
+        self._drag_attached(delta_yaw)
+        self.frame_count += 1
+        return self.observe()
+
+    # -- attachment mechanics -----------------------------------------------------
+
+    def _update_gripper(self, gripper_open: bool) -> None:
+        scene = self.scene
+        assert scene is not None
+        if gripper_open and not scene.gripper_open:
+            self._release()
+            scene.gripper_open = True
+        elif not gripper_open and scene.gripper_open:
+            scene.gripper_open = False
+            self._try_grasp()
+
+    def _try_grasp(self) -> None:
+        """On close: attach the nearest graspable object within tolerance."""
+        scene = self.scene
+        assert scene is not None
+        ee = scene.ee_pose[:3]
+        best_name, best_distance = None, np.inf
+        for name, block in scene.blocks.items():
+            planar = float(np.linalg.norm(block.position[:2] - ee[:2]))
+            vertical = abs(block.position[2] - ee[2] + 0.01)
+            if planar <= _BLOCK_GRASP_RADIUS and vertical <= _BLOCK_GRASP_HEIGHT:
+                if planar < best_distance:
+                    best_name, best_distance = name, planar
+        drawer_distance = float(np.linalg.norm(scene.drawer.handle_position - ee))
+        if drawer_distance <= scene.drawer.grasp_radius and drawer_distance < best_distance:
+            best_name, best_distance = "drawer", drawer_distance
+        switch_distance = float(np.linalg.norm(scene.switch.handle_position - ee))
+        if switch_distance <= scene.switch.grasp_radius and switch_distance < best_distance:
+            best_name, best_distance = "switch", switch_distance
+        scene.attached = best_name
+
+    def _release(self) -> None:
+        """On open: drop whatever is held; blocks fall to the table."""
+        scene = self.scene
+        assert scene is not None
+        if scene.attached in scene.blocks:
+            block = scene.blocks[scene.attached]
+            block.position[2] = _TABLE_BLOCK_Z
+        scene.attached = None
+
+    def _drag_attached(self, delta_yaw: float) -> None:
+        """While closed, the held object follows the end-effector."""
+        scene = self.scene
+        assert scene is not None
+        if scene.attached is None:
+            return
+        ee = scene.ee_pose[:3]
+        if scene.attached in scene.blocks:
+            block = scene.blocks[scene.attached]
+            block.position = ee + np.array([0.0, 0.0, -0.01])
+            block.yaw += delta_yaw
+        elif scene.attached == "drawer":
+            drawer = scene.drawer
+            along = float(np.dot(ee - drawer.handle_base, drawer.axis))
+            drawer.opening = float(np.clip(along, 0.0, drawer.max_opening))
+        elif scene.attached == "switch":
+            switch = scene.switch
+            along = float(np.dot(ee - switch.handle_base, switch.axis)) / switch.travel
+            switch.level = float(np.clip(along, 0.0, 1.0))

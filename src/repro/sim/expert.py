@@ -1,0 +1,67 @@
+"""Scripted expert: minimum-jerk interpolation of task keyframes.
+
+Demonstrations in CALVIN were tele-operated; our stand-in expert renders the
+task keyframes into dense 30 Hz waypoint sequences with minimum-jerk
+profiles, which reproduces the smooth-trajectory-first data collection the
+paper highlights ("the collection of the ground truth was in the form of
+trajectory at first", Sec. 6.2).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sim.tasks import Keyframe
+
+__all__ = ["min_jerk_profile", "render_keyframes", "ExpertTrajectory"]
+
+
+def min_jerk_profile(s: np.ndarray) -> np.ndarray:
+    """The minimum-jerk blend ``10 s^3 - 15 s^4 + 6 s^5`` on ``s`` in [0, 1]."""
+    s = np.asarray(s, dtype=float)
+    return 10.0 * s**3 - 15.0 * s**4 + 6.0 * s**5
+
+
+class ExpertTrajectory:
+    """A dense expert rollout: per-frame poses and gripper commands.
+
+    ``poses`` has shape (T, 6) and ``gripper_open`` shape (T,), both sampled
+    at the camera frame rate.  Index 0 is the starting pose.
+    """
+
+    def __init__(self, poses: np.ndarray, gripper_open: np.ndarray, frame_dt: float):
+        self.poses = poses
+        self.gripper_open = gripper_open
+        self.frame_dt = frame_dt
+
+    def __len__(self) -> int:
+        return len(self.poses)
+
+    @property
+    def duration(self) -> float:
+        return (len(self.poses) - 1) * self.frame_dt
+
+
+def render_keyframes(
+    start_pose: np.ndarray,
+    keyframes: list[Keyframe],
+    frame_dt: float = 1.0 / 30.0,
+) -> ExpertTrajectory:
+    """Render keyframes into a dense minimum-jerk trajectory at 30 Hz.
+
+    Each segment interpolates pose with a minimum-jerk profile over its
+    duration (at least one frame); the segment's gripper command applies to
+    every frame it produces.
+    """
+    poses = [np.asarray(start_pose, dtype=float).copy()]
+    gripper = [True if not keyframes else keyframes[0].gripper_open]
+    current = poses[0]
+    for frame in keyframes:
+        steps = max(1, int(round(frame.duration / frame_dt)))
+        blend = min_jerk_profile(np.arange(1, steps + 1) / steps)
+        target = np.asarray(frame.pose, dtype=float)
+        for value in blend:
+            poses.append(current + value * (target - current))
+            gripper.append(frame.gripper_open)
+        current = target
+    return ExpertTrajectory(np.array(poses), np.array(gripper, dtype=bool), frame_dt)

@@ -1,0 +1,111 @@
+"""Scene objects of the CALVIN-like tabletop: blocks, a drawer, a switch.
+
+The CALVIN benchmark (Mees et al., 2022) evaluates language-conditioned
+manipulation in a tabletop scene with coloured blocks, a sliding drawer, a
+switch and a lightbulb.  This module reproduces that object set with the
+kinematic state the five task families of the paper (move / switch / drawer /
+rotate / lift) need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["Block", "Drawer", "Switch", "SceneState", "BLOCK_NAMES"]
+
+BLOCK_NAMES = ("red", "blue", "pink")
+
+
+@dataclass
+class Block:
+    """A graspable cuboid block on the table."""
+
+    name: str
+    position: np.ndarray  # (3,) world position of the block centre
+    yaw: float = 0.0  # rotation about the vertical axis
+    half_extent: float = 0.025
+
+    def copy(self) -> "Block":
+        return Block(self.name, self.position.copy(), self.yaw, self.half_extent)
+
+
+@dataclass
+class Drawer:
+    """A sliding drawer; ``opening`` in metres along its prismatic axis."""
+
+    handle_base: np.ndarray  # handle position when fully closed
+    axis: np.ndarray  # unit vector the drawer slides along (world frame)
+    opening: float = 0.0
+    max_opening: float = 0.18
+    grasp_radius: float = 0.05
+
+    @property
+    def handle_position(self) -> np.ndarray:
+        """Current world position of the drawer handle."""
+        return self.handle_base + self.opening * self.axis
+
+    def copy(self) -> "Drawer":
+        drawer = Drawer(
+            self.handle_base.copy(), self.axis.copy(), self.opening, self.max_opening,
+            self.grasp_radius,
+        )
+        return drawer
+
+
+@dataclass
+class Switch:
+    """A slider switch controlling the scene light; ``level`` in [0, 1]."""
+
+    handle_base: np.ndarray
+    axis: np.ndarray
+    level: float = 0.0
+    travel: float = 0.08  # metres of handle travel from level 0 to 1
+    grasp_radius: float = 0.05
+    on_threshold: float = 0.65
+    off_threshold: float = 0.35
+
+    @property
+    def handle_position(self) -> np.ndarray:
+        return self.handle_base + self.level * self.travel * self.axis
+
+    @property
+    def light_on(self) -> bool:
+        return self.level >= self.on_threshold
+
+    def copy(self) -> "Switch":
+        return Switch(
+            self.handle_base.copy(), self.axis.copy(), self.level, self.travel,
+            self.grasp_radius, self.on_threshold, self.off_threshold,
+        )
+
+
+@dataclass
+class SceneState:
+    """Full kinematic state of the tabletop scene plus the end-effector.
+
+    ``ee_pose`` is ``[x, y, z, roll, pitch, yaw]``; ``gripper_open`` is the
+    binary gripper command state (paper's seventh action dimension).
+    ``attached`` names what the closed gripper currently holds: a block name,
+    ``"drawer"``, ``"switch"`` or ``None``.
+    """
+
+    ee_pose: np.ndarray
+    gripper_open: bool
+    blocks: dict[str, Block]
+    drawer: Drawer
+    switch: Switch
+    attached: str | None = None
+    zones: dict[str, np.ndarray] = field(default_factory=dict)
+
+    def copy(self) -> "SceneState":
+        return SceneState(
+            ee_pose=self.ee_pose.copy(),
+            gripper_open=self.gripper_open,
+            blocks={name: block.copy() for name, block in self.blocks.items()},
+            drawer=self.drawer.copy(),
+            switch=self.switch.copy(),
+            attached=self.attached,
+            zones={name: centre.copy() for name, centre in self.zones.items()},
+        )

@@ -1,0 +1,312 @@
+"""The five CALVIN task families, their instructions and success predicates.
+
+Paper Sec. 5.1: "The tasks are categorized into five types: moving an
+object, turning a switch on and off, pushing and pulling a drawer, rotating
+an object, and lifting an object."  Each concrete (task family, object,
+direction) combination is one language instruction; the registry below
+enumerates 19 of them, which play the role of CALVIN's 34 task set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.sim.objects import BLOCK_NAMES, SceneState
+
+__all__ = ["Keyframe", "Task", "TASKS", "task_by_instruction", "sample_job"]
+
+_GRASP_Z = 0.03  # end-effector height for grasping a block on the table
+_LIFT_Z = 0.18
+_APPROACH_Z = 0.12
+_ROTATE_ANGLE = np.pi * 5.0 / 12.0  # expert rotates 75 degrees
+_ROTATE_SUCCESS = np.pi / 3.0  # success requires 60 degrees
+_ZONE_RADIUS = 0.07
+_LIFT_SUCCESS_Z = 0.10
+_DRAWER_OPEN_SUCCESS = 0.12
+_DRAWER_CLOSED_SUCCESS = 0.03
+
+
+@dataclass(frozen=True)
+class Keyframe:
+    """One expert keyframe: target pose, gripper state and segment duration.
+
+    The expert moves from the previous keyframe's pose to ``pose`` over
+    ``duration`` seconds with a minimum-jerk profile; ``gripper_open`` is the
+    commanded gripper state during that segment.
+    """
+
+    pose: np.ndarray
+    gripper_open: bool
+    duration: float
+
+
+@dataclass(frozen=True)
+class Task:
+    """A language-conditioned manipulation task.
+
+    ``prepare`` mutates a freshly sampled scene so the task is feasible
+    (e.g. the close-drawer task starts with the drawer open); ``success``
+    compares the initial and current scene; ``expert`` produces the scripted
+    demonstration keyframes used both for data collection and as the
+    evaluation oracle's reference.
+    """
+
+    instruction: str
+    family: str
+    prepare: Callable[[SceneState, np.random.Generator], None]
+    success: Callable[[SceneState, SceneState], bool]
+    expert: Callable[[SceneState], list[Keyframe]]
+    instruction_id: int = field(default=-1)
+
+
+def _pose(position: np.ndarray, yaw: float = 0.0) -> np.ndarray:
+    return np.array([position[0], position[1], position[2], 0.0, 0.0, yaw])
+
+
+def _grasp_block_keyframes(scene: SceneState, name: str) -> list[Keyframe]:
+    block = scene.blocks[name]
+    above = block.position + np.array([0.0, 0.0, _APPROACH_Z])
+    grasp = block.position.copy()
+    grasp[2] = _GRASP_Z
+    return [
+        Keyframe(_pose(above, block.yaw), True, 0.50),
+        Keyframe(_pose(grasp, block.yaw), True, 0.35),
+        Keyframe(_pose(grasp, block.yaw), False, 0.15),
+    ]
+
+
+def _retreat(pose: np.ndarray, gripper_open: bool = True) -> Keyframe:
+    lifted = pose.copy()
+    lifted[2] = _LIFT_Z
+    return Keyframe(lifted, gripper_open, 0.40)
+
+
+def _make_lift(name: str) -> Task:
+    def success(initial: SceneState, current: SceneState) -> bool:
+        return current.blocks[name].position[2] >= _LIFT_SUCCESS_Z
+
+    def expert(scene: SceneState) -> list[Keyframe]:
+        frames = _grasp_block_keyframes(scene, name)
+        top = frames[-1].pose.copy()
+        top[2] = _LIFT_Z
+        frames.append(Keyframe(top, False, 0.50))
+        return frames
+
+    return Task(
+        instruction=f"lift the {name} block",
+        family="lift",
+        prepare=lambda scene, rng: None,
+        success=success,
+        expert=expert,
+    )
+
+
+def _make_move(name: str, zone: str) -> Task:
+    def success(initial: SceneState, current: SceneState) -> bool:
+        block = current.blocks[name]
+        target = current.zones[zone]
+        placed = np.linalg.norm(block.position[:2] - target[:2]) <= _ZONE_RADIUS
+        return placed and current.attached != name
+
+    def expert(scene: SceneState) -> list[Keyframe]:
+        frames = _grasp_block_keyframes(scene, name)
+        target = scene.zones[zone]
+        yaw = scene.blocks[name].yaw
+        above_target = np.array([target[0], target[1], _APPROACH_Z])
+        place = np.array([target[0], target[1], _GRASP_Z])
+        carry = frames[-1].pose.copy()
+        carry[2] = _APPROACH_Z
+        frames.extend(
+            [
+                Keyframe(carry, False, 0.30),
+                Keyframe(_pose(above_target, yaw), False, 0.55),
+                Keyframe(_pose(place, yaw), False, 0.35),
+                Keyframe(_pose(place, yaw), True, 0.15),
+                _retreat(_pose(place, yaw)),
+            ]
+        )
+        return frames
+
+    return Task(
+        instruction=f"move the {name} block to the {zone} zone",
+        family="move",
+        prepare=lambda scene, rng: None,
+        success=success,
+        expert=expert,
+    )
+
+
+def _make_rotate(name: str, direction: str) -> Task:
+    sign = 1.0 if direction == "left" else -1.0
+
+    def success(initial: SceneState, current: SceneState) -> bool:
+        delta = current.blocks[name].yaw - initial.blocks[name].yaw
+        return sign * delta >= _ROTATE_SUCCESS
+
+    def expert(scene: SceneState) -> list[Keyframe]:
+        frames = _grasp_block_keyframes(scene, name)
+        grasp_pose = frames[-1].pose.copy()
+        rotated = grasp_pose.copy()
+        rotated[5] += sign * _ROTATE_ANGLE
+        frames.extend(
+            [
+                Keyframe(rotated, False, 0.55),
+                Keyframe(rotated, True, 0.15),
+                _retreat(rotated),
+            ]
+        )
+        return frames
+
+    return Task(
+        instruction=f"rotate the {name} block to the {direction}",
+        family="rotate",
+        prepare=lambda scene, rng: None,
+        success=success,
+        expert=expert,
+    )
+
+
+def _handle_keyframes(handle: np.ndarray, yaw: float = 0.0) -> list[Keyframe]:
+    above = handle + np.array([0.0, 0.0, 0.08])
+    return [
+        Keyframe(_pose(above, yaw), True, 0.50),
+        Keyframe(_pose(handle, yaw), True, 0.35),
+        Keyframe(_pose(handle, yaw), False, 0.15),
+    ]
+
+
+def _make_drawer(action: str) -> Task:
+    opening_target = 0.16 if action == "open" else 0.0
+
+    def prepare(scene: SceneState, rng: np.random.Generator) -> None:
+        if action == "open":
+            scene.drawer.opening = float(rng.uniform(0.0, 0.02))
+        else:
+            scene.drawer.opening = float(rng.uniform(0.13, 0.17))
+
+    def success(initial: SceneState, current: SceneState) -> bool:
+        if action == "open":
+            return current.drawer.opening >= _DRAWER_OPEN_SUCCESS
+        return current.drawer.opening <= _DRAWER_CLOSED_SUCCESS
+
+    def expert(scene: SceneState) -> list[Keyframe]:
+        drawer = scene.drawer
+        frames = _handle_keyframes(drawer.handle_position)
+        target = drawer.handle_base + opening_target * drawer.axis
+        frames.extend(
+            [
+                Keyframe(_pose(target), False, 0.60),
+                Keyframe(_pose(target), True, 0.15),
+                _retreat(_pose(target)),
+            ]
+        )
+        return frames
+
+    return Task(
+        instruction=f"{action} the drawer",
+        family="drawer",
+        prepare=prepare,
+        success=success,
+        expert=expert,
+    )
+
+
+def _make_switch(action: str) -> Task:
+    level_target = 0.95 if action == "on" else 0.02
+
+    def prepare(scene: SceneState, rng: np.random.Generator) -> None:
+        if action == "on":
+            scene.switch.level = float(rng.uniform(0.0, 0.15))
+        else:
+            scene.switch.level = float(rng.uniform(0.85, 1.0))
+
+    def success(initial: SceneState, current: SceneState) -> bool:
+        if action == "on":
+            return current.switch.level >= current.switch.on_threshold
+        return current.switch.level <= current.switch.off_threshold
+
+    def expert(scene: SceneState) -> list[Keyframe]:
+        switch = scene.switch
+        frames = _handle_keyframes(switch.handle_position)
+        target = switch.handle_base + level_target * switch.travel * switch.axis
+        frames.extend(
+            [
+                Keyframe(_pose(target), False, 0.50),
+                Keyframe(_pose(target), True, 0.15),
+                _retreat(_pose(target)),
+            ]
+        )
+        return frames
+
+    return Task(
+        instruction=f"turn the switch {action}",
+        family="switch",
+        prepare=prepare,
+        success=success,
+        expert=expert,
+    )
+
+
+def _build_registry() -> list[Task]:
+    tasks: list[Task] = []
+    for name in BLOCK_NAMES:
+        tasks.append(_make_lift(name))
+    for name in BLOCK_NAMES:
+        for zone in ("left", "right"):
+            tasks.append(_make_move(name, zone))
+    for name in BLOCK_NAMES:
+        for direction in ("left", "right"):
+            tasks.append(_make_rotate(name, direction))
+    tasks.append(_make_drawer("open"))
+    tasks.append(_make_drawer("close"))
+    tasks.append(_make_switch("on"))
+    tasks.append(_make_switch("off"))
+    return [
+        Task(
+            instruction=task.instruction,
+            family=task.family,
+            prepare=task.prepare,
+            success=task.success,
+            expert=task.expert,
+            instruction_id=index,
+        )
+        for index, task in enumerate(tasks)
+    ]
+
+
+TASKS: list[Task] = _build_registry()
+"""The full instruction registry; ``instruction_id`` indexes into it."""
+
+
+def task_by_instruction(instruction: str) -> Task:
+    """Look a task up by its natural-language instruction string."""
+    for task in TASKS:
+        if task.instruction == instruction:
+            return task
+    raise KeyError(f"unknown instruction: {instruction!r}")
+
+
+def sample_job(rng: np.random.Generator, length: int = 5) -> list[Task]:
+    """Sample a long-horizon job: ``length`` distinct consecutive tasks.
+
+    Mirrors CALVIN's evaluation protocol where each job chains five tasks
+    and the robot proceeds to the next task only after succeeding at the
+    current one.  Tasks within one job touch distinct objects so that an
+    earlier task cannot make a later one trivially succeed or fail.
+    """
+    chosen: list[Task] = []
+    used_keys: set[str] = set()
+    while len(chosen) < length:
+        task = TASKS[int(rng.integers(len(TASKS)))]
+        words = task.instruction.split()
+        # Key by family + object so e.g. two tasks on the red block or two
+        # drawer tasks cannot appear in the same job.
+        key = task.family + (words[2] if task.family in ("lift", "move", "rotate") else "")
+        if key in used_keys:
+            continue
+        used_keys.add(key)
+        chosen.append(task)
+    return chosen

@@ -1,0 +1,121 @@
+"""Scene layouts: the seen (training) and unseen (evaluation) tabletops.
+
+CALVIN trains on environments A/B/C and evaluates zero-shot on environment D.
+We reproduce the distinction with two layout families: the *seen* layout
+samples object poses from the training regions, while the *unseen* layout
+mirrors the fixtures, shifts the spawn regions and perturbs the camera
+response (see :mod:`repro.sim.camera`), producing the same kind of
+distribution shift.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.sim.objects import BLOCK_NAMES, Block, Drawer, SceneState, Switch
+
+__all__ = ["WorkspaceLimits", "SceneLayout", "SEEN_LAYOUT", "UNSEEN_LAYOUT", "sample_scene"]
+
+
+@dataclass(frozen=True)
+class WorkspaceLimits:
+    """Axis-aligned bounds the end-effector may occupy (metres)."""
+
+    lower: np.ndarray
+    upper: np.ndarray
+
+    def clamp(self, position: np.ndarray) -> np.ndarray:
+        return np.clip(position, self.lower, self.upper)
+
+
+@dataclass(frozen=True)
+class SceneLayout:
+    """A family of scenes: fixture poses plus block spawn regions."""
+
+    name: str
+    block_region_lower: np.ndarray
+    block_region_upper: np.ndarray
+    drawer_handle: np.ndarray
+    drawer_axis: np.ndarray
+    switch_handle: np.ndarray
+    switch_axis: np.ndarray
+    zone_left: np.ndarray
+    zone_right: np.ndarray
+    camera_shift: float  # response offset applied by the camera (domain shift)
+
+
+_TABLE_Z = 0.02  # block centre height when resting on the table
+
+SEEN_LAYOUT = SceneLayout(
+    name="seen",
+    block_region_lower=np.array([-0.18, -0.12, _TABLE_Z]),
+    block_region_upper=np.array([0.18, 0.12, _TABLE_Z]),
+    drawer_handle=np.array([0.28, -0.20, 0.06]),
+    drawer_axis=np.array([0.0, -1.0, 0.0]),
+    switch_handle=np.array([-0.28, 0.18, 0.10]),
+    switch_axis=np.array([1.0, 0.0, 0.0]),
+    zone_left=np.array([-0.24, 0.16, _TABLE_Z]),
+    zone_right=np.array([0.24, 0.16, _TABLE_Z]),
+    camera_shift=0.0,
+)
+
+UNSEEN_LAYOUT = SceneLayout(
+    name="unseen",
+    block_region_lower=np.array([-0.20, -0.16, _TABLE_Z]),
+    block_region_upper=np.array([0.20, 0.10, _TABLE_Z]),
+    drawer_handle=np.array([-0.28, -0.20, 0.06]),
+    drawer_axis=np.array([0.0, -1.0, 0.0]),
+    switch_handle=np.array([0.28, 0.18, 0.10]),
+    switch_axis=np.array([-1.0, 0.0, 0.0]),
+    zone_left=np.array([-0.22, 0.18, _TABLE_Z]),
+    zone_right=np.array([0.22, 0.18, _TABLE_Z]),
+    camera_shift=0.35,
+)
+
+# The y range must cover the drawer's full travel (handle base at y = -0.20
+# minus 0.18 m of opening) with margin, or the success threshold becomes
+# unreachable by construction.
+WORKSPACE = WorkspaceLimits(
+    lower=np.array([-0.34, -0.42, 0.01]),
+    upper=np.array([0.34, 0.30, 0.35]),
+)
+
+_HOME_POSE = np.array([0.0, 0.0, 0.22, 0.0, 0.0, 0.0])
+_MIN_BLOCK_SPACING = 0.09
+
+
+def sample_scene(layout: SceneLayout, rng: np.random.Generator) -> SceneState:
+    """Sample a scene from a layout: block poses, drawer/switch settings.
+
+    Blocks are rejection-sampled to keep a minimum spacing so every task's
+    approach is collision-free at the fidelity the simulator models.
+    """
+    positions: list[np.ndarray] = []
+    while len(positions) < len(BLOCK_NAMES):
+        candidate = rng.uniform(layout.block_region_lower, layout.block_region_upper)
+        if all(np.linalg.norm(candidate[:2] - p[:2]) > _MIN_BLOCK_SPACING for p in positions):
+            positions.append(candidate)
+    blocks = {
+        name: Block(name=name, position=pos, yaw=float(rng.uniform(-np.pi / 4, np.pi / 4)))
+        for name, pos in zip(BLOCK_NAMES, positions)
+    }
+    drawer = Drawer(
+        handle_base=layout.drawer_handle.copy(),
+        axis=layout.drawer_axis.copy(),
+        opening=float(rng.uniform(0.0, 0.03)),
+    )
+    switch = Switch(
+        handle_base=layout.switch_handle.copy(),
+        axis=layout.switch_axis.copy(),
+        level=float(rng.uniform(0.0, 0.15)),
+    )
+    return SceneState(
+        ee_pose=_HOME_POSE.copy(),
+        gripper_open=True,
+        blocks=blocks,
+        drawer=drawer,
+        switch=switch,
+        zones={"left": layout.zone_left.copy(), "right": layout.zone_right.copy()},
+    )

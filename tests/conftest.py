@@ -1,0 +1,58 @@
+"""Shared fixtures and hypothesis settings for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, settings
+
+# Keep property-based tests fast on the single-core CI budget while still
+# exploring a meaningful slice of the input space.
+settings.register_profile(
+    "repro",
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")
+
+
+@pytest.fixture(scope="session")
+def panda_model():
+    from repro.robot import panda
+
+    return panda()
+
+
+@pytest.fixture(scope="session")
+def planar_model():
+    from repro.robot import two_link_planar
+
+    return two_link_planar()
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture(scope="session")
+def tiny_policies():
+    """Small policies trained for a couple of epochs; shared by slow tests.
+
+    These are *not* the accuracy-tuned models -- just enough training that
+    closed-loop rollouts behave non-trivially.
+    """
+    import numpy as np
+
+    from repro.core import BaselinePolicy, CorkiPolicy, TrainingConfig, train_baseline, train_corki
+    from repro.sim import OBSERVATION_DIM, SEEN_LAYOUT, TASKS, collect_demonstrations
+
+    rng = np.random.default_rng(0)
+    demos = collect_demonstrations(SEEN_LAYOUT, rng, per_task=3)
+    baseline = BaselinePolicy(OBSERVATION_DIM, len(TASKS), rng, token_dim=16, hidden_dim=32)
+    corki = CorkiPolicy(OBSERVATION_DIM, len(TASKS), rng, token_dim=16, hidden_dim=32)
+    config = TrainingConfig(epochs=1, batch_size=64)
+    train_baseline(baseline, demos, config)
+    train_corki(corki, demos, config)
+    return baseline, corki, demos

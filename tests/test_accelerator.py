@@ -1,0 +1,231 @@
+"""Tests for the accelerator: datapath, schedules, ACE, buffers, resources."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.accelerator import (
+    ALL_UNITS,
+    BufferOverflow,
+    BufferUnderflow,
+    CorkiAccelerator,
+    DESIGN_THRESHOLD,
+    Fifo,
+    JointImpactModel,
+    LineBuffer,
+    Scratchpad,
+    ZC706,
+    ablation,
+    baseline_cycles,
+    mass_matrix_joint_sensitivity,
+    pipelined_cycles,
+    resource_report,
+    reuse_cycles,
+)
+from repro.robot import (
+    TaskSpaceComputedTorqueController,
+    TaskSpaceReference,
+    end_effector_pose,
+    panda,
+)
+
+
+@pytest.fixture(scope="module")
+def model():
+    return panda()
+
+
+@pytest.fixture(scope="module")
+def impact(model):
+    return JointImpactModel.from_model(model)
+
+
+class TestSchedules:
+    def test_ordering(self):
+        reports = ablation(7)
+        assert (
+            reports["reuse+pipeline"].cycles
+            < reports["data-reuse"].cycles
+            < reports["baseline"].cycles
+        )
+
+    def test_reductions_match_paper_shape(self):
+        base = baseline_cycles(7)
+        reuse = reuse_cycles(7)
+        pipe = pipelined_cycles(7)
+        assert 0.45 <= reuse.reduction_vs(base) <= 0.60  # paper: 54.0%
+        assert 0.78 <= pipe.reduction_vs(base) <= 0.90  # paper: 86.0%
+
+    @given(st.integers(2, 12))
+    def test_monotone_in_links(self, links):
+        assert baseline_cycles(links + 1).cycles > baseline_cycles(links).cycles
+        assert pipelined_cycles(links + 1).cycles > pipelined_cycles(links).cycles
+
+    def test_accelerator_supports_100hz(self):
+        """A full control tick must fit comfortably in a 10 ms period."""
+        assert pipelined_cycles(7).microseconds < 100.0
+
+    def test_initiation_intervals_positive(self):
+        for unit in ALL_UNITS:
+            assert unit.initiation_interval >= 1
+            assert unit.cycles(7) > unit.pipeline_depth
+
+
+class TestImpactModel:
+    def test_middle_joints_dominate(self, impact):
+        """Fig. 9's shape: joints 2-4 matter, joints 1 and 7 do not."""
+        mass = impact.mass
+        assert mass[1] > 5 * mass[0]
+        assert mass[1] > 5 * mass[6]
+        assert max(mass[1:4]) == max(mass)
+
+    def test_normalised(self, impact):
+        for vector in (impact.jacobian, impact.mass, impact.bias):
+            assert vector.sum() == pytest.approx(1.0)
+            assert np.all(vector >= 0)
+
+    def test_sensitivity_grows_with_angle(self, model):
+        angles = (np.deg2rad(6), np.deg2rad(17), np.deg2rad(29))
+        sensitivity = mass_matrix_joint_sensitivity(model, angles=angles)
+        for joint in (1, 2, 3):
+            values = [sensitivity[float(a)][joint] for a in angles]
+            assert values[0] < values[1] < values[2]
+
+    def test_joint1_invariant(self, model):
+        """Base yaw cannot change the joint-space mass matrix."""
+        sensitivity = mass_matrix_joint_sensitivity(model, angles=(np.deg2rad(29),))
+        assert sensitivity[float(np.deg2rad(29))][0] < 1e-9
+
+
+class TestAceUnit:
+    def test_first_tick_updates_everything(self, model, impact):
+        accelerator = CorkiAccelerator(model, threshold=DESIGN_THRESHOLD, impact=impact)
+        reference = TaskSpaceReference(
+            end_effector_pose(model, model.q_home), np.zeros(6), np.zeros(6)
+        )
+        result = accelerator.control_tick(reference, model.q_home, np.zeros(7))
+        assert all(result.updated.values())
+
+    def test_stationary_robot_skips_updates(self, model, impact):
+        accelerator = CorkiAccelerator(model, threshold=DESIGN_THRESHOLD, impact=impact)
+        reference = TaskSpaceReference(
+            end_effector_pose(model, model.q_home), np.zeros(6), np.zeros(6)
+        )
+        for _ in range(5):
+            result = accelerator.control_tick(reference, model.q_home, np.zeros(7))
+        assert not any(result.updated.values())
+        assert accelerator.skip_rate > 0.5
+
+    def test_threshold_zero_always_updates(self, model, impact):
+        accelerator = CorkiAccelerator(model, threshold=0.0, impact=impact)
+        reference = TaskSpaceReference(
+            end_effector_pose(model, model.q_home), np.zeros(6), np.zeros(6)
+        )
+        rng = np.random.default_rng(0)
+        for k in range(5):
+            q = model.q_home + 1e-6 * rng.normal(size=7)
+            result = accelerator.control_tick(reference, q, np.zeros(7))
+        assert all(result.updated.values())
+        assert accelerator.skip_rate == 0.0
+
+    def test_functional_equivalence_at_zero_threshold(self, model, impact, rng):
+        """Paper invariant: no approximation => identical torques to software."""
+        accelerator = CorkiAccelerator(model, threshold=0.0, impact=impact)
+        controller = TaskSpaceComputedTorqueController(model)
+        for _ in range(3):
+            q = model.clamp_configuration(model.q_home + 0.1 * rng.normal(size=7))
+            qd = 0.2 * rng.normal(size=7)
+            pose = end_effector_pose(model, q)
+            pose[0] += 0.02
+            reference = TaskSpaceReference(pose, np.zeros(6), np.zeros(6))
+            expected = controller.torque(reference, q, qd)
+            result = accelerator.control_tick(reference, q, qd)
+            assert np.allclose(result.torque, expected, atol=1e-10)
+
+    def test_approximate_torque_stays_close(self, model, impact):
+        """Small drift with reuse must give near-exact torques."""
+        accelerator = CorkiAccelerator(model, threshold=DESIGN_THRESHOLD, impact=impact)
+        controller = TaskSpaceComputedTorqueController(model)
+        pose = end_effector_pose(model, model.q_home)
+        reference = TaskSpaceReference(pose, np.zeros(6), np.zeros(6))
+        q = model.q_home.copy()
+        accelerator.control_tick(reference, q, np.zeros(7))
+        q2 = q + 1e-4
+        result = accelerator.control_tick(reference, q2, np.zeros(7))
+        expected = controller.torque(reference, q2, np.zeros(7))
+        assert np.abs(result.torque - expected).max() < 0.5  # newton-metres
+
+    def test_cycles_reflect_updates(self, model, impact):
+        accelerator = CorkiAccelerator(model, threshold=DESIGN_THRESHOLD, impact=impact)
+        pose = end_effector_pose(model, model.q_home)
+        reference = TaskSpaceReference(pose, np.zeros(6), np.zeros(6))
+        full = accelerator.control_tick(reference, model.q_home, np.zeros(7))
+        reused = accelerator.control_tick(reference, model.q_home, np.zeros(7))
+        assert full.cycles == accelerator.full_tick_cycles()
+        assert reused.cycles == accelerator.min_tick_cycles()
+        assert reused.cycles < full.cycles
+
+    def test_higher_threshold_skips_more(self, model, impact):
+        rng = np.random.default_rng(1)
+        drift = 5e-3 * rng.normal(size=(60, 7))
+        skip_rates = []
+        for threshold in (0.2, 0.8):
+            accelerator = CorkiAccelerator(model, threshold=threshold, impact=impact)
+            pose = end_effector_pose(model, model.q_home)
+            reference = TaskSpaceReference(pose, np.zeros(6), np.zeros(6))
+            q = model.q_home.copy()
+            for step in range(60):
+                q = q + drift[step]
+                accelerator.control_tick(reference, q, np.zeros(7))
+            skip_rates.append(accelerator.skip_rate)
+        assert skip_rates[1] > skip_rates[0]
+
+
+class TestBuffers:
+    def test_fifo_order_and_overflow(self):
+        fifo = Fifo("test", capacity=2)
+        fifo.push(1)
+        fifo.push(2)
+        with pytest.raises(BufferOverflow):
+            fifo.push(3)
+        assert fifo.pop() == 1
+        assert fifo.pop() == 2
+        with pytest.raises(BufferUnderflow):
+            fifo.pop()
+        assert fifo.high_water == 2
+
+    def test_line_buffer_random_access(self):
+        buffer = LineBuffer("forces", lines=7, line_words=6)
+        buffer.write(3, "force-3")
+        assert buffer.read(3) == "force-3"
+        with pytest.raises(BufferUnderflow):
+            buffer.read(4)
+        with pytest.raises(BufferOverflow):
+            buffer.write(7, "x")
+
+    def test_scratchpad_capacity(self):
+        pad = Scratchpad("pad", capacity_bytes=80)
+        pad.store("a", 5, "A")  # 40 bytes
+        pad.store("a", 6, "A2")  # replaces, 48 bytes
+        with pytest.raises(BufferOverflow):
+            pad.store("b", 8, "B")  # 48 + 64 > 80
+        assert pad.load("a") == "A2"
+        with pytest.raises(BufferUnderflow):
+            pad.load("missing")
+
+
+class TestResources:
+    def test_matches_paper_utilisation(self):
+        report = resource_report()
+        assert report.dsp_pct == pytest.approx(13.6, abs=0.5)
+        assert report.ff_pct == pytest.approx(7.8, abs=0.5)
+        assert report.lut_pct == pytest.approx(16.9, abs=0.5)
+        assert report.bram_pct == pytest.approx(6.6, abs=0.5)
+
+    def test_fits_on_device(self):
+        report = resource_report()
+        assert report.dsp < ZC706.dsp
+        assert report.lut < ZC706.lut
+        assert report.ff < ZC706.ff
+        assert report.bram_36kb < ZC706.bram_36kb

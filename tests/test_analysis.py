@@ -1,0 +1,113 @@
+"""Tests for metrics, calibration and report formatting."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis import (
+    format_series,
+    format_table,
+    job_statistics,
+    max_trajectory_distance,
+    paper_vs_measured,
+    sample_trajectory,
+    track_trajectory,
+    trajectory_metrics,
+    trajectory_rmse,
+)
+from repro.robot import panda
+
+
+class TestJobStatistics:
+    def test_success_at_k(self):
+        stats = job_statistics([5, 3, 0, 2, 5])
+        assert stats.success_at[0] == pytest.approx(0.8)  # >= 1 task
+        assert stats.success_at[4] == pytest.approx(0.4)  # all 5 tasks
+        assert stats.average_length == pytest.approx(3.0)
+        assert stats.jobs == 5
+
+    def test_success_at_is_monotone_decreasing(self):
+        stats = job_statistics([1, 2, 3, 4, 5, 0, 2])
+        assert all(a >= b for a, b in zip(stats.success_at, stats.success_at[1:]))
+
+    def test_validates_inputs(self):
+        with pytest.raises(ValueError):
+            job_statistics([])
+        with pytest.raises(ValueError):
+            job_statistics([6])
+
+    @given(st.lists(st.integers(0, 5), min_size=1, max_size=50))
+    def test_average_consistent_with_success_at(self, counts):
+        """avg length equals the sum over k of P(completed >= k)."""
+        stats = job_statistics(counts)
+        assert stats.average_length == pytest.approx(stats.success_at.sum())
+
+
+class TestTrajectoryMetrics:
+    def test_rmse_zero_for_identical(self):
+        path = np.random.default_rng(0).normal(size=(20, 6))
+        assert trajectory_rmse(path, path) == 0.0
+
+    def test_rmse_known_offset(self):
+        reference = np.zeros((10, 6))
+        executed = reference.copy()
+        executed[:, 0] = 0.03
+        assert trajectory_rmse(executed, reference) == pytest.approx(0.03)
+
+    def test_max_distance_per_dimension(self):
+        reference = np.zeros((10, 6))
+        executed = reference.copy()
+        executed[4, 1] = -0.05
+        assert np.allclose(max_trajectory_distance(executed, reference), [0.0, 0.05, 0.0])
+
+    def test_length_mismatch_uses_common_prefix(self):
+        reference = np.zeros((10, 6))
+        executed = np.zeros((6, 6))
+        executed[:, 2] = 0.01
+        assert trajectory_rmse(executed, reference) == pytest.approx(0.01)
+
+    def test_batch_aggregation(self):
+        reference = [np.zeros((5, 6)), np.zeros((5, 6))]
+        executed = [np.zeros((5, 6)), np.zeros((5, 6))]
+        executed[1][:, 0] = 0.02
+        stats = trajectory_metrics(executed, reference)
+        assert stats.mean_rmse == pytest.approx(0.01)
+
+    def test_validates_batch(self):
+        with pytest.raises(ValueError):
+            trajectory_metrics([], [])
+
+
+class TestCalibration:
+    def test_sample_trajectory_scale(self):
+        model = panda()
+        trajectory = sample_trajectory(model, np.random.default_rng(0))
+        total = np.linalg.norm(trajectory.pose(trajectory.duration)[:3] - trajectory.origin[:3])
+        assert 0.02 < total < 0.15  # centimetre-scale per-step motion
+
+    def test_tracking_reports_fields(self):
+        model = panda()
+        trajectory = sample_trajectory(model, np.random.default_rng(1))
+        report = track_trajectory(model, trajectory, control_hz=100, physics_hz=300)
+        assert report.rmse_m < 0.05
+        assert report.max_error_m >= report.rmse_m
+        assert report.skip_rate is None
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        text = format_table(("a", "bb"), [["1", "2"], ["333", "4"]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a")
+
+    def test_format_series(self):
+        text = format_series("s", [1.0, 2.0], [0.5, 0.25], unit="ms")
+        assert "s (ms):" in text
+        assert "0.5" in text
+
+    def test_paper_vs_measured(self):
+        text = paper_vs_measured([("x", "1.0", "1.1")], title="t")
+        assert text.startswith("t")
+        assert "measured" in text

@@ -1,0 +1,140 @@
+"""Tests for the camera model, demonstrations and supervision targets."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import PREDICTION_HORIZON
+from repro.sim import (
+    ActionNormalizer,
+    CameraModel,
+    OBSERVATION_DIM,
+    RAW_FEATURE_DIM,
+    SEEN_LAYOUT,
+    UNSEEN_LAYOUT,
+    baseline_target,
+    collect_demonstrations,
+    corki_targets,
+    min_jerk_profile,
+    render_keyframes,
+    sample_scene,
+)
+from repro.sim.tasks import Keyframe
+
+
+class TestCamera:
+    def test_observation_shape_and_range(self):
+        scene = sample_scene(SEEN_LAYOUT, np.random.default_rng(0))
+        camera = CameraModel(noise_std=0.0)
+        obs = camera.render(scene, np.random.default_rng(1))
+        assert obs.shape == (OBSERVATION_DIM,)
+        assert np.all(np.abs(obs) <= 1.0)
+
+    def test_raw_features_dimension(self):
+        scene = sample_scene(SEEN_LAYOUT, np.random.default_rng(0))
+        assert CameraModel.raw_features(scene).shape == (RAW_FEATURE_DIM,)
+
+    def test_noise_free_render_is_deterministic(self):
+        scene = sample_scene(SEEN_LAYOUT, np.random.default_rng(0))
+        camera = CameraModel(noise_std=0.0)
+        a = camera.render(scene, np.random.default_rng(1))
+        b = camera.render(scene, np.random.default_rng(2))
+        assert np.allclose(a, b)
+
+    def test_scene_changes_move_pixels(self):
+        scene = sample_scene(SEEN_LAYOUT, np.random.default_rng(0))
+        camera = CameraModel(noise_std=0.0)
+        before = camera.render(scene, np.random.default_rng(1))
+        scene.blocks["red"].position[0] += 0.05
+        after = camera.render(scene, np.random.default_rng(1))
+        assert not np.allclose(before, after)
+
+    def test_domain_shift_changes_response(self):
+        scene = sample_scene(SEEN_LAYOUT, np.random.default_rng(0))
+        seen = CameraModel(noise_std=0.0, domain_shift=0.0)
+        unseen = CameraModel(noise_std=0.0, domain_shift=UNSEEN_LAYOUT.camera_shift)
+        a = seen.render(scene, np.random.default_rng(1))
+        b = unseen.render(scene, np.random.default_rng(1))
+        assert not np.allclose(a, b)
+
+    def test_sensor_noise_scale(self):
+        scene = sample_scene(SEEN_LAYOUT, np.random.default_rng(0))
+        camera = CameraModel(noise_std=0.02)
+        rng = np.random.default_rng(1)
+        samples = np.array([camera.render(scene, rng) for _ in range(50)])
+        assert samples.std(axis=0).mean() == pytest.approx(0.02, rel=0.3)
+
+
+class TestExpertRendering:
+    def test_min_jerk_boundary_conditions(self):
+        s = np.array([0.0, 1.0])
+        blend = min_jerk_profile(s)
+        assert blend[0] == 0.0 and blend[1] == pytest.approx(1.0)
+
+    def test_min_jerk_monotone(self):
+        s = np.linspace(0, 1, 50)
+        assert np.all(np.diff(min_jerk_profile(s)) >= 0)
+
+    def test_render_hits_keyframes(self):
+        start = np.zeros(6)
+        keyframes = [
+            Keyframe(np.array([0.1, 0, 0.1, 0, 0, 0]), True, 0.3),
+            Keyframe(np.array([0.1, 0.2, 0.1, 0, 0, 0]), False, 0.3),
+        ]
+        trajectory = render_keyframes(start, keyframes)
+        assert np.allclose(trajectory.poses[0], start)
+        assert np.allclose(trajectory.poses[-1], keyframes[-1].pose)
+        # Gripper command during the second segment is closed.
+        assert not trajectory.gripper_open[-1]
+
+    def test_render_frame_count(self):
+        keyframes = [Keyframe(np.ones(6), True, 0.5)]
+        trajectory = render_keyframes(np.zeros(6), keyframes, frame_dt=1 / 30)
+        assert len(trajectory) == 1 + round(0.5 * 30)
+        assert trajectory.duration == pytest.approx(0.5)
+
+
+class TestSupervisionTargets:
+    @pytest.fixture(scope="class")
+    def demo(self):
+        demos = collect_demonstrations(
+            SEEN_LAYOUT, np.random.default_rng(0), per_task=1
+        )
+        return demos[0]
+
+    def test_baseline_target_is_next_delta(self, demo):
+        delta, gripper = baseline_target(demo, 3)
+        assert np.allclose(delta, demo.poses[4] - demo.poses[3])
+        assert gripper in (0.0, 1.0)
+
+    def test_baseline_target_final_frame(self, demo):
+        delta, _ = baseline_target(demo, len(demo) - 1)
+        assert np.allclose(delta, np.zeros(6))
+
+    def test_corki_targets_are_cumulative_offsets(self, demo):
+        offsets, gripper = corki_targets(demo, 2, PREDICTION_HORIZON)
+        assert offsets.shape == (PREDICTION_HORIZON, 6)
+        assert np.allclose(offsets[0], demo.poses[3] - demo.poses[2])
+        assert np.allclose(offsets[4], demo.poses[7] - demo.poses[2])
+        assert gripper.shape == (PREDICTION_HORIZON,)
+
+    def test_normalizer_roundtrip(self, demo):
+        normalizer = ActionNormalizer.fit([demo])
+        delta = np.array([0.01, -0.02, 0.005, 0.0, 0.0, 0.1])
+        assert np.allclose(normalizer.denormalize(normalizer.normalize(delta)), delta)
+
+    def test_normalizer_floors_scale(self):
+        demo_poses = np.zeros((5, 6))
+        from repro.sim.dataset import Demonstration
+
+        flat = Demonstration(
+            instruction_id=0,
+            observations=np.zeros((5, OBSERVATION_DIM)),
+            poses=demo_poses,
+            clean_poses=demo_poses,
+            gripper_open=np.ones(5, dtype=bool),
+            succeeded=True,
+        )
+        normalizer = ActionNormalizer.fit([flat])
+        assert np.all(normalizer.scale >= 1e-4)

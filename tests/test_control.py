@@ -1,0 +1,112 @@
+"""Closed-loop tests for the TS-CTC controller."""
+
+import numpy as np
+import pytest
+
+from repro.robot import (
+    ControlGains,
+    JointState,
+    TaskSpaceComputedTorqueController,
+    TaskSpaceReference,
+    end_effector_pose,
+    panda,
+    semi_implicit_euler_step,
+)
+
+_PANDA = panda()
+
+
+def _hold_reference(model):
+    pose = end_effector_pose(model, model.q_home)
+    return TaskSpaceReference(pose, np.zeros(6), np.zeros(6))
+
+
+class TestPoseError:
+    def test_zero_at_reference(self):
+        controller = TaskSpaceComputedTorqueController(_PANDA)
+        pose = end_effector_pose(_PANDA, _PANDA.q_home)
+        error = controller.pose_error(pose, _PANDA.q_home)
+        assert np.allclose(error, np.zeros(6), atol=1e-9)
+
+    def test_sign_convention(self):
+        controller = TaskSpaceComputedTorqueController(_PANDA)
+        pose = end_effector_pose(_PANDA, _PANDA.q_home)
+        pose[0] += 0.05  # desired 5 cm further along +x
+        error = controller.pose_error(pose, _PANDA.q_home)
+        assert error[0] == pytest.approx(0.05, abs=1e-9)
+
+
+class TestClosedLoop:
+    def test_holds_pose_under_gravity(self):
+        """At the reference with zero velocity, the arm must not drift."""
+        controller = TaskSpaceComputedTorqueController(_PANDA)
+        reference = _hold_reference(_PANDA)
+        state = JointState(_PANDA.q_home.copy(), np.zeros(7))
+        dt = 1e-3
+        for step in range(200):
+            if step % 10 == 0:
+                tau = controller.torque(reference, state.q, state.qd)
+            state = semi_implicit_euler_step(_PANDA, state, tau, dt)
+        error = controller.pose_error(reference.pose, state.q)
+        assert np.linalg.norm(error[:3]) < 1e-3
+
+    def test_steps_toward_displaced_target(self):
+        """A displaced reference produces motion that reduces the error."""
+        controller = TaskSpaceComputedTorqueController(_PANDA)
+        pose = end_effector_pose(_PANDA, _PANDA.q_home)
+        pose[1] += 0.04
+        reference = TaskSpaceReference(pose, np.zeros(6), np.zeros(6))
+        state = JointState(_PANDA.q_home.copy(), np.zeros(7))
+        initial_error = np.linalg.norm(controller.pose_error(pose, state.q)[:3])
+        dt = 1e-3
+        for step in range(300):
+            if step % 10 == 0:
+                tau = controller.torque(reference, state.q, state.qd)
+            state = semi_implicit_euler_step(_PANDA, state, tau, dt)
+        final_error = np.linalg.norm(controller.pose_error(pose, state.q)[:3])
+        assert final_error < 0.2 * initial_error
+
+    def test_torques_respect_limits(self):
+        controller = TaskSpaceComputedTorqueController(
+            _PANDA, ControlGains(kp=np.full(6, 5000.0), kv=np.full(6, 10.0))
+        )
+        pose = end_effector_pose(_PANDA, _PANDA.q_home)
+        pose[0] += 0.5  # unreachable jump -> huge commanded force
+        reference = TaskSpaceReference(pose, np.zeros(6), np.zeros(6))
+        tau = controller.torque(reference, _PANDA.q_home, np.zeros(7))
+        assert np.all(np.abs(tau) <= _PANDA.tau_limit + 1e-9)
+
+    def test_precomputed_quantities_hook(self, rng):
+        """Supplying quantities must reproduce the internally computed torque."""
+        from repro.robot import operational_space_quantities
+
+        controller = TaskSpaceComputedTorqueController(_PANDA)
+        reference = _hold_reference(_PANDA)
+        q = _PANDA.q_home
+        qd = 0.05 * rng.normal(size=7)
+        quantities = operational_space_quantities(_PANDA, q, qd)
+        assert np.allclose(
+            controller.torque(reference, q, qd),
+            controller.torque(reference, q, qd, quantities=quantities),
+        )
+
+
+class TestIntegrator:
+    def test_joint_limits_absorb_velocity(self):
+        state = JointState(_PANDA.q_upper - 1e-4, np.full(7, 2.0))
+        new_state = semi_implicit_euler_step(_PANDA, state, np.zeros(7), 0.01)
+        assert np.all(new_state.q <= _PANDA.q_upper + 1e-12)
+        clamped = new_state.q >= _PANDA.q_upper - 1e-9
+        assert np.all(new_state.qd[clamped] == 0.0)
+
+    def test_velocity_limits(self):
+        state = JointState(_PANDA.q_home.copy(), np.zeros(7))
+        new_state = semi_implicit_euler_step(_PANDA, state, _PANDA.tau_limit * 100, 0.1)
+        assert np.all(np.abs(new_state.qd) <= _PANDA.qd_limit + 1e-12)
+
+    def test_simulate_returns_all_states(self):
+        from repro.robot import simulate_torque_steps
+
+        state = JointState(_PANDA.q_home.copy(), np.zeros(7))
+        states = simulate_torque_steps(_PANDA, state, lambda s, k: np.zeros(7), 1e-3, 10)
+        assert len(states) == 11

@@ -1,0 +1,33 @@
+"""Tests for the train-once cache behind the accuracy experiments."""
+
+import numpy as np
+import pytest
+
+import repro.analysis.evaluation as evaluation
+
+
+class TestPolicyCache:
+    def test_cache_roundtrip(self, tmp_path, monkeypatch):
+        """Second call must load identical weights without retraining."""
+        monkeypatch.setattr(evaluation, "_CACHE_DIR", str(tmp_path))
+        first = evaluation.get_trained_policies(demos_per_task=1, epochs=1, hidden_dim=24, token_dim=16)
+        token_before = first.corki.encode_frame_token(np.zeros(48), 0)
+
+        second = evaluation.get_trained_policies(demos_per_task=1, epochs=1, hidden_dim=24, token_dim=16)
+        token_after = second.corki.encode_frame_token(np.zeros(48), 0)
+        assert np.allclose(token_before, token_after)
+        assert np.allclose(first.baseline.normalizer.scale, second.baseline.normalizer.scale)
+
+    def test_cache_key_includes_hyperparameters(self, tmp_path, monkeypatch):
+        monkeypatch.setattr(evaluation, "_CACHE_DIR", str(tmp_path))
+        evaluation.get_trained_policies(demos_per_task=1, epochs=1, hidden_dim=24, token_dim=16)
+        files = list(tmp_path.iterdir())
+        assert files, "cache files must be written"
+        assert any("d1-e1" in f.name for f in files)
+
+    def test_no_cache_flag_skips_writing(self, tmp_path, monkeypatch):
+        monkeypatch.setattr(evaluation, "_CACHE_DIR", str(tmp_path))
+        evaluation.get_trained_policies(
+            demos_per_task=1, epochs=1, hidden_dim=24, token_dim=16, use_cache=False
+        )
+        assert not list(tmp_path.iterdir())

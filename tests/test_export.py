@@ -1,0 +1,44 @@
+"""Tests for experiment-report export and the CLI --save flag."""
+
+import json
+import os
+
+import pytest
+
+from repro.analysis.export import load_index, save_report
+
+
+class TestExport:
+    def test_save_writes_report_and_index(self, tmp_path):
+        path = save_report("fig2", "hello\nworld", "quick", directory=str(tmp_path))
+        assert os.path.exists(path)
+        with open(path, encoding="utf-8") as handle:
+            assert handle.read() == "hello\nworld\n"
+        index = load_index(str(tmp_path))
+        assert index["fig2"]["file"] == "fig2-quick.txt"
+        assert index["fig2"]["profile"] == "quick"
+
+    def test_index_accumulates(self, tmp_path):
+        save_report("fig2", "a", "quick", directory=str(tmp_path))
+        save_report("tbl3", "b", "quick", directory=str(tmp_path))
+        index = load_index(str(tmp_path))
+        assert set(index) == {"fig2", "tbl3"}
+
+    def test_resave_overwrites(self, tmp_path):
+        save_report("fig2", "first", "quick", directory=str(tmp_path))
+        path = save_report("fig2", "second", "quick", directory=str(tmp_path))
+        with open(path, encoding="utf-8") as handle:
+            assert handle.read() == "second\n"
+
+    def test_empty_index(self, tmp_path):
+        assert load_index(str(tmp_path)) == {}
+
+    def test_cli_save_flag(self, tmp_path, monkeypatch, capsys):
+        import repro.analysis.export as export_module
+        from repro.cli import main
+
+        monkeypatch.setattr(export_module, "default_artifact_dir", lambda: str(tmp_path))
+        assert main(["resources", "--save"]) == 0
+        out = capsys.readouterr().out
+        assert "[saved" in out
+        assert (tmp_path / "resources-quick.txt").exists()

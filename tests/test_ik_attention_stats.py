@@ -1,0 +1,162 @@
+"""Tests for the IK solver, the transformer VLM and the statistics helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis.statistics import bootstrap_mean_ci, paired_bootstrap_difference
+from repro.nn import Tensor
+from repro.nn.attention import MultiHeadSelfAttention, TransformerVLM
+from repro.robot import end_effector_pose, forward_kinematics, panda
+from repro.robot.ik import solve_ik, trajectory_to_joint_path
+
+_PANDA = panda()
+
+
+class TestInverseKinematics:
+    def test_converges_to_reachable_pose(self):
+        target = end_effector_pose(_PANDA, _PANDA.q_home)
+        target[0] += 0.08
+        target[2] -= 0.05
+        result = solve_ik(_PANDA, target)
+        assert result.converged
+        assert result.position_error < 1e-4
+
+    def test_solution_respects_joint_limits(self):
+        target = end_effector_pose(_PANDA, _PANDA.q_home)
+        target[1] += 0.15
+        result = solve_ik(_PANDA, target)
+        assert np.all(result.q >= _PANDA.q_lower - 1e-12)
+        assert np.all(result.q <= _PANDA.q_upper + 1e-12)
+
+    def test_unreachable_pose_reports_failure(self):
+        target = np.array([2.0, 0.0, 0.5, 0.0, 0.0, 0.0])  # 2 m away
+        result = solve_ik(_PANDA, target, max_iterations=50)
+        assert not result.converged
+        assert result.position_error > 0.5
+
+    def test_roundtrip_fk_ik(self, rng):
+        q_true = _PANDA.clamp_configuration(_PANDA.q_home + 0.2 * rng.normal(size=7))
+        target = end_effector_pose(_PANDA, q_true)
+        result = solve_ik(_PANDA, target)
+        assert result.converged
+        recovered = forward_kinematics(_PANDA, result.q)[:3, 3]
+        assert np.allclose(recovered, target[:3], atol=1e-3)
+
+    def test_trajectory_to_joint_path_continuity(self):
+        start = end_effector_pose(_PANDA, _PANDA.q_home)
+        poses = np.array([start + np.array([0.01 * k, 0, 0, 0, 0, 0]) for k in range(5)])
+        path, converged = trajectory_to_joint_path(_PANDA, poses)
+        assert converged
+        # Consecutive solutions stay on one branch: small joint steps.
+        assert np.abs(np.diff(path, axis=0)).max() < 0.2
+
+
+class TestAttention:
+    def test_output_shape(self, rng):
+        attention = MultiHeadSelfAttention(dim=16, heads=4, rng=rng)
+        x = Tensor(rng.normal(size=(5, 16)))
+        assert attention(x).shape == (5, 16)
+
+    def test_rejects_bad_head_split(self, rng):
+        with pytest.raises(ValueError):
+            MultiHeadSelfAttention(dim=10, heads=4, rng=rng)
+
+    def test_gradients_flow_through_attention(self, rng):
+        attention = MultiHeadSelfAttention(dim=8, heads=2, rng=rng)
+        x = Tensor(rng.normal(size=(4, 8)), requires_grad=True)
+        attention(x).sum().backward()
+        assert x.grad is not None
+        assert np.any(x.grad != 0)
+
+    def test_attention_gradcheck(self, rng):
+        attention = MultiHeadSelfAttention(dim=4, heads=2, rng=rng)
+        x0 = rng.normal(size=(3, 4))
+
+        def fn(x):
+            return (attention(x) * attention(x)).sum()
+
+        x = Tensor(x0.copy(), requires_grad=True)
+        fn(x).backward()
+        analytic = x.grad.copy()
+        eps = 1e-6
+        numeric = np.zeros_like(x0)
+        for i in range(x0.size):
+            plus, minus = x0.copy().ravel(), x0.copy().ravel()
+            plus[i] += eps
+            minus[i] -= eps
+            numeric.ravel()[i] = (
+                fn(Tensor(plus.reshape(x0.shape))).item()
+                - fn(Tensor(minus.reshape(x0.shape))).item()
+            ) / (2 * eps)
+        assert np.allclose(analytic, numeric, atol=1e-5)
+
+    def test_transformer_vlm_token(self, rng):
+        vlm = TransformerVLM(observation_dim=48, num_instructions=5, token_dim=16, rng=rng)
+        token = vlm(rng.normal(size=48), 2)
+        assert token.shape == (16,)
+
+    def test_transformer_vlm_instruction_sensitivity(self, rng):
+        vlm = TransformerVLM(observation_dim=48, num_instructions=5, token_dim=16, rng=rng)
+        obs = rng.normal(size=48)
+        assert not np.allclose(vlm(obs, 0).numpy(), vlm(obs, 4).numpy())
+
+    def test_transformer_vlm_trains(self, rng):
+        from repro.nn import Adam, mse_loss
+
+        vlm = TransformerVLM(observation_dim=16, num_instructions=2, token_dim=8, rng=rng, num_patches=4, depth=1)
+        optimizer = Adam(vlm.parameters(), lr=0.01)
+        obs = rng.normal(size=(8, 16))
+        targets = rng.normal(size=(8, 8))
+        losses = []
+        for _ in range(40):
+            loss = None
+            for row in range(8):
+                sample_loss = mse_loss(vlm(obs[row], row % 2), targets[row])
+                loss = sample_loss if loss is None else loss + sample_loss
+            optimizer.zero_grad()
+            loss.backward()
+            optimizer.step()
+            losses.append(loss.item())
+        assert losses[-1] < 0.5 * losses[0]
+
+
+class TestStatistics:
+    def test_ci_contains_true_mean(self):
+        rng = np.random.default_rng(0)
+        samples = rng.normal(3.0, 1.0, size=200)
+        ci = bootstrap_mean_ci(samples)
+        assert 3.0 in ci
+        assert ci.lower < ci.point < ci.upper
+
+    def test_ci_width_shrinks_with_samples(self):
+        rng = np.random.default_rng(0)
+        small = bootstrap_mean_ci(rng.normal(size=20))
+        large = bootstrap_mean_ci(rng.normal(size=2000))
+        assert (large.upper - large.lower) < (small.upper - small.lower)
+
+    def test_validates_inputs(self):
+        with pytest.raises(ValueError):
+            bootstrap_mean_ci(np.array([]))
+        with pytest.raises(ValueError):
+            bootstrap_mean_ci(np.ones(3), confidence=1.5)
+
+    def test_paired_difference_detects_shift(self):
+        rng = np.random.default_rng(1)
+        control = rng.normal(0.0, 1.0, size=300)
+        treatment = control + 0.5
+        ci = paired_bootstrap_difference(treatment, control)
+        assert 0.0 not in ci
+        assert ci.point == pytest.approx(0.5)
+
+    def test_paired_requires_alignment(self):
+        with pytest.raises(ValueError):
+            paired_bootstrap_difference(np.ones(3), np.ones(4))
+
+    @given(st.integers(0, 100))
+    def test_ci_is_deterministic_given_seed(self, seed):
+        samples = np.arange(10.0)
+        a = bootstrap_mean_ci(samples, seed=seed)
+        b = bootstrap_mean_ci(samples, seed=seed)
+        assert a == b

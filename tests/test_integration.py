@@ -1,0 +1,85 @@
+"""End-to-end integration: train -> evaluate -> metrics -> pipeline model.
+
+Exercises the exact composition the paper's Tbl. 1 / Fig. 13 machinery uses,
+at tiny scale, asserting the plumbing invariants rather than accuracy
+numbers (those belong to the full-scale experiment drivers).
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import job_statistics, trajectory_metrics
+from repro.analysis.evaluation import JOB_LENGTH, SystemEvaluation, TrainedPolicies, evaluate_system
+from repro.pipeline import simulate_baseline, simulate_corki
+from repro.sim import SEEN_LAYOUT, UNSEEN_LAYOUT
+
+
+@pytest.fixture(scope="module")
+def trained(tiny_policies_module):
+    baseline, corki, _ = tiny_policies_module
+    return TrainedPolicies(baseline, corki, demos_per_task=3, epochs=1)
+
+
+@pytest.fixture(scope="module")
+def tiny_policies_module():
+    from repro.core import (
+        BaselinePolicy,
+        CorkiPolicy,
+        TrainingConfig,
+        train_baseline,
+        train_corki,
+    )
+    from repro.sim import OBSERVATION_DIM, TASKS, collect_demonstrations
+
+    rng = np.random.default_rng(0)
+    demos = collect_demonstrations(SEEN_LAYOUT, rng, per_task=3)
+    baseline = BaselinePolicy(OBSERVATION_DIM, len(TASKS), rng, token_dim=16, hidden_dim=32)
+    corki = CorkiPolicy(OBSERVATION_DIM, len(TASKS), rng, token_dim=16, hidden_dim=32)
+    config = TrainingConfig(epochs=1, batch_size=64)
+    train_baseline(baseline, demos, config)
+    train_corki(corki, demos, config)
+    return baseline, corki, demos
+
+
+class TestEvaluationPlumbing:
+    def test_baseline_evaluation(self, trained):
+        result = evaluate_system(trained, "roboflamingo", SEEN_LAYOUT, jobs=2, seed=1)
+        assert isinstance(result, SystemEvaluation)
+        assert result.job_stats.jobs == 2
+        assert 1 <= len(result.traces) <= 2 * JOB_LENGTH
+        assert result.mean_steps_per_inference == pytest.approx(1.0)
+
+    def test_corki_evaluation_steps(self, trained):
+        result = evaluate_system(trained, "corki-5", SEEN_LAYOUT, jobs=2, seed=1)
+        assert 1.0 < result.mean_steps_per_inference <= 5.0
+        assert all(1 <= step <= 9 for step in result.executed_steps)
+
+    def test_adaptive_evaluation(self, trained):
+        result = evaluate_system(trained, "corki-adap", SEEN_LAYOUT, jobs=1, seed=1)
+        assert all(1 <= step <= 9 for step in result.executed_steps)
+
+    def test_unseen_layout_runs(self, trained):
+        result = evaluate_system(trained, "corki-3", UNSEEN_LAYOUT, jobs=1, seed=1)
+        assert result.job_stats.jobs == 1
+
+    def test_paired_seeding(self, trained):
+        """Same seed => same job sequences => comparable evaluations."""
+        a = evaluate_system(trained, "roboflamingo", SEEN_LAYOUT, jobs=2, seed=9)
+        b = evaluate_system(trained, "roboflamingo", SEEN_LAYOUT, jobs=2, seed=9)
+        assert a.job_stats.average_length == b.job_stats.average_length
+
+    def test_trajectory_stats_finite(self, trained):
+        result = evaluate_system(trained, "corki-5", SEEN_LAYOUT, jobs=1, seed=2)
+        stats = result.trajectory_stats()
+        assert np.isfinite(stats.mean_rmse)
+        assert stats.max_distance.shape == (3,)
+
+
+class TestAccuracyToPipelineCoupling:
+    def test_traces_drive_pipeline_model(self, trained):
+        """The measured executed-steps feed the latency model (Fig. 13 path)."""
+        result = evaluate_system(trained, "corki-5", SEEN_LAYOUT, jobs=1, seed=3)
+        baseline_trace = simulate_baseline(60)
+        corki_trace = simulate_corki(result.executed_steps)
+        assert corki_trace.speedup_vs(baseline_trace) > 1.0
+        assert len(corki_trace.frames) == sum(result.executed_steps)

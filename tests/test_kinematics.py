@@ -1,0 +1,108 @@
+"""Tests for forward kinematics and the geometric Jacobian."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.robot import (
+    end_effector_pose,
+    end_effector_velocity,
+    forward_kinematics,
+    geometric_jacobian,
+    jacobian_dot_qd,
+    link_transforms,
+    panda,
+    two_link_planar,
+)
+
+_PANDA = panda()
+_PLANAR = two_link_planar()
+
+panda_configs = st.lists(
+    st.floats(-1.2, 1.2, allow_nan=False), min_size=7, max_size=7
+).map(lambda vals: _PANDA.clamp_configuration(np.array(vals)))
+
+
+class TestForwardKinematics:
+    def test_two_link_closed_form(self):
+        """The planar arm's tip position has a textbook closed form."""
+        q = np.array([0.4, 0.7])
+        tip = forward_kinematics(_PLANAR, q)[:3, 3]
+        length = 0.5
+        expected_x = length * np.cos(q[0]) + length * np.cos(q[0] + q[1])
+        expected_y = length * np.sin(q[0]) + length * np.sin(q[0] + q[1])
+        assert np.allclose(tip, [expected_x, expected_y, 0.0], atol=1e-12)
+
+    def test_link_count(self):
+        transforms = link_transforms(_PANDA, _PANDA.q_home)
+        assert len(transforms) == 7
+
+    def test_wrong_configuration_shape_raises(self):
+        with pytest.raises(ValueError):
+            link_transforms(_PANDA, np.zeros(6))
+
+    @given(panda_configs)
+    def test_rotations_stay_orthonormal(self, q):
+        for t in link_transforms(_PANDA, q):
+            rotation = t[:3, :3]
+            assert np.allclose(rotation @ rotation.T, np.eye(3), atol=1e-9)
+
+    @given(panda_configs)
+    def test_joint1_only_spins_about_base_z(self, q):
+        """Rotating joint 1 must not change the end-effector height."""
+        pose_a = forward_kinematics(_PANDA, q)
+        q2 = q.copy()
+        q2[0] = np.clip(q2[0] + 0.3, _PANDA.q_lower[0], _PANDA.q_upper[0])
+        pose_b = forward_kinematics(_PANDA, q2)
+        assert np.isclose(pose_a[2, 3], pose_b[2, 3], atol=1e-9)
+
+    def test_reach_is_bounded(self):
+        """No configuration can reach beyond the sum of link offsets."""
+        rng = np.random.default_rng(0)
+        max_reach = 0.333 + 0.316 + 0.384 + 2 * 0.0825 + 0.088 + 0.107 + 0.1
+        for _ in range(20):
+            q = _PANDA.random_configuration(rng)
+            position = forward_kinematics(_PANDA, q)[:3, 3]
+            assert np.linalg.norm(position) < max_reach
+
+    def test_end_effector_pose_vector(self):
+        pose = end_effector_pose(_PANDA, _PANDA.q_home)
+        assert pose.shape == (6,)
+        transform = forward_kinematics(_PANDA, _PANDA.q_home)
+        assert np.allclose(pose[:3], transform[:3, 3])
+
+
+class TestJacobian:
+    @given(panda_configs)
+    def test_matches_finite_differences(self, q):
+        jac = geometric_jacobian(_PANDA, q)
+        eps = 1e-6
+        for joint in range(7):
+            dq = np.zeros(7)
+            dq[joint] = eps
+            forward = forward_kinematics(_PANDA, q + dq)[:3, 3]
+            backward = forward_kinematics(_PANDA, q - dq)[:3, 3]
+            assert np.allclose(jac[:3, joint], (forward - backward) / (2 * eps), atol=1e-5)
+
+    def test_velocity_consistency(self, rng):
+        q = _PANDA.q_home
+        qd = rng.normal(size=7)
+        twist = end_effector_velocity(_PANDA, q, qd)
+        assert np.allclose(twist, geometric_jacobian(_PANDA, q) @ qd)
+
+    def test_jdot_qd_matches_numeric_twist_derivative(self, rng):
+        q = _PANDA.q_home
+        qd = 0.5 * rng.normal(size=7)
+        eps = 1e-6
+        j_now = geometric_jacobian(_PANDA, q)
+        j_next = geometric_jacobian(_PANDA, q + eps * qd)
+        expected = (j_next - j_now) / eps @ qd
+        assert np.allclose(jacobian_dot_qd(_PANDA, q, qd), expected, atol=1e-4)
+
+    def test_jdot_qd_zero_velocity(self):
+        assert np.allclose(jacobian_dot_qd(_PANDA, _PANDA.q_home, np.zeros(7)), np.zeros(6))
+
+    def test_shape(self):
+        assert geometric_jacobian(_PANDA, _PANDA.q_home).shape == (6, 7)
+        assert geometric_jacobian(_PLANAR, np.zeros(2)).shape == (6, 2)

@@ -1,0 +1,91 @@
+"""Regression tests pinning the paper-shape results that are fast to compute.
+
+These are the qualitative claims EXPERIMENTS.md reports; pinning them here
+means a refactor that silently breaks a reproduced shape fails the suite,
+not just the documentation.
+"""
+
+import importlib
+
+import numpy as np
+import pytest
+
+
+class TestFig15Shape:
+    @pytest.fixture(scope="class")
+    def sweep(self):
+        from repro.analysis import threshold_sweep
+
+        return threshold_sweep(
+            thresholds=[0.0, 0.4, 0.8], trajectories=1, physics_hz=200.0
+        )
+
+    def test_speedup_monotone_in_threshold(self, sweep):
+        speedups = [point.speedup for point in sweep]
+        assert speedups[0] == pytest.approx(1.0)
+        assert speedups[0] < speedups[1] < speedups[2]
+
+    def test_skip_rate_monotone(self, sweep):
+        skips = [point.skip_rate for point in sweep]
+        assert skips[0] == pytest.approx(0.0)
+        assert skips[1] > 0.3  # paper: over 51% at the design point
+        assert skips[2] > skips[1]
+
+    def test_error_stays_small(self, sweep):
+        """Paper: "the trajectory error remains minimal" across thresholds."""
+        errors = [point.trajectory_error_cm for point in sweep]
+        assert max(errors) < 2.0
+        assert max(errors) < 1.5 * min(errors)
+
+
+class TestSystemShapes:
+    def test_corki5_sw_pair(self):
+        """SW keeps Corki-5's algorithm but is slower end to end."""
+        from repro.pipeline import SystemStages, simulate_corki
+
+        fpga = simulate_corki([5] * 30)
+        sw = simulate_corki([5] * 30, stages=SystemStages.corki(control="cpu"))
+        assert 1.3 < sw.mean_latency_ms / fpga.mean_latency_ms < 2.0
+
+    def test_inference_dominates_baseline(self):
+        from repro.pipeline import simulate_baseline
+
+        trace = simulate_baseline(50)
+        breakdown = trace.latency_breakdown()
+        assert breakdown["inference"] > breakdown["communication"] > breakdown["control"]
+
+    def test_accelerator_meets_realtime(self):
+        """Paper Sec. 2.2: 100 Hz control needs the accelerated path."""
+        from repro import constants
+
+        assert constants.CONTROL_FPGA_MS < 10.0  # fits a 100 Hz period
+        assert constants.CONTROL_CPU_MS > 10.0  # the CPU path does not
+
+
+class TestPublicApi:
+    @pytest.mark.parametrize(
+        "module_name",
+        [
+            "repro.core",
+            "repro.nn",
+            "repro.robot",
+            "repro.sim",
+            "repro.accelerator",
+            "repro.pipeline",
+            "repro.analysis",
+        ],
+    )
+    def test_all_exports_resolve(self, module_name):
+        module = importlib.import_module(module_name)
+        for name in module.__all__:
+            assert hasattr(module, name), f"{module_name}.__all__ lists missing {name!r}"
+
+    def test_variations_cover_paper_set(self):
+        from repro.core import VARIATIONS
+
+        assert set(VARIATIONS) == {
+            "corki-1", "corki-3", "corki-5", "corki-7", "corki-9",
+            "corki-adap", "corki-sw",
+        }
+        assert VARIATIONS["corki-sw"].control == "cpu"
+        assert VARIATIONS["corki-adap"].adaptive

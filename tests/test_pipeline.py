@@ -1,0 +1,130 @@
+"""Tests for the system pipeline model: stages, executor, traces."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro import constants
+from repro.pipeline import (
+    CommunicationStage,
+    ControlStage,
+    InferenceStage,
+    SystemStages,
+    simulate_baseline,
+    simulate_corki,
+)
+
+
+class TestStages:
+    def test_inference_scaling(self):
+        assert InferenceStage(0.4).latency_ms == pytest.approx(constants.INFERENCE_MS * 0.4)
+
+    def test_control_substrates(self):
+        assert ControlStage("cpu").latency_ms == pytest.approx(24.7, abs=0.1)
+        assert ControlStage("fpga").latency_ms == pytest.approx(24.7 / 29.0, abs=0.01)
+        with pytest.raises(ValueError):
+            _ = ControlStage("tpu").latency_ms
+
+    def test_stage_energy(self):
+        stage = CommunicationStage()
+        assert stage.energy_j() == pytest.approx(stage.latency_ms / 1000 * stage.power_w)
+
+
+class TestBaselinePipeline:
+    def test_matches_paper_frame_latency(self):
+        trace = simulate_baseline(100)
+        assert trace.mean_latency_ms == pytest.approx(249.4, rel=0.01)
+
+    def test_breakdown_matches_paper(self):
+        trace = simulate_baseline(200, rng=np.random.default_rng(0))
+        breakdown = trace.latency_breakdown()
+        assert breakdown["inference"] == pytest.approx(0.727, abs=0.02)
+        assert breakdown["control"] == pytest.approx(0.099, abs=0.02)
+        assert breakdown["communication"] == pytest.approx(0.174, abs=0.02)
+
+    def test_energy_dominated_by_inference(self):
+        trace = simulate_baseline(100, rng=np.random.default_rng(0))
+        assert trace.energy_breakdown()["inference"] == pytest.approx(0.958, abs=0.01)
+
+    def test_jitter_reproducible(self):
+        a = simulate_baseline(50, rng=np.random.default_rng(5))
+        b = simulate_baseline(50, rng=np.random.default_rng(5))
+        assert np.allclose(a.latencies_ms(), b.latencies_ms())
+
+
+class TestCorkiPipeline:
+    def test_corki5_frequency_matches_paper(self):
+        trace = simulate_corki([5] * 60)
+        assert trace.frequency_hz == pytest.approx(26.9, abs=0.5)
+
+    def test_crest_trough_structure(self):
+        trace = simulate_corki([5, 5])
+        latencies = trace.latencies_ms()
+        assert latencies[0] > 10 * latencies[1]
+        assert latencies[5] > 10 * latencies[6]
+
+    def test_speedup_monotone_in_steps(self):
+        baseline = simulate_baseline(90)
+        speedups = [
+            simulate_corki([steps] * 30).speedup_vs(baseline) for steps in (1, 3, 5, 7, 9)
+        ]
+        assert all(a < b for a, b in zip(speedups, speedups[1:]))
+        assert 1.0 < speedups[0] < 2.0  # paper: 1.2x for Corki-1
+        assert 8.0 < speedups[-1] < 13.0  # paper: 9.1x for Corki-9
+
+    def test_short_trajectory_exposes_communication(self):
+        """One 33 ms step cannot hide 43.4 ms of communication."""
+        trace = simulate_corki([1])
+        assert trace.frames[0].communication_ms > 0
+        trace_long = simulate_corki([5])
+        assert trace_long.frames[0].communication_ms == 0.0
+
+    def test_energy_reduction_scales(self):
+        baseline = simulate_baseline(90)
+        reduction_9 = simulate_corki([9] * 30).energy_reduction_vs(baseline)
+        assert reduction_9 == pytest.approx(9.2, abs=1.5)  # paper: 9.2x
+
+    def test_sw_variant_slower(self):
+        fpga = simulate_corki([5] * 30)
+        cpu = simulate_corki([5] * 30, stages=SystemStages.corki(control="cpu"))
+        assert cpu.mean_latency_ms > fpga.mean_latency_ms
+        assert cpu.frequency_hz < 22.0  # paper: 18.7 Hz
+
+    def test_rejects_zero_steps(self):
+        with pytest.raises(ValueError):
+            simulate_corki([5, 0, 3])
+
+    def test_long_tail_heavier_than_baseline(self):
+        """Paper Fig. 14c: Corki has higher relative latency variation."""
+        rng = np.random.default_rng(0)
+        baseline = simulate_baseline(100, rng=rng)
+        corki = simulate_corki([5] * 20, rng=rng)
+        assert corki.latency_variation > baseline.latency_variation
+
+    @given(st.lists(st.integers(1, 9), min_size=1, max_size=40))
+    def test_frame_count_is_total_steps(self, steps):
+        trace = simulate_corki(steps)
+        assert len(trace.frames) == sum(steps)
+
+    @given(st.lists(st.integers(1, 9), min_size=2, max_size=40))
+    def test_inference_count_matches_trajectories(self, steps):
+        trace = simulate_corki(steps)
+        crests = sum(1 for frame in trace.frames if frame.inference_ms > 0)
+        assert crests == len(steps)
+
+
+class TestScaling:
+    def test_tbl3_h100_beats_v100_speedup(self):
+        from repro.experiments.tbl3_tbl4_scaling import scaled_speedup
+
+        steps = [5] * 40
+        v100 = scaled_speedup(1.0, steps)
+        h100 = scaled_speedup(0.4, steps)
+        assert h100 > v100  # paper: 6.4x > 5.9x
+
+    def test_tbl4_int8_beats_fp32_speedup(self):
+        from repro.experiments.tbl3_tbl4_scaling import scaled_speedup
+
+        steps = [5] * 40
+        assert scaled_speedup(0.4, steps) > scaled_speedup(1.0, steps)

@@ -1,0 +1,76 @@
+"""Tests for the end-to-end power model and the algorithm-ablation machinery."""
+
+import numpy as np
+import pytest
+
+from repro import constants
+from repro.pipeline.power import PAPER_COMPUTE_POWER_SHARE, RobotPowerModel, system_energy_per_frame
+
+
+class TestRobotPowerModel:
+    def test_default_compute_share_matches_paper(self):
+        model = RobotPowerModel()
+        assert model.compute_share == pytest.approx(PAPER_COMPUTE_POWER_SHARE, abs=0.01)
+
+    def test_accelerator_cuts_compute_power(self):
+        baseline = RobotPowerModel()
+        corki = baseline.with_accelerator()
+        assert corki.compute_power_w < baseline.compute_power_w
+        assert corki.motor_power_w == baseline.motor_power_w
+
+    def test_motor_energy_dilutes_savings(self):
+        """Computing-side ratio must exceed the end-to-end ratio."""
+        baseline = RobotPowerModel()
+        corki = baseline.with_accelerator()
+        frame_ms = constants.FRAME_DT_MS
+        baseline_computing = 1.0  # joules per frame, computing side
+        corki_computing = 0.2
+        computing_ratio = baseline_computing / corki_computing
+        end_to_end_ratio = system_energy_per_frame(
+            baseline_computing, frame_ms, baseline
+        ) / system_energy_per_frame(corki_computing, frame_ms, corki)
+        assert end_to_end_ratio < computing_ratio
+
+    def test_energy_accounting(self):
+        model = RobotPowerModel(motor_power_w=60.0, compute_power_w=40.0)
+        total = system_energy_per_frame(2.0, 1000.0, model)
+        assert total == pytest.approx(2.0 + 60.0)
+
+
+class TestAlgorithmAblation:
+    @pytest.fixture(scope="class")
+    def tiny_setup(self):
+        from repro.core.policy import CorkiPolicy
+        from repro.core.training import TrainingConfig
+        from repro.experiments.ablation_algorithm import _windows_and_targets
+        from repro.sim import (
+            ActionNormalizer,
+            OBSERVATION_DIM,
+            SEEN_LAYOUT,
+            TASKS,
+            collect_demonstrations,
+        )
+
+        rng = np.random.default_rng(0)
+        demos = collect_demonstrations(SEEN_LAYOUT, rng, per_task=1)
+        policy = CorkiPolicy(OBSERVATION_DIM, len(TASKS), rng, token_dim=16, hidden_dim=24)
+        normalizer = ActionNormalizer.fit(demos)
+        samples = _windows_and_targets(demos, normalizer, np.random.default_rng(1), limit=20)
+        return policy, demos, samples
+
+    def test_heldout_error_is_finite(self, tiny_setup):
+        from repro.experiments.ablation_algorithm import heldout_waypoint_error
+
+        policy, _, samples = tiny_setup
+        error = heldout_waypoint_error(policy, samples)
+        assert np.isfinite(error) and error > 0
+
+    def test_coefficient_supervision_trains(self, tiny_setup):
+        from repro.core.training import TrainingConfig
+        from repro.experiments.ablation_algorithm import train_coefficient_supervised
+
+        policy, demos, _ = tiny_setup
+        history = train_coefficient_supervised(
+            policy, demos, TrainingConfig(epochs=2, batch_size=64)
+        )
+        assert history[-1] < history[0]

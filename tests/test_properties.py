@@ -1,0 +1,97 @@
+"""Cross-module property-based tests: physics, pipeline, and trajectory laws."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import CubicTrajectory, fit_cubic
+from repro.pipeline import simulate_baseline, simulate_corki
+from repro.robot import mass_matrix, panda, rnea
+
+_PANDA = panda()
+
+configs = st.lists(st.floats(-1.0, 1.0, allow_nan=False), min_size=7, max_size=7).map(
+    lambda v: _PANDA.clamp_configuration(np.array(v))
+)
+velocities = st.lists(st.floats(-1.0, 1.0, allow_nan=False), min_size=7, max_size=7).map(np.array)
+
+
+class TestDynamicsLaws:
+    @given(configs, velocities)
+    def test_rnea_is_affine_in_qdd(self, q, qd):
+        """tau(qdd) must be affine: tau(a+b) - tau(a) == tau(b) - tau(0)."""
+        a = np.linspace(-0.5, 0.5, 7)
+        b = np.linspace(0.3, -0.3, 7)
+        tau_ab = rnea(_PANDA, q, qd, a + b)
+        tau_a = rnea(_PANDA, q, qd, a)
+        tau_b = rnea(_PANDA, q, qd, b)
+        tau_0 = rnea(_PANDA, q, qd, np.zeros(7))
+        assert np.allclose(tau_ab - tau_a, tau_b - tau_0, atol=1e-8)
+
+    @given(configs, st.floats(-1.0, 1.0, allow_nan=False))
+    def test_mass_matrix_invariant_to_base_yaw(self, q, delta):
+        """Joint 1 rotates the whole arm about gravity; M(q) cannot change."""
+        q2 = q.copy()
+        q2[0] = np.clip(q2[0] + delta, _PANDA.q_lower[0], _PANDA.q_upper[0])
+        assert np.allclose(mass_matrix(_PANDA, q), mass_matrix(_PANDA, q2), atol=1e-10)
+
+    @given(configs, velocities)
+    def test_coriolis_quadratic_in_velocity(self, q, qd):
+        """h(q, s*qd) - g(q) must scale as s^2 (pure Coriolis/centrifugal)."""
+        from repro.robot import bias_forces, gravity_forces
+
+        gravity = gravity_forces(_PANDA, q)
+        coriolis_1 = bias_forces(_PANDA, q, qd) - gravity
+        coriolis_2 = bias_forces(_PANDA, q, 2.0 * qd) - gravity
+        assert np.allclose(coriolis_2, 4.0 * coriolis_1, atol=1e-8)
+
+
+class TestPipelineLaws:
+    @given(st.lists(st.integers(1, 9), min_size=1, max_size=30))
+    def test_frame_energy_is_sum_of_stages(self, steps):
+        trace = simulate_corki(steps)
+        for frame in trace.frames:
+            assert frame.energy_j == pytest.approx(
+                frame.inference_j + frame.control_j + frame.communication_j
+            )
+
+    @given(st.integers(1, 9), st.integers(1, 9))
+    def test_longer_execution_never_slower(self, a, b):
+        """Mean frame latency is monotone non-increasing in execution length."""
+        short, long = sorted((a, b))
+        trace_short = simulate_corki([short] * 18)
+        trace_long = simulate_corki([long] * 18)
+        assert trace_long.mean_latency_ms <= trace_short.mean_latency_ms + 1e-9
+
+    @given(st.integers(10, 200))
+    def test_baseline_latency_independent_of_length(self, frames):
+        trace = simulate_baseline(frames)
+        assert trace.mean_latency_ms == pytest.approx(249.4, rel=1e-6)
+
+
+class TestTrajectoryLaws:
+    @given(
+        st.lists(st.floats(-0.05, 0.05, allow_nan=False), min_size=54, max_size=54),
+        st.integers(1, 8),
+    )
+    def test_waypoints_match_pose_at_step_times(self, flat, step):
+        offsets = np.array(flat).reshape(9, 6)
+        trajectory = CubicTrajectory(
+            origin=np.zeros(6),
+            coefficients=fit_cubic(offsets),
+            duration=0.3,
+            gripper_open=np.ones(9, dtype=bool),
+        )
+        waypoints = trajectory.waypoints()
+        t = step * trajectory.step_dt
+        assert np.allclose(waypoints[step - 1], trajectory.pose(t), atol=1e-9)
+
+    @given(st.lists(st.floats(-0.05, 0.05, allow_nan=False), min_size=54, max_size=54))
+    def test_fit_is_projection(self, flat):
+        """Fitting already-cubic data reproduces it (idempotence)."""
+        offsets = np.array(flat).reshape(9, 6)
+        coefficients = fit_cubic(offsets)
+        trajectory = CubicTrajectory(np.zeros(6), coefficients, 0.3, np.ones(9, dtype=bool))
+        refit = fit_cubic(trajectory.waypoints() - np.zeros(6))
+        assert np.allclose(refit, coefficients, atol=1e-7)

@@ -1,0 +1,136 @@
+"""Failure-injection and edge-case tests across the stack."""
+
+import numpy as np
+import pytest
+
+from repro.core import VARIATIONS, run_corki_episode
+from repro.core.runner import _TokenWindow
+from repro.sim import (
+    ActuationModel,
+    ManipulationEnv,
+    PERFECT_ACTUATION,
+    SEEN_LAYOUT,
+    TASKS,
+    collect_demonstrations,
+)
+
+
+class TestActuationDegradation:
+    def test_noise_destroys_expert_success(self):
+        """With centimetre-level actuation noise the expert must start failing.
+
+        This is the physical channel through which control quality reaches
+        task success -- the basis of the 30 Hz vs 100 Hz comparison.
+        """
+        clean = collect_demonstrations(
+            SEEN_LAYOUT, np.random.default_rng(0), per_task=2, jitter_std=0.0,
+            keep_failures=True,
+        )
+        noisy = collect_demonstrations(
+            SEEN_LAYOUT, np.random.default_rng(0), per_task=2, jitter_std=0.02,
+            keep_failures=True,
+        )
+        clean_rate = np.mean([demo.succeeded for demo in clean])
+        noisy_rate = np.mean([demo.succeeded for demo in noisy])
+        assert clean_rate == 1.0
+        assert noisy_rate < clean_rate
+
+    def test_low_tracking_gain_slows_approach(self):
+        """A sluggish actuation model covers less ground per frame."""
+        results = {}
+        for gain in (1.0, 0.5):
+            env = ManipulationEnv(
+                SEEN_LAYOUT,
+                np.random.default_rng(0),
+                actuation=ActuationModel("test", tracking_gain=gain, noise_std=0.0),
+            )
+            env.reset(TASKS[0])
+            start = env.scene.ee_pose.copy()
+            target = start + np.array([0.1, 0.0, 0.0, 0.0, 0.0, 0.0])
+            env.step(target, True)
+            results[gain] = env.scene.ee_pose[0] - start[0]
+        assert results[0.5] < results[1.0]
+
+
+class TestGraspBoundaries:
+    def _env_with_block_at(self, offset):
+        env = ManipulationEnv(SEEN_LAYOUT, np.random.default_rng(0), actuation=PERFECT_ACTUATION)
+        env.reset(TASKS[0])
+        block = env.scene.blocks["red"]
+        env.scene.ee_pose = np.array(
+            [block.position[0] + offset, block.position[1], 0.03, 0.0, 0.0, 0.0]
+        )
+        return env
+
+    def test_grasp_inside_radius(self):
+        env = self._env_with_block_at(0.03)
+        env.step(env.scene.ee_pose, False)
+        assert env.scene.attached == "red"
+
+    def test_grasp_outside_radius_fails(self):
+        env = self._env_with_block_at(0.06)
+        env.step(env.scene.ee_pose, False)
+        assert env.scene.attached is None
+
+    def test_grasp_too_high_fails(self):
+        env = self._env_with_block_at(0.0)
+        env.scene.ee_pose[2] = 0.15
+        env.step(env.scene.ee_pose, False)
+        assert env.scene.attached is None
+
+
+class TestTokenWindow:
+    def test_feedback_token_enters_window(self, tiny_policies):
+        _, corki, _ = tiny_policies
+        window = _TokenWindow(corki)
+        rng = np.random.default_rng(0)
+        observation = rng.normal(size=corki.observation_dim)
+        window.add_inference_frame(0, observation, 0)
+        window.add_feedback_frame(3, observation)
+        assembled = window.assemble(5)
+        mask = corki.mask_token()
+        # Slot for frame 3 must differ from the mask embedding.
+        slot = assembled[-(5 - 3) - 1]
+        assert not np.allclose(slot, mask)
+
+    def test_unencoded_slots_are_mask(self, tiny_policies):
+        _, corki, _ = tiny_policies
+        window = _TokenWindow(corki)
+        rng = np.random.default_rng(0)
+        window.add_inference_frame(11, rng.normal(size=corki.observation_dim), 0)
+        assembled = window.assemble(11)
+        mask = corki.mask_token()
+        assert np.allclose(assembled[0], mask)  # frame 0 never encoded
+        assert not np.allclose(assembled[-1], mask)  # current frame is real
+
+    def test_warmup_padding_uses_first_real_token(self, tiny_policies):
+        _, corki, _ = tiny_policies
+        window = _TokenWindow(corki)
+        rng = np.random.default_rng(0)
+        window.add_inference_frame(0, rng.normal(size=corki.observation_dim), 0)
+        assembled = window.assemble(0)
+        # Negative frames (before episode start) repeat the first real token.
+        assert np.allclose(assembled[0], assembled[-1])
+
+
+class TestRunnerEdgeCases:
+    def test_single_frame_budget(self, tiny_policies):
+        _, corki, _ = tiny_policies
+        env = ManipulationEnv(SEEN_LAYOUT, np.random.default_rng(0))
+        trace = run_corki_episode(
+            env, corki, TASKS[0], VARIATIONS["corki-9"], np.random.default_rng(1),
+            max_frames=1,
+        )
+        assert trace.frames == 1
+        assert trace.executed_steps == [1]
+
+    def test_closed_loop_disabled_variation(self, tiny_policies):
+        from repro.core.config import CorkiVariation
+
+        _, corki, _ = tiny_policies
+        variation = CorkiVariation("corki-open", execute_steps=5, closed_loop=False)
+        env = ManipulationEnv(SEEN_LAYOUT, np.random.default_rng(0))
+        trace = run_corki_episode(
+            env, corki, TASKS[0], variation, np.random.default_rng(1), max_frames=15
+        )
+        assert trace.frames <= 15

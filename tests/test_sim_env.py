@@ -1,0 +1,194 @@
+"""Tests for the manipulation environment: stepping, grasping, tasks."""
+
+import numpy as np
+import pytest
+
+from repro.sim import (
+    ManipulationEnv,
+    PERFECT_ACTUATION,
+    SEEN_LAYOUT,
+    TASKS,
+    task_by_instruction,
+)
+from repro.sim.tasks import sample_job
+
+
+def make_env(seed=0, actuation=PERFECT_ACTUATION):
+    return ManipulationEnv(SEEN_LAYOUT, np.random.default_rng(seed), actuation=actuation)
+
+
+def goto(env, position, gripper_open=True, steps=30, yaw=0.0):
+    """Drive the end-effector to ``position`` with perfect actuation."""
+    target = np.array([position[0], position[1], position[2], 0.0, 0.0, yaw])
+    obs = None
+    for _ in range(steps):
+        obs = env.step(target, gripper_open)
+    return obs
+
+
+class TestEpisodeLifecycle:
+    def test_reset_returns_observation(self):
+        env = make_env()
+        obs = env.reset(TASKS[0])
+        assert obs.shape == (48,)
+
+    def test_observe_before_reset_raises(self):
+        env = make_env()
+        with pytest.raises(RuntimeError):
+            env.observe()
+
+    def test_step_before_reset_raises(self):
+        env = make_env()
+        with pytest.raises(RuntimeError):
+            env.step(np.zeros(6), True)
+
+    def test_frame_counter(self):
+        env = make_env()
+        env.reset(TASKS[0])
+        for _ in range(5):
+            env.step(env.scene.ee_pose, True)
+        assert env.frame_count == 5
+
+
+class TestGraspingMechanics:
+    def test_grasp_and_lift_block(self):
+        env = make_env()
+        task = task_by_instruction("lift the red block")
+        env.reset(task)
+        block = env.scene.blocks["red"]
+        goto(env, [block.position[0], block.position[1], 0.03], gripper_open=True)
+        goto(env, [block.position[0], block.position[1], 0.03], gripper_open=False, steps=2)
+        assert env.scene.attached == "red"
+        goto(env, [block.position[0], block.position[1], 0.2], gripper_open=False)
+        assert env.scene.blocks["red"].position[2] > 0.15
+        assert env.succeeded
+
+    def test_release_drops_block_to_table(self):
+        env = make_env()
+        env.reset(task_by_instruction("lift the red block"))
+        block = env.scene.blocks["red"]
+        goto(env, [block.position[0], block.position[1], 0.03])
+        goto(env, [block.position[0], block.position[1], 0.03], gripper_open=False, steps=2)
+        goto(env, [block.position[0], block.position[1], 0.2], gripper_open=False)
+        goto(env, [block.position[0], block.position[1], 0.2], gripper_open=True, steps=2)
+        assert env.scene.attached is None
+        assert env.scene.blocks["red"].position[2] == pytest.approx(0.02)
+
+    def test_closing_far_from_objects_grabs_nothing(self):
+        env = make_env()
+        env.reset(TASKS[0])
+        goto(env, [0.0, 0.0, 0.3], gripper_open=False, steps=2)
+        assert env.scene.attached is None
+
+    def test_drawer_follows_gripper(self):
+        env = make_env()
+        task = task_by_instruction("open the drawer")
+        env.reset(task)
+        handle = env.scene.drawer.handle_position
+        goto(env, handle)
+        goto(env, handle, gripper_open=False, steps=2)
+        assert env.scene.attached == "drawer"
+        target = env.scene.drawer.handle_base + 0.15 * env.scene.drawer.axis
+        goto(env, target, gripper_open=False)
+        assert env.scene.drawer.opening > 0.12
+        assert env.succeeded
+
+    def test_drawer_opening_clamped(self):
+        env = make_env()
+        env.reset(task_by_instruction("open the drawer"))
+        handle = env.scene.drawer.handle_position
+        goto(env, handle)
+        goto(env, handle, gripper_open=False, steps=2)
+        far = env.scene.drawer.handle_base + 1.0 * env.scene.drawer.axis
+        goto(env, far, gripper_open=False)
+        assert env.scene.drawer.opening <= env.scene.drawer.max_opening + 1e-9
+
+    def test_switch_task(self):
+        env = make_env()
+        task = task_by_instruction("turn the switch on")
+        env.reset(task)
+        handle = env.scene.switch.handle_position
+        goto(env, handle)
+        goto(env, handle, gripper_open=False, steps=2)
+        assert env.scene.attached == "switch"
+        target = env.scene.switch.handle_base + 0.95 * env.scene.switch.travel * env.scene.switch.axis
+        goto(env, target, gripper_open=False)
+        assert env.succeeded
+
+    def test_rotate_block_yaw_follows(self):
+        env = make_env()
+        task = task_by_instruction("rotate the red block to the left")
+        env.reset(task)
+        block = env.scene.blocks["red"]
+        initial_yaw = block.yaw
+        goto(env, [block.position[0], block.position[1], 0.03], yaw=block.yaw)
+        goto(env, [block.position[0], block.position[1], 0.03], gripper_open=False, steps=2, yaw=block.yaw)
+        goto(
+            env,
+            [block.position[0], block.position[1], 0.03],
+            gripper_open=False,
+            yaw=block.yaw + np.pi / 2,
+        )
+        assert env.scene.blocks["red"].yaw - initial_yaw > np.pi / 3
+        assert env.succeeded
+
+
+class TestTaskRegistry:
+    def test_instruction_ids_are_indices(self):
+        for index, task in enumerate(TASKS):
+            assert task.instruction_id == index
+
+    def test_unknown_instruction_raises(self):
+        with pytest.raises(KeyError):
+            task_by_instruction("fly to the moon")
+
+    def test_all_five_families_present(self):
+        families = {task.family for task in TASKS}
+        assert families == {"lift", "move", "rotate", "drawer", "switch"}
+
+    def test_job_sampling_distinct_targets(self):
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            job = sample_job(rng)
+            assert len(job) == 5
+            keys = set()
+            for task in job:
+                words = task.instruction.split()
+                key = task.family + (
+                    words[2] if task.family in ("lift", "move", "rotate") else ""
+                )
+                assert key not in keys
+                keys.add(key)
+
+    def test_prepare_makes_close_drawer_feasible(self):
+        env = make_env()
+        env.reset(task_by_instruction("close the drawer"))
+        assert env.scene.drawer.opening > 0.1
+
+
+class TestExpertDemonstrations:
+    def test_noise_free_expert_succeeds_everywhere(self):
+        from repro.sim import collect_demonstrations
+
+        demos = collect_demonstrations(
+            SEEN_LAYOUT, np.random.default_rng(3), per_task=2, jitter_std=0.0,
+            keep_failures=True,
+        )
+        success_rate = np.mean([demo.succeeded for demo in demos])
+        assert success_rate == 1.0
+
+    def test_jittered_expert_mostly_succeeds(self):
+        from repro.sim import collect_demonstrations
+
+        demos = collect_demonstrations(
+            SEEN_LAYOUT, np.random.default_rng(4), per_task=2, keep_failures=True
+        )
+        assert np.mean([demo.succeeded for demo in demos]) > 0.8
+
+    def test_demo_arrays_aligned(self):
+        from repro.sim import collect_demonstrations
+
+        demos = collect_demonstrations(SEEN_LAYOUT, np.random.default_rng(5), per_task=1)
+        for demo in demos:
+            assert len(demo.observations) == len(demo.poses) == len(demo.gripper_open)
+            assert len(demo.clean_poses) == len(demo.poses)

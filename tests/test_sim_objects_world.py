@@ -1,0 +1,66 @@
+"""Tests for scene objects, layouts and scene sampling."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sim import (
+    BLOCK_NAMES,
+    SEEN_LAYOUT,
+    UNSEEN_LAYOUT,
+    WORKSPACE,
+    sample_scene,
+)
+from repro.sim.objects import Block, Drawer, Switch
+
+
+class TestObjects:
+    def test_drawer_handle_tracks_opening(self):
+        drawer = Drawer(handle_base=np.zeros(3), axis=np.array([0.0, -1.0, 0.0]))
+        drawer.opening = 0.1
+        assert np.allclose(drawer.handle_position, [0.0, -0.1, 0.0])
+
+    def test_switch_light_thresholds(self):
+        switch = Switch(handle_base=np.zeros(3), axis=np.array([1.0, 0.0, 0.0]))
+        switch.level = 0.64
+        assert not switch.light_on
+        switch.level = 0.66
+        assert switch.light_on
+
+    def test_copy_is_deep(self):
+        scene = sample_scene(SEEN_LAYOUT, np.random.default_rng(0))
+        clone = scene.copy()
+        clone.blocks["red"].position[0] += 1.0
+        clone.drawer.opening = 0.17
+        assert scene.blocks["red"].position[0] != clone.blocks["red"].position[0]
+        assert scene.drawer.opening != clone.drawer.opening
+
+
+class TestSceneSampling:
+    @given(st.integers(0, 500))
+    def test_blocks_spaced_and_in_region(self, seed):
+        scene = sample_scene(SEEN_LAYOUT, np.random.default_rng(seed))
+        positions = [scene.blocks[name].position for name in BLOCK_NAMES]
+        for position in positions:
+            assert np.all(position >= SEEN_LAYOUT.block_region_lower - 1e-9)
+            assert np.all(position <= SEEN_LAYOUT.block_region_upper + 1e-9)
+        for i in range(len(positions)):
+            for j in range(i + 1, len(positions)):
+                assert np.linalg.norm(positions[i][:2] - positions[j][:2]) > 0.08
+
+    def test_layouts_differ(self):
+        assert not np.allclose(SEEN_LAYOUT.drawer_handle, UNSEEN_LAYOUT.drawer_handle)
+        assert UNSEEN_LAYOUT.camera_shift != SEEN_LAYOUT.camera_shift
+
+    def test_workspace_clamp(self):
+        point = np.array([10.0, -10.0, 0.0])
+        clamped = WORKSPACE.clamp(point)
+        assert np.all(clamped <= WORKSPACE.upper)
+        assert np.all(clamped >= WORKSPACE.lower)
+
+    def test_deterministic_given_seed(self):
+        a = sample_scene(SEEN_LAYOUT, np.random.default_rng(7))
+        b = sample_scene(SEEN_LAYOUT, np.random.default_rng(7))
+        for name in BLOCK_NAMES:
+            assert np.allclose(a.blocks[name].position, b.blocks[name].position)

@@ -1,0 +1,146 @@
+"""Unit and property tests for the spatial-algebra primitives."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.robot.spatial import (
+    crf,
+    crm,
+    matrix_to_rpy,
+    mdh_transform,
+    rotation_error,
+    rotx,
+    roty,
+    rotz,
+    rpy_to_matrix,
+    skew,
+    so3_exp,
+    so3_log,
+    spatial_inertia,
+    spatial_transform,
+    transform,
+    transform_inverse,
+    transform_point,
+    unskew,
+)
+
+angles = st.floats(-np.pi, np.pi, allow_nan=False)
+small_vectors = arrays(np.float64, 3, elements=st.floats(-2.0, 2.0, width=64))
+
+
+class TestRotations:
+    @given(angles)
+    def test_principal_rotations_are_orthonormal(self, angle):
+        for rot in (rotx(angle), roty(angle), rotz(angle)):
+            assert np.allclose(rot @ rot.T, np.eye(3), atol=1e-12)
+            assert np.isclose(np.linalg.det(rot), 1.0)
+
+    def test_rotz_rotates_x_to_y(self):
+        rotated = rotz(np.pi / 2) @ np.array([1.0, 0.0, 0.0])
+        assert np.allclose(rotated, [0.0, 1.0, 0.0], atol=1e-12)
+
+    @given(angles, st.floats(-1.4, 1.4), angles)
+    def test_rpy_roundtrip(self, roll, pitch, yaw):
+        rpy = np.array([roll, pitch, yaw])
+        recovered = matrix_to_rpy(rpy_to_matrix(rpy))
+        assert np.allclose(rpy_to_matrix(recovered), rpy_to_matrix(rpy), atol=1e-9)
+
+    def test_rpy_singularity_is_total(self):
+        rotation = roty(np.pi / 2)
+        rpy = matrix_to_rpy(rotation)
+        assert np.allclose(rpy_to_matrix(rpy), rotation, atol=1e-9)
+
+
+class TestSkewAndLog:
+    @given(small_vectors, small_vectors)
+    def test_skew_is_cross_product(self, a, b):
+        assert np.allclose(skew(a) @ b, np.cross(a, b), atol=1e-12)
+
+    @given(small_vectors)
+    def test_unskew_inverts_skew(self, vector):
+        assert np.allclose(unskew(skew(vector)), vector)
+
+    @given(small_vectors)
+    def test_exp_log_roundtrip(self, omega):
+        # Keep away from the pi-boundary where the log is multivalued.
+        norm = np.linalg.norm(omega)
+        if norm > 3.0:
+            omega = omega * (3.0 / norm)
+        rotation = so3_exp(omega)
+        assert np.allclose(so3_exp(so3_log(rotation)), rotation, atol=1e-8)
+
+    def test_log_near_pi(self):
+        rotation = rotx(np.pi - 1e-8)
+        recovered = so3_exp(so3_log(rotation))
+        assert np.allclose(recovered, rotation, atol=1e-6)
+
+    def test_log_identity_is_zero(self):
+        assert np.allclose(so3_log(np.eye(3)), np.zeros(3))
+
+    def test_rotation_error_direction(self):
+        desired = rotz(0.2)
+        actual = np.eye(3)
+        error = rotation_error(desired, actual)
+        assert np.allclose(error, [0.0, 0.0, 0.2], atol=1e-9)
+
+
+class TestTransforms:
+    @given(angles, small_vectors)
+    def test_inverse_composes_to_identity(self, angle, translation):
+        t = transform(rotz(angle), translation)
+        assert np.allclose(t @ transform_inverse(t), np.eye(4), atol=1e-12)
+
+    @given(angles, small_vectors, small_vectors)
+    def test_transform_point_matches_matrix(self, angle, translation, point):
+        t = transform(roty(angle), translation)
+        homogeneous = t @ np.append(point, 1.0)
+        assert np.allclose(transform_point(t, point), homogeneous[:3])
+
+    def test_mdh_zero_parameters_is_identity(self):
+        assert np.allclose(mdh_transform(0.0, 0.0, 0.0, 0.0), np.eye(4))
+
+    def test_mdh_pure_rotation(self):
+        t = mdh_transform(0.0, 0.0, 0.0, np.pi / 2)
+        assert np.allclose(t[:3, :3], rotz(np.pi / 2), atol=1e-12)
+
+
+class TestSpatialAlgebra:
+    @given(angles, small_vectors)
+    def test_spatial_transform_preserves_motion(self, angle, translation):
+        """X maps twists consistently with the homogeneous adjoint."""
+        rotation = rotx(angle)
+        x = spatial_transform(rotation, translation)
+        # A pure angular velocity about the parent origin maps to an angular
+        # velocity plus the induced linear velocity at the child origin.
+        omega = np.array([0.1, -0.2, 0.3])
+        twist = np.concatenate([omega, np.zeros(3)])
+        mapped = x @ twist
+        assert np.allclose(mapped[:3], rotation.T @ omega)
+        # The child-frame origin sits at ``translation``; a rotation about the
+        # parent origin gives it linear velocity omega x p (in child coords).
+        assert np.allclose(mapped[3:], rotation.T @ np.cross(omega, translation))
+
+    @given(small_vectors, small_vectors)
+    def test_crf_is_negative_crm_transpose(self, a, b):
+        v = np.concatenate([a, b])
+        assert np.allclose(crf(v), -crm(v).T)
+
+    @given(small_vectors)
+    def test_crm_of_self_is_zero(self, omega):
+        v = np.concatenate([omega, omega])
+        assert np.allclose(crm(v) @ v, np.zeros(6), atol=1e-12)
+
+    def test_spatial_inertia_point_mass(self):
+        inertia = spatial_inertia(2.0, np.zeros(3), np.zeros((3, 3)))
+        twist = np.array([0.0, 0.0, 0.0, 1.0, 2.0, 3.0])
+        momentum = inertia @ twist
+        assert np.allclose(momentum[3:], 2.0 * twist[3:])
+        assert np.allclose(momentum[:3], np.zeros(3))
+
+    def test_spatial_inertia_symmetric_positive(self):
+        inertia = spatial_inertia(1.5, np.array([0.1, -0.2, 0.05]), 0.02 * np.eye(3))
+        assert np.allclose(inertia, inertia.T)
+        assert np.all(np.linalg.eigvalsh(inertia) > 0)

@@ -1,0 +1,125 @@
+"""Tests for Algorithm 1: waypoint extraction and identification."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import (
+    adaptive_termination_step,
+    gripper_change_flags,
+    point_line_distance,
+    segment_angles,
+)
+
+
+class TestGripperFlags:
+    def test_change_detected(self):
+        schedule = np.array([True, True, False, False, True])
+        flags = gripper_change_flags(schedule, current_open=True)
+        assert list(flags) == [False, False, True, False, True]
+
+    def test_initial_change(self):
+        schedule = np.array([False, False])
+        flags = gripper_change_flags(schedule, current_open=True)
+        assert list(flags) == [True, False]
+
+    def test_no_changes(self):
+        schedule = np.ones(5, dtype=bool)
+        assert not gripper_change_flags(schedule, current_open=True).any()
+
+
+class TestGeometry:
+    def test_point_on_chord_has_small_angles(self):
+        start = np.zeros(3)
+        end = np.array([1.0, 0.0, 0.0])
+        angle_start, angle_end = segment_angles(np.array([0.5, 0.0, 0.0]), start, end)
+        assert angle_start < 1e-9 and angle_end < 1e-9
+
+    def test_point_behind_start_has_obtuse_angle(self):
+        start = np.zeros(3)
+        end = np.array([1.0, 0.0, 0.0])
+        angle_start, _ = segment_angles(np.array([-0.2, 0.1, 0.0]), start, end)
+        assert angle_start > np.pi / 2
+
+    def test_distance_to_line(self):
+        d = point_line_distance(
+            np.array([0.5, 0.3, 0.0]), np.zeros(3), np.array([1.0, 0.0, 0.0])
+        )
+        assert d == pytest.approx(0.3)
+
+    def test_degenerate_chord_distance(self):
+        d = point_line_distance(np.array([0.1, 0.0, 0.0]), np.zeros(3), np.zeros(3))
+        assert d == pytest.approx(0.1)
+
+
+class TestAdaptiveTermination:
+    def _straight(self, steps=5):
+        return np.outer(np.arange(1, steps + 1), [0.01, 0.0, 0.0])
+
+    def test_straight_line_runs_to_the_end(self):
+        waypoints = self._straight()
+        flags = np.zeros(5, dtype=bool)
+        assert adaptive_termination_step(np.zeros(3), waypoints, flags, 0.02) == 5
+
+    def test_gripper_change_terminates_at_waypoint(self):
+        waypoints = self._straight()
+        flags = np.zeros(5, dtype=bool)
+        flags[3] = True  # change at waypoint 4 -> stop at 3 (P with G(Pn)=1)
+        assert adaptive_termination_step(np.zeros(3), waypoints, flags, 0.02) == 3
+
+    def test_gripper_change_at_current_waypoint(self):
+        waypoints = self._straight()
+        flags = np.zeros(5, dtype=bool)
+        flags[1] = True
+        assert adaptive_termination_step(np.zeros(3), waypoints, flags, 0.02) == 1
+
+    def test_sharp_turn_terminates_early(self):
+        # Straight out to x = 0.03 then back toward the origin: waypoint 2
+        # ends up between A and later candidates -> obtuse angle at B.
+        waypoints = np.array(
+            [
+                [0.02, 0.0, 0.0],
+                [0.04, 0.0, 0.0],
+                [0.02, 0.002, 0.0],
+                [0.0, 0.004, 0.0],
+                [-0.02, 0.006, 0.0],
+            ]
+        )
+        flags = np.zeros(5, dtype=bool)
+        step = adaptive_termination_step(np.zeros(3), waypoints, flags, 0.05)
+        assert step < 5
+
+    def test_distance_threshold_trips(self):
+        waypoints = np.array(
+            [
+                [0.01, 0.03, 0.0],  # far from the straight chord
+                [0.02, 0.0, 0.0],
+                [0.03, 0.0, 0.0],
+            ]
+        )
+        flags = np.zeros(3, dtype=bool)
+        assert adaptive_termination_step(np.zeros(3), waypoints, flags, 0.01) < 3
+
+    def test_flag_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            adaptive_termination_step(np.zeros(3), self._straight(), np.zeros(3, dtype=bool), 0.02)
+
+    @given(st.integers(0, 1000))
+    def test_result_always_in_range(self, seed):
+        rng = np.random.default_rng(seed)
+        steps = int(rng.integers(1, 10))
+        waypoints = rng.normal(0.0, 0.02, size=(steps, 3))
+        flags = rng.random(steps) < 0.2
+        result = adaptive_termination_step(np.zeros(3), waypoints, flags, 0.02)
+        assert 1 <= result <= steps
+
+    @given(st.integers(0, 1000))
+    def test_monotone_in_distance_threshold(self, seed):
+        """A looser distance threshold can only lengthen the execution."""
+        rng = np.random.default_rng(seed)
+        waypoints = rng.normal(0.0, 0.02, size=(6, 3))
+        flags = np.zeros(6, dtype=bool)
+        tight = adaptive_termination_step(np.zeros(3), waypoints, flags, 0.005)
+        loose = adaptive_termination_step(np.zeros(3), waypoints, flags, 0.05)
+        assert loose >= tight
