@@ -1,0 +1,96 @@
+"""Benchmarks of the batched fleet-evaluation engine.
+
+The fleet runner amortises the per-inference Python and small-matmul
+overhead across lanes: one batched forward pass serves every episode that
+needs inference on a tick.  These benchmarks report episodes/sec for fleet
+sizes N in {1, 8, 32} (the perf trajectory the ROADMAP asks for) and pin
+the acceptance criterion that a 32-lane fleet beats 32 sequential
+single-episode runs by at least 3x.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import VARIATIONS, run_baseline_fleet, run_corki_fleet
+from repro.sim import SEEN_LAYOUT, TASKS, ManipulationEnv
+
+_BENCH_FRAMES = 20
+_FLEET_SIZES = (1, 8, 32)
+
+
+def _fleet_inputs(n: int, seed_base: int = 0):
+    tasks = [TASKS[i % len(TASKS)] for i in range(n)]
+    envs = [
+        ManipulationEnv(SEEN_LAYOUT, np.random.default_rng(seed_base + i))
+        for i in range(n)
+    ]
+    return envs, tasks
+
+
+def _episodes_per_second(run, n: int) -> float:
+    started = time.perf_counter()
+    run()
+    return n / (time.perf_counter() - started)
+
+
+@pytest.mark.parametrize("n", _FLEET_SIZES)
+def test_fleet_baseline_episodes(benchmark, bench_policies, n):
+    """Baseline fleet throughput (inference on every frame, the worst case)."""
+    baseline, _, _ = bench_policies
+
+    def run():
+        envs, tasks = _fleet_inputs(n)
+        return run_baseline_fleet(envs, baseline, tasks, max_frames=_BENCH_FRAMES)
+
+    traces = benchmark.pedantic(run, rounds=3, iterations=1)
+    benchmark.extra_info["episodes"] = n
+    assert len(traces) == n
+
+
+@pytest.mark.parametrize("n", _FLEET_SIZES)
+def test_fleet_corki5_episodes(benchmark, bench_policies, n):
+    """Corki-5 fleet throughput (inference only at trajectory boundaries)."""
+    _, corki, _ = bench_policies
+
+    def run():
+        envs, tasks = _fleet_inputs(n)
+        rngs = [np.random.default_rng(1000 + i) for i in range(n)]
+        return run_corki_fleet(
+            envs, corki, tasks, VARIATIONS["corki-5"], rngs, max_frames=_BENCH_FRAMES
+        )
+
+    traces = benchmark.pedantic(run, rounds=3, iterations=1)
+    benchmark.extra_info["episodes"] = n
+    assert len(traces) == n
+
+
+def test_fleet_speedup_over_single_episode_loop(bench_policies):
+    """Acceptance criterion: a 32-lane fleet runs >= 3x the episodes/sec of
+    the N=1 loop (32 sequential one-lane fleets) on the same workload."""
+    baseline, _, _ = bench_policies
+    n = 32
+
+    def fleet_run():
+        envs, tasks = _fleet_inputs(n)
+        run_baseline_fleet(envs, baseline, tasks, max_frames=_BENCH_FRAMES)
+
+    def sequential_run():
+        envs, tasks = _fleet_inputs(n)
+        for env, task in zip(envs, tasks):
+            run_baseline_fleet([env], baseline, [task], max_frames=_BENCH_FRAMES)
+
+    # Warm up BLAS/allocator paths once so neither side pays one-time costs.
+    warm_envs, warm_tasks = _fleet_inputs(2)
+    run_baseline_fleet(warm_envs, baseline, warm_tasks, max_frames=2)
+    sequential_eps = _episodes_per_second(sequential_run, n)
+    fleet_eps = _episodes_per_second(fleet_run, n)
+    speedup = fleet_eps / sequential_eps
+    print(
+        f"\nfleet N=32: {fleet_eps:.1f} eps/s, sequential: {sequential_eps:.1f} eps/s, "
+        f"speedup {speedup:.1f}x"
+    )
+    assert speedup >= 3.0, (
+        f"batched fleet should be >= 3x the single-episode loop, got {speedup:.2f}x"
+    )

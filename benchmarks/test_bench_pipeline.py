@@ -7,6 +7,31 @@ from repro import constants
 from repro.pipeline import SystemStages, simulate_baseline, simulate_corki
 
 
+def test_fleet_traces_drive_pipeline_model(benchmark, bench_policies):
+    """[fig13 path] fleet-measured executed steps feeding the latency model.
+
+    Rolls a small Corki fleet and replays the concatenated per-lane
+    ``executed_steps`` through ``simulate_corki`` -- the accuracy-to-pipeline
+    coupling the figure-13 experiment drives at full scale.
+    """
+    from repro.core import VARIATIONS, run_corki_fleet
+    from repro.sim import SEEN_LAYOUT, TASKS, ManipulationEnv
+
+    _, corki, _ = bench_policies
+
+    def run():
+        n = 8
+        envs = [ManipulationEnv(SEEN_LAYOUT, np.random.default_rng(i)) for i in range(n)]
+        tasks = [TASKS[i % len(TASKS)] for i in range(n)]
+        rngs = [np.random.default_rng(100 + i) for i in range(n)]
+        traces = run_corki_fleet(envs, corki, tasks, VARIATIONS["corki-5"], rngs, max_frames=20)
+        steps = [step for trace in traces for step in trace.executed_steps]
+        return simulate_corki(steps, rng=np.random.default_rng(5))
+
+    pipeline_trace = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert len(pipeline_trace.frames) > 0
+
+
 def test_fig2_baseline_breakdown(benchmark):
     """[fig2] 300-frame baseline trace with per-stage breakdown."""
     def run():

@@ -25,6 +25,24 @@ def test_baseline_policy_inference(benchmark, bench_policies):
     benchmark(baseline.predict, window, 0)
 
 
+def test_baseline_policy_inference_batched(benchmark, bench_policies):
+    """32 per-frame predictions in one batched pass (the fleet's hot path)."""
+    baseline, _, _ = bench_policies
+    rng = np.random.default_rng(0)
+    windows = rng.normal(size=(32, WINDOW_LENGTH, OBSERVATION_DIM))
+    instructions = np.arange(32) % len(TASKS)
+    benchmark(baseline.predict_batch, windows, instructions)
+
+
+def test_corki_trajectory_inference_batched(benchmark, bench_policies):
+    """32 trajectory predictions in one batched LSTM sweep."""
+    _, corki, _ = bench_policies
+    rng = np.random.default_rng(0)
+    windows = rng.normal(size=(32, WINDOW_LENGTH, corki.token_dim))
+    origins = np.zeros((32, 6))
+    benchmark(corki.predict_trajectory_batch, windows, origins, 1.0 / 30.0)
+
+
 def test_corki_trajectory_inference(benchmark, bench_policies):
     """One trajectory prediction (runs once per executed trajectory, Fig. 1b)."""
     _, corki, _ = bench_policies
@@ -53,7 +71,11 @@ def test_training_step_baseline(benchmark, bench_policies):
 
 
 def test_tbl1_episode_baseline(benchmark, bench_policies):
-    """[tbl1/tbl2] one closed-loop baseline episode (30 Hz control path)."""
+    """[tbl1/tbl2] one closed-loop baseline episode (30 Hz control path).
+
+    Runs through the fleet engine as a one-lane fleet -- the same code path
+    ``benchmarks/test_bench_fleet.py`` scales to 32 lanes.
+    """
     baseline, _, _ = bench_policies
 
     def run():
@@ -65,7 +87,7 @@ def test_tbl1_episode_baseline(benchmark, bench_policies):
 
 
 def test_tbl1_episode_corki5(benchmark, bench_policies):
-    """[tbl1/tbl2, fig11/fig12] one closed-loop Corki-5 episode."""
+    """[tbl1/tbl2, fig11/fig12] one closed-loop Corki-5 episode (one-lane fleet)."""
     _, corki, _ = bench_policies
 
     def run():

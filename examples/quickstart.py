@@ -5,10 +5,13 @@ This walks the full public API in about a minute:
 1. collect scripted-expert demonstrations in the CALVIN-like environment;
 2. train the baseline (per-frame) and Corki (trajectory) policy heads;
 3. roll out one episode of each and compare behaviour;
-4. compose the system-level latency/energy model for both pipelines.
+4. roll out a batch of episodes through the fleet engine;
+5. compose the system-level latency/energy model for both pipelines.
 
-Run:  python examples/quickstart.py
+Run:  PYTHONPATH=src python examples/quickstart.py
 """
+
+import time
 
 import numpy as np
 
@@ -19,6 +22,7 @@ from repro.core import (
     VARIATIONS,
     run_baseline_episode,
     run_corki_episode,
+    run_corki_fleet,
     train_baseline,
     train_corki,
 )
@@ -58,6 +62,20 @@ def main() -> None:
           f"frames={baseline_trace.frames}  inferences={baseline_trace.inference_count}")
     print(f"  corki-5:  success={corki_trace.success}  "
           f"frames={corki_trace.frames}  inferences={corki_trace.inference_count}")
+
+    fleet_n = 8
+    print(f"\nbatched fleet evaluation ({fleet_n} Corki-5 lanes in lock-step):")
+    envs = [ManipulationEnv(SEEN_LAYOUT, np.random.default_rng(42 + i)) for i in range(fleet_n)]
+    rngs = [np.random.default_rng(7 + i) for i in range(fleet_n)]
+    started = time.perf_counter()
+    fleet_traces = run_corki_fleet(
+        envs, corki, [TASKS[i % len(TASKS)] for i in range(fleet_n)],
+        VARIATIONS["corki-5"], rngs,
+    )
+    elapsed = time.perf_counter() - started
+    successes = sum(trace.success for trace in fleet_traces)
+    print(f"  {fleet_n} episodes in {elapsed:.2f}s "
+          f"({fleet_n / elapsed:.1f} episodes/s), {successes} succeeded")
 
     print("\nsystem pipeline model (paper-calibrated constants):")
     base_pipe = simulate_baseline(60)

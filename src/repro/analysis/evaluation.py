@@ -5,6 +5,12 @@ and Corki policies on seen-layout demonstrations (cached on disk so repeated
 experiments and benchmarks do not retrain), rolls out five-task jobs for
 every variation on the requested layout, and aggregates success and
 trajectory statistics.
+
+Jobs roll out through :class:`repro.core.fleet.FleetRunner`: each job is
+one fleet lane with its own environment and feedback generator (seeded from
+``(seed, lane)`` so results stay paired across systems and deterministic
+across runs), and lanes advance in lock-step with batched policy inference.
+``fleet_size`` caps how many jobs fly at once.
 """
 
 from __future__ import annotations
@@ -16,17 +22,22 @@ import numpy as np
 
 from repro.analysis.metrics import JobStatistics, TrajectoryMetrics, job_statistics, trajectory_metrics
 from repro.core.config import CorkiVariation, VARIATIONS
+from repro.core.fleet import FleetLane, FleetRunner
 from repro.core.policy import BaselinePolicy, CorkiPolicy
-from repro.core.runner import EpisodeTrace, run_baseline_episode, run_corki_episode, run_job
+from repro.core.runner import EpisodeTrace
 from repro.core.training import TrainingConfig, train_baseline, train_corki
 from repro.nn.serialization import load_module, save_module
 from repro.sim.camera import OBSERVATION_DIM
 from repro.sim.dataset import ActionNormalizer, collect_demonstrations
-from repro.sim.env import ManipulationEnv, TRACKING_100HZ, TRACKING_30HZ
+from repro.sim.env import BatchedManipulationEnv, ManipulationEnv, TRACKING_100HZ, TRACKING_30HZ
 from repro.sim.tasks import TASKS, sample_job
 from repro.sim.world import SEEN_LAYOUT, SceneLayout
 
 __all__ = ["TrainedPolicies", "SystemEvaluation", "get_trained_policies", "evaluate_system", "evaluate_all_systems"]
+
+DEFAULT_FLEET_SIZE = 32
+"""Jobs advanced in lock-step per fleet; larger fleets amortise inference
+further but see diminishing returns once the per-lane env stepping dominates."""
 
 _CACHE_DIR = os.path.join(os.path.dirname(__file__), "..", "..", "..", "artifacts")
 
@@ -129,42 +140,46 @@ def evaluate_system(
     layout: SceneLayout,
     jobs: int,
     seed: int = 1234,
+    fleet_size: int = DEFAULT_FLEET_SIZE,
 ) -> SystemEvaluation:
     """Roll out ``jobs`` five-task jobs for one system on one layout.
 
-    ``system`` is ``"roboflamingo"`` or a Corki variation name.  All systems
-    see identical job sequences and scene randomness for a given seed, so
-    comparisons are paired.
+    ``system`` is ``"roboflamingo"`` or a Corki variation name.  Jobs run as
+    fleet lanes with batched inference, up to ``fleet_size`` at a time.
+    Every lane's scene and feedback randomness is seeded from
+    ``(seed, lane)``, so all systems see identical job sequences and scene
+    randomness for a given seed and comparisons are paired -- and the result
+    does not depend on ``fleet_size``.
     """
     job_rng = np.random.default_rng(seed)  # drives job/task sampling only
-    env_rng = np.random.default_rng(seed + 1)
-    policy_rng = np.random.default_rng(seed + 2)
-    env = ManipulationEnv(layout, env_rng)
 
     variation: CorkiVariation | None = None
     if system != "roboflamingo":
         variation = VARIATIONS[system]
 
+    envs = []
+    lanes = []
+    for lane_index in range(jobs):
+        tasks = sample_job(job_rng, JOB_LENGTH)
+        envs.append(ManipulationEnv(layout, np.random.default_rng([seed + 1, lane_index])))
+        lanes.append(
+            FleetLane(
+                tasks=tasks,
+                variation=variation,
+                rng=np.random.default_rng([seed + 2, lane_index]),
+                actuation=TRACKING_30HZ if variation is None else TRACKING_100HZ,
+            )
+        )
+
+    runner = FleetRunner(baseline=policies.baseline, corki=policies.corki)
     completed = []
     traces: list[EpisodeTrace] = []
-    for _ in range(jobs):
-        tasks = sample_job(job_rng, JOB_LENGTH)
-
-        if variation is None:
-            def episode(task, chained):
-                return run_baseline_episode(
-                    env, policies.baseline, task, actuation=TRACKING_30HZ, chained=chained
-                )
-        else:
-            def episode(task, chained, _variation=variation):
-                return run_corki_episode(
-                    env, policies.corki, task, _variation, policy_rng,
-                    actuation=TRACKING_100HZ, chained=chained,
-                )
-
-        job_traces = run_job(env, tasks, episode)
-        traces.extend(job_traces)
-        completed.append(sum(trace.success for trace in job_traces))
+    for start in range(0, jobs, max(1, fleet_size)):
+        stop = start + max(1, fleet_size)
+        fleet = BatchedManipulationEnv(envs[start:stop])
+        for job_traces in runner.run(fleet, lanes[start:stop]):
+            traces.extend(job_traces)
+            completed.append(sum(trace.success for trace in job_traces))
     return SystemEvaluation(
         name=system,
         job_stats=job_statistics(completed, JOB_LENGTH),
@@ -179,6 +194,7 @@ def evaluate_all_systems(
     jobs: int,
     seed: int = 1234,
     systems: list[str] | None = None,
+    fleet_size: int = DEFAULT_FLEET_SIZE,
 ) -> dict[str, SystemEvaluation]:
     """Evaluate the baseline and every Corki variation on one layout.
 
@@ -189,7 +205,7 @@ def evaluate_all_systems(
     names = systems or ["roboflamingo", "corki-1", "corki-3", "corki-5", "corki-7", "corki-9", "corki-adap"]
     results: dict[str, SystemEvaluation] = {}
     for name in names:
-        results[name] = evaluate_system(policies, name, layout, jobs, seed)
+        results[name] = evaluate_system(policies, name, layout, jobs, seed, fleet_size=fleet_size)
     if systems is None:
         corki5 = results["corki-5"]
         results["corki-sw"] = SystemEvaluation(

@@ -5,12 +5,14 @@ Usage::
     repro-experiments all            # every experiment, in paper order
     repro-experiments tbl1 fig13     # a subset
     repro-experiments --list
+    repro-experiments --fleet-size 64 tbl1   # wider evaluation fleets
     REPRO_PROFILE=full repro-experiments tbl1
 """
 
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import sys
 import time
 
@@ -40,6 +42,11 @@ def main(argv: list[str] | None = None) -> int:
         "--save", action="store_true",
         help="also write each report to artifacts/<id>-<profile>.txt",
     )
+    parser.add_argument(
+        "--fleet-size", type=int, default=None, metavar="N",
+        help="jobs rolled out in lock-step per evaluation fleet "
+             "(default: the profile's fleet_size; 1 disables batching)",
+    )
     args = parser.parse_args(argv)
 
     if args.list or not args.experiments:
@@ -54,6 +61,11 @@ def main(argv: list[str] | None = None) -> int:
         return 2
 
     profile = get_profile(args.profile)
+    if args.fleet_size is not None:
+        if args.fleet_size < 1:
+            print("--fleet-size must be >= 1", file=sys.stderr)
+            return 2
+        profile = dataclasses.replace(profile, fleet_size=args.fleet_size)
     for name in requested:
         started = time.perf_counter()
         print(f"=== {name} (profile: {profile.name}) ===")

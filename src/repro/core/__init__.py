@@ -14,6 +14,12 @@ from repro.core.config import (
     VARIATIONS,
     variation_by_name,
 )
+from repro.core.fleet import (
+    FleetLane,
+    FleetRunner,
+    run_baseline_fleet,
+    run_corki_fleet,
+)
 from repro.core.policy import WINDOW_LENGTH, BaselinePolicy, CorkiPolicy
 from repro.core.runner import (
     MAX_EPISODE_FRAMES,
@@ -45,6 +51,8 @@ __all__ = [
     "CubicTrajectory",
     "EpisodeTrace",
     "FeedbackSchedule",
+    "FleetLane",
+    "FleetRunner",
     "MAX_EPISODE_FRAMES",
     "MIDPOINT_FEEDBACK",
     "NO_FEEDBACK",
@@ -61,7 +69,9 @@ __all__ = [
     "point_line_distance",
     "polynomial_design_matrix",
     "run_baseline_episode",
+    "run_baseline_fleet",
     "run_corki_episode",
+    "run_corki_fleet",
     "run_job",
     "schedule_by_name",
     "segment_angles",

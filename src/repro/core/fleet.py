@@ -1,0 +1,419 @@
+"""Batched fleet evaluation: advance many closed-loop episodes in lock-step.
+
+The single-episode runners in :mod:`repro.core.runner` reproduce the paper's
+execution models one rollout at a time, which leaves the policy's matmuls
+operating on one token window per Python-level forward pass.  This module is
+the throughput path: a :class:`FleetRunner` drives N lanes (one environment
+plus one job of chained tasks each) through shared *ticks*, where every tick
+
+1. gathers the Corki lanes sitting at a trajectory boundary and runs **one**
+   batched VLM encode plus **one** batched trajectory prediction for all of
+   them (lanes de-synchronise because executed-trajectory lengths differ --
+   the same per-inference bookkeeping ``EpisodeTrace.executed_steps``
+   records);
+2. gathers every baseline lane (which needs inference on *every* frame,
+   paper Fig. 1a) into one ``predict_batch`` call;
+3. advances each active lane one camera frame through
+   :class:`repro.sim.env.BatchedManipulationEnv`; and
+4. batch-encodes the closed-loop feedback frames captured this tick
+   (paper Sec. 3.4).
+
+Each lane owns its random generators, and the batched policy entry points
+pad singleton batches (see ``repro.core.policy._pad_singleton``), so a
+lane's episode is element-wise identical to the one the single-episode
+runner would produce from the same seeds -- ``tests/test_fleet.py`` asserts
+this for every policy kind, including job chaining.  Episodes in a batch
+progress independently: a lane that finishes a task chains into the next
+task of its job (or retires) without stalling its neighbours.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.closed_loop import NO_FEEDBACK, schedule_by_name
+from repro.core.config import CorkiVariation
+from repro.core.policy import WINDOW_LENGTH, BaselinePolicy, CorkiPolicy
+from repro.core.runner import (
+    MAX_EPISODE_FRAMES,
+    EpisodeTrace,
+    _TokenWindow,
+    _decide_steps,
+    _reference_path,
+)
+from repro.sim.env import (
+    TRACKING_100HZ,
+    TRACKING_30HZ,
+    ActuationModel,
+    BatchedManipulationEnv,
+    ManipulationEnv,
+)
+from repro.sim.tasks import Task
+
+__all__ = ["FleetLane", "FleetRunner", "run_baseline_fleet", "run_corki_fleet"]
+
+
+@dataclass
+class FleetLane:
+    """Specification of one lane: a job of tasks on one environment.
+
+    ``tasks`` is the lane's job, executed until the first failure exactly
+    like :func:`repro.core.runner.run_job`; a single episode is a one-task
+    job.  ``variation`` selects the Corki variation, or ``None`` for the
+    baseline (RoboFlamingo-style) policy.  ``rng`` drives the Corki
+    closed-loop feedback schedule and must be lane-private so that episode
+    randomness never depends on which other lanes share the fleet.
+    ``chained_start`` makes the first task enter via ``continue_with``
+    instead of ``reset`` (the single-episode wrappers' ``chained`` flag).
+    """
+
+    tasks: list[Task]
+    variation: CorkiVariation | None = None
+    rng: np.random.Generator | None = None
+    actuation: ActuationModel | None = None
+    max_frames: int = MAX_EPISODE_FRAMES
+    chained_start: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.tasks:
+            raise ValueError("a lane needs at least one task")
+        if self.variation is not None and self.variation.closed_loop and self.rng is None:
+            raise ValueError("closed-loop Corki lanes need a lane-private rng")
+
+
+class _LaneState:
+    """Per-lane episode bookkeeping shared by both policy kinds."""
+
+    def __init__(self, index: int, env: ManipulationEnv, lane: FleetLane):
+        self.index = index
+        self.env = env
+        self.lane = lane
+        self.task_index = 0
+        self.traces: list[EpisodeTrace] = []
+        self.done = False
+        self._start_episode(chained=lane.chained_start)
+
+    @property
+    def task(self) -> Task:
+        return self.lane.tasks[self.task_index]
+
+    def _start_episode(self, chained: bool) -> None:
+        task = self.task
+        self.observation = (
+            self.env.continue_with(task) if chained else self.env.reset(task)
+        )
+        assert self.env.scene is not None
+        self.reference = _reference_path(self.env, task)
+        self.frame = 0
+        self.path = [self.env.scene.ee_pose.copy()]
+        self.gripper_path = [self.env.scene.gripper_open]
+        self.executed: list[int] = []
+        self._reset_episode_state()
+
+    def _reset_episode_state(self) -> None:
+        """Hook for per-episode policy state (token windows, trajectories)."""
+
+    def _record_frame(self, observation: np.ndarray) -> None:
+        assert self.env.scene is not None
+        self.observation = observation
+        self.frame += 1
+        self.path.append(self.env.scene.ee_pose.copy())
+        self.gripper_path.append(self.env.scene.gripper_open)
+
+    def _finish_episode(self, success: bool) -> None:
+        self.traces.append(
+            EpisodeTrace(
+                success=success,
+                frames=self.frame,
+                executed_steps=self.executed,
+                ee_path=np.array(self.path),
+                reference_path=self.reference,
+                gripper_path=np.array(self.gripper_path, dtype=bool),
+            )
+        )
+        if success and self.task_index + 1 < len(self.lane.tasks):
+            self.task_index += 1
+            self._start_episode(chained=True)
+        else:
+            self.done = True
+
+    # -- tick protocol ---------------------------------------------------------
+
+    def tick_command(self) -> tuple[np.ndarray, bool]:  # pragma: no cover - abstract
+        """The (target pose, gripper) to execute this tick."""
+        raise NotImplementedError
+
+    def after_step(self, observation: np.ndarray) -> bool:
+        """Advance bookkeeping after the env stepped; True if a feedback
+        frame was captured this tick and still needs encoding."""
+        raise NotImplementedError  # pragma: no cover - abstract
+
+
+class _BaselineLaneState(_LaneState):
+    """Frame-by-frame execution (paper Fig. 1a): inference on every tick."""
+
+    def __init__(self, index, env, lane, policy: BaselinePolicy):
+        self.policy = policy
+        self.actuation = lane.actuation or TRACKING_30HZ
+        super().__init__(index, env, lane)
+
+    def _reset_episode_state(self) -> None:
+        self.observations = [self.observation] * WINDOW_LENGTH
+        self._command: tuple[np.ndarray, bool] | None = None
+
+    def window(self) -> np.ndarray:
+        return np.array(self.observations[-WINDOW_LENGTH:])
+
+    def set_command(self, delta: np.ndarray, gripper_open: bool) -> None:
+        assert self.env.scene is not None
+        self._command = (self.env.scene.ee_pose + delta, gripper_open)
+
+    def tick_command(self) -> tuple[np.ndarray, bool]:
+        assert self._command is not None
+        return self._command
+
+    def after_step(self, observation: np.ndarray) -> bool:
+        self.observations.append(observation)
+        self._record_frame(observation)
+        self.executed.append(1)
+        self._command = None
+        if self.env.succeeded or self.frame >= self.lane.max_frames:
+            self._finish_episode(self.env.succeeded)
+        return False
+
+
+class _CorkiLaneState(_LaneState):
+    """Trajectory-level execution (paper Fig. 1b) with per-lane re-planning."""
+
+    def __init__(self, index, env, lane, policy: CorkiPolicy):
+        self.policy = policy
+        self.actuation = lane.actuation or TRACKING_100HZ
+        variation = lane.variation
+        assert variation is not None
+        self.schedule = (
+            schedule_by_name(variation.feedback) if variation.closed_loop else NO_FEEDBACK
+        )
+        super().__init__(index, env, lane)
+
+    def _reset_episode_state(self) -> None:
+        self.window = _TokenWindow(self.policy)
+        self.trajectory = None
+        self.steps_planned = 0
+        self.step_in_traj = 0
+        self.feedback_step: int | None = None
+        self.pending_feedback: tuple[int, np.ndarray] | None = None
+
+    @property
+    def needs_plan(self) -> bool:
+        return not self.done and self.trajectory is None
+
+    def adopt_token(self, token: np.ndarray) -> None:
+        self.window.insert_inference_token(self.frame, token)
+
+    def assembled_window(self) -> np.ndarray:
+        return self.window.assemble(self.frame)
+
+    def adopt_plan(self, trajectory) -> None:
+        variation = self.lane.variation
+        assert variation is not None and self.env.scene is not None
+        steps = _decide_steps(trajectory, variation, self.env.scene.gripper_open)
+        self.steps_planned = min(steps, self.lane.max_frames - self.frame)
+        self.trajectory = trajectory
+        self.step_in_traj = 0
+        self.feedback_step = self.schedule.feedback_step(self.steps_planned, self.lane.rng)
+
+    def tick_command(self) -> tuple[np.ndarray, bool]:
+        assert self.trajectory is not None
+        step = self.step_in_traj + 1
+        target = self.trajectory.pose(step * self.trajectory.step_dt)
+        return target, self.trajectory.gripper_at_step(step)
+
+    def after_step(self, observation: np.ndarray) -> bool:
+        self.step_in_traj += 1
+        step = self.step_in_traj
+        self._record_frame(observation)
+        captured = step == self.feedback_step
+        if self.env.succeeded:
+            # Mid-trajectory success ends the episode immediately; a feedback
+            # frame captured on the same tick dies with the episode's window
+            # (the single runner encodes it and then discards the window).
+            self.executed.append(step)
+            self._finish_episode(True)
+            return False
+        if captured:
+            self.pending_feedback = (self.frame, observation)
+        if step == self.steps_planned:
+            self.executed.append(self.steps_planned)
+            self.trajectory = None
+            if self.frame >= self.lane.max_frames:
+                self._finish_episode(self.env.succeeded)
+                return False
+        return captured
+
+
+class FleetRunner:
+    """Advance a fleet of independent episodes with batched inference.
+
+    Construct with the policies the lanes reference (a homogeneous fleet
+    needs only one of them; mixed fleets are supported) and call
+    :meth:`run`.  The runner owns no randomness -- environments and lanes
+    carry their own generators -- so results are a pure function of the
+    lane specifications.
+    """
+
+    def __init__(
+        self,
+        baseline: BaselinePolicy | None = None,
+        corki: CorkiPolicy | None = None,
+    ):
+        self.baseline = baseline
+        self.corki = corki
+
+    def _build_states(
+        self, fleet: BatchedManipulationEnv, lanes: list[FleetLane]
+    ) -> list[_LaneState]:
+        states: list[_LaneState] = []
+        for index, lane in enumerate(lanes):
+            if lane.variation is None:
+                if self.baseline is None:
+                    raise ValueError("fleet has baseline lanes but no baseline policy")
+                states.append(
+                    _BaselineLaneState(index, fleet.envs[index], lane, self.baseline)
+                )
+            else:
+                if self.corki is None:
+                    raise ValueError("fleet has Corki lanes but no Corki policy")
+                states.append(
+                    _CorkiLaneState(index, fleet.envs[index], lane, self.corki)
+                )
+        return states
+
+    def run(
+        self,
+        envs: BatchedManipulationEnv | list[ManipulationEnv],
+        lanes: list[FleetLane],
+    ) -> list[list[EpisodeTrace]]:
+        """Run every lane's job to completion; returns traces per lane.
+
+        ``envs`` supplies one environment per lane (a raw list is wrapped in
+        a :class:`BatchedManipulationEnv`).  The result's lane ``i`` holds
+        the attempted-task traces of ``lanes[i]`` in job order, exactly what
+        :func:`repro.core.runner.run_job` returns for the same job.
+        """
+        fleet = (
+            envs
+            if isinstance(envs, BatchedManipulationEnv)
+            else BatchedManipulationEnv(envs)
+        )
+        if len(lanes) != len(fleet):
+            raise ValueError(
+                f"{len(lanes)} lanes need {len(lanes)} environments, got {len(fleet)}"
+            )
+        states = self._build_states(fleet, lanes)
+        active = [state for state in states if not state.done]
+        while active:
+            self._plan_corki_lanes(active, fleet.frame_dt)
+            self._infer_baseline_lanes(active)
+            self._step_lanes(active, fleet)
+            active = [state for state in states if not state.done]
+        return [state.traces for state in states]
+
+    def _plan_corki_lanes(self, active: list[_LaneState], frame_dt: float) -> None:
+        """One batched encode + trajectory prediction for every lane at a
+        planning boundary (episode start or executed-trajectory end)."""
+        planners = [
+            state
+            for state in active
+            if isinstance(state, _CorkiLaneState) and state.needs_plan
+        ]
+        if not planners:
+            return
+        assert self.corki is not None
+        observations = np.stack([state.observation for state in planners])
+        instructions = np.array([state.task.instruction_id for state in planners])
+        tokens = self.corki.encode_frame_token_batch(observations, instructions)
+        for state, token in zip(planners, tokens):
+            state.adopt_token(token)
+        windows = np.stack([state.assembled_window() for state in planners])
+        origins = np.stack([state.env.scene.ee_pose for state in planners])
+        trajectories = self.corki.predict_trajectory_batch(windows, origins, frame_dt)
+        for state, trajectory in zip(planners, trajectories):
+            state.adopt_plan(trajectory)
+
+    def _infer_baseline_lanes(self, active: list[_LaneState]) -> None:
+        """One batched per-frame action prediction for every baseline lane."""
+        lanes = [state for state in active if isinstance(state, _BaselineLaneState)]
+        if not lanes:
+            return
+        assert self.baseline is not None
+        windows = np.stack([state.window() for state in lanes])
+        instructions = np.array([state.task.instruction_id for state in lanes])
+        deltas, grippers = self.baseline.predict_batch(windows, instructions)
+        for state, delta, gripper in zip(lanes, deltas, grippers):
+            state.set_command(delta, bool(gripper))
+
+    def _step_lanes(self, active: list[_LaneState], fleet: BatchedManipulationEnv) -> None:
+        """Advance every active lane one camera frame, then batch-encode the
+        closed-loop feedback frames captured this tick."""
+        commands = [state.tick_command() for state in active]
+        observations = fleet.step_many(
+            np.stack([target for target, _ in commands]),
+            [gripper for _, gripper in commands],
+            [state.actuation for state in active],
+            [state.index for state in active],
+        )
+        feedback = [
+            state
+            for state, observation in zip(active, observations)
+            if state.after_step(observation)
+        ]
+        if not feedback:
+            return
+        assert self.corki is not None
+        captured = [state.pending_feedback for state in feedback]
+        tokens = self.corki.encode_feedback_token_batch(
+            np.stack([observation for _, observation in captured])
+        )
+        for state, (frame, _), token in zip(feedback, captured, tokens):
+            state.window.insert_feedback_token(frame, token)
+            state.pending_feedback = None
+
+
+def run_baseline_fleet(
+    envs: BatchedManipulationEnv | list[ManipulationEnv],
+    policy: BaselinePolicy,
+    tasks: list[Task],
+    actuation: ActuationModel = TRACKING_30HZ,
+    max_frames: int = MAX_EPISODE_FRAMES,
+) -> list[EpisodeTrace]:
+    """Run one baseline episode per lane (task ``i`` on environment ``i``)."""
+    lanes = [
+        FleetLane(tasks=[task], actuation=actuation, max_frames=max_frames)
+        for task in tasks
+    ]
+    return [traces[0] for traces in FleetRunner(baseline=policy).run(envs, lanes)]
+
+
+def run_corki_fleet(
+    envs: BatchedManipulationEnv | list[ManipulationEnv],
+    policy: CorkiPolicy,
+    tasks: list[Task],
+    variation: CorkiVariation,
+    rngs: list[np.random.Generator],
+    actuation: ActuationModel = TRACKING_100HZ,
+    max_frames: int = MAX_EPISODE_FRAMES,
+) -> list[EpisodeTrace]:
+    """Run one Corki episode per lane with lane-private feedback rngs."""
+    lanes = [
+        FleetLane(
+            tasks=[task],
+            variation=variation,
+            rng=rng,
+            actuation=actuation,
+            max_frames=max_frames,
+        )
+        for task, rng in zip(tasks, rngs)
+    ]
+    return [traces[0] for traces in FleetRunner(corki=policy).run(envs, lanes)]

@@ -29,6 +29,34 @@ WINDOW_LENGTH = 12
 """The vision-language token window length (RoboFlamingo's queue of 12)."""
 
 
+def _pad_singleton(array: np.ndarray) -> np.ndarray:
+    """Duplicate a one-row batch so BLAS never takes its vector-path kernel.
+
+    GEMM row results are bitwise identical for any batch size >= 2, but a
+    one-row matmul dispatches to a differently-ordered kernel.  Padding
+    singleton batches (and slicing the pad back off afterwards) keeps fleet
+    evaluation bit-for-bit reproducible whether an episode runs alone or
+    alongside 31 others -- the property ``tests/test_fleet.py`` locks in.
+    """
+    return np.concatenate([array, array], axis=0)
+
+
+def _batched_forward(inputs, forward):
+    """Run ``forward`` over a batch with the singleton-pad invariant applied.
+
+    Pads every input to at least two rows (see :func:`_pad_singleton`), runs
+    ``forward`` under ``no_grad`` and slices each returned array back to the
+    true batch size.  Every batched deployment entry point routes through
+    here so the determinism-critical pad/slice pairing lives in one place.
+    """
+    batch = inputs[0].shape[0]
+    if batch == 1:
+        inputs = tuple(_pad_singleton(array) for array in inputs)
+    with no_grad():
+        outputs = forward(*inputs)
+    return tuple(output[:batch] for output in outputs)
+
+
 class _PolicyBase(Module):
     """Shared backbone: VLM token encoder plus the window LSTM."""
 
@@ -55,7 +83,13 @@ class _PolicyBase(Module):
         """Vision-language tokens for a (batch, window, obs) block."""
         return self.vlm(observations, instruction)
 
-    def _run_lstm(self, tokens: list[Tensor]) -> Tensor:
+    def _run_lstm(self, tokens: list[Tensor] | Tensor) -> Tensor:
+        """Final hidden state of the window LSTM.
+
+        ``tokens`` is either a per-step list (the training-time masking path
+        builds one) or a single ``(batch, window, token)`` tensor, which the
+        LSTM slices itself so every gate matmul stays batched.
+        """
         hidden_states, _ = self.lstm(tokens)
         return hidden_states[-1]
 
@@ -84,21 +118,45 @@ class BaselinePolicy(_PolicyBase):
         next-frame delta (batch, 6) and ``gripper_logit`` (batch, 1).
         """
         tokens = self.encode_tokens(observations, instruction)
-        sequence = [tokens[:, t, :] for t in range(tokens.shape[1])]
-        hidden = self._run_lstm(sequence)
+        hidden = self._run_lstm(tokens)
         return self.pose_head(hidden), self.gripper_head(hidden)
+
+    def predict_batch(
+        self, observation_windows: np.ndarray, instructions: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Deployment inference for a fleet of episodes in one forward pass.
+
+        ``observation_windows`` is ``(batch, window, obs)`` and
+        ``instructions`` an int array ``(batch,)``; returns the physical
+        ``(batch, 6)`` pose deltas and a ``(batch,)`` boolean gripper array.
+        This is the hot path of :class:`repro.core.fleet.FleetRunner`: one
+        set of matmuls replaces ``batch`` Python-level forward passes.
+        """
+        def forward(windows, instr):
+            hidden = self._run_lstm(self.encode_tokens(windows, instr))
+            return self.pose_head(hidden).numpy(), self.gripper_head(hidden).numpy()
+
+        pose, gripper = _batched_forward(
+            (
+                np.asarray(observation_windows, dtype=float),
+                np.asarray(instructions, dtype=int),
+            ),
+            forward,
+        )
+        return self.normalizer.denormalize(pose), gripper[:, 0] > 0.0
 
     def predict(
         self, observation_window: np.ndarray, instruction: int
     ) -> tuple[np.ndarray, bool]:
-        """Deployment inference: physical pose delta plus the gripper bit."""
-        with no_grad():
-            tokens = self.encode_tokens(observation_window, instruction)
-            sequence = [tokens[t] for t in range(tokens.shape[0])]
-            hidden = self._run_lstm(sequence)
-            pose = self.pose_head(hidden).numpy()
-            gripper = self.gripper_head(hidden).numpy()
-        return self.normalizer.denormalize(pose), bool(gripper[0] > 0.0)
+        """Deployment inference: physical pose delta plus the gripper bit.
+
+        Thin batch-of-one wrapper over :meth:`predict_batch`, so a standalone
+        episode computes exactly what the same episode inside a fleet would.
+        """
+        deltas, grippers = self.predict_batch(
+            np.asarray(observation_window, dtype=float)[None], np.array([instruction])
+        )
+        return deltas[0], bool(grippers[0])
 
 
 class CorkiPolicy(_PolicyBase):
@@ -186,19 +244,82 @@ class CorkiPolicy(_PolicyBase):
 
     # -- deployment -----------------------------------------------------------
 
+    def encode_frame_token_batch(
+        self, observations: np.ndarray, instructions: np.ndarray
+    ) -> np.ndarray:
+        """VLM tokens for the fleet lanes that chose to run inference this tick.
+
+        ``observations`` is ``(batch, obs)`` and ``instructions`` an int
+        array ``(batch,)``; returns ``(batch, token_dim)`` tokens.
+        """
+        return _batched_forward(
+            (
+                np.asarray(observations, dtype=float),
+                np.asarray(instructions, dtype=int),
+            ),
+            lambda obs, instr: (self.encode_tokens(obs, instr).numpy(),),
+        )[0]
+
     def encode_frame_token(self, observation: np.ndarray, instruction: int) -> np.ndarray:
         """Token for one frame the system chose to run VLM inference on."""
-        with no_grad():
-            return self.encode_tokens(observation, instruction).numpy()
+        return self.encode_frame_token_batch(
+            np.asarray(observation, dtype=float)[None], np.array([instruction])
+        )[0]
+
+    def encode_feedback_token_batch(self, observations: np.ndarray) -> np.ndarray:
+        """ViT closed-loop feature tokens for a ``(batch, obs)`` block."""
+        return _batched_forward(
+            (np.asarray(observations, dtype=float),),
+            lambda obs: (self.feedback_encoder(obs).numpy(),),
+        )[0]
 
     def encode_feedback_token(self, observation: np.ndarray) -> np.ndarray:
         """ViT-encoded closed-loop feature token for a mid-trajectory frame."""
-        with no_grad():
-            return self.feedback_encoder(observation).numpy()
+        return self.encode_feedback_token_batch(
+            np.asarray(observation, dtype=float)[None]
+        )[0]
 
     def mask_token(self) -> np.ndarray:
         """The learned mask embedding used for never-encoded frames."""
         return self.mask_embedding.numpy()
+
+    def predict_trajectory_batch(
+        self,
+        token_windows: np.ndarray,
+        origin_poses: np.ndarray,
+        step_dt: float,
+    ) -> list[CubicTrajectory]:
+        """Trajectory inference for every fleet lane at a planning boundary.
+
+        ``token_windows`` is ``(batch, window, token_dim)`` with mask and
+        feedback tokens already substituted per lane; ``origin_poses`` the
+        ``(batch, 6)`` end-effector poses at inference time.  One batched
+        LSTM sweep serves all lanes; returns one physical-unit
+        :class:`CubicTrajectory` per lane.
+        """
+        def forward(windows):
+            hidden = self._run_lstm(Tensor(windows))
+            return (
+                self.coefficient_head(hidden).numpy(),
+                self.gripper_head(hidden).numpy(),
+            )
+
+        origins = np.asarray(origin_poses, dtype=float)
+        coefficients, gripper_logits = _batched_forward(
+            (np.asarray(token_windows, dtype=float),), forward
+        )
+        batch = coefficients.shape[0]
+        physical = coefficients.reshape(batch, 6, 4) * self.normalizer.scale[None, :, None]
+        duration = self.horizon * step_dt
+        return [
+            CubicTrajectory(
+                origin=origins[i].copy(),
+                coefficients=physical[i],
+                duration=duration,
+                gripper_open=gripper_logits[i] > 0.0,
+            )
+            for i in range(batch)
+        ]
 
     def predict_trajectory(
         self,
@@ -210,17 +331,11 @@ class CorkiPolicy(_PolicyBase):
 
         ``token_window`` has shape (window, token_dim) with mask/feedback
         tokens already substituted; ``origin_pose`` is the end-effector pose
-        at inference time.  Returns the physical-unit cubic trajectory.
+        at inference time.  Thin batch-of-one wrapper over
+        :meth:`predict_trajectory_batch`; returns the physical-unit cubic.
         """
-        with no_grad():
-            sequence = [Tensor(token_window[t]) for t in range(token_window.shape[0])]
-            hidden = self._run_lstm(sequence)
-            coefficients = self.coefficient_head(hidden).numpy().reshape(6, 4)
-            gripper_logits = self.gripper_head(hidden).numpy()
-        physical = coefficients * self.normalizer.scale[:, None]
-        return CubicTrajectory(
-            origin=np.asarray(origin_pose, dtype=float).copy(),
-            coefficients=physical,
-            duration=self.horizon * step_dt,
-            gripper_open=gripper_logits > 0.0,
-        )
+        return self.predict_trajectory_batch(
+            np.asarray(token_window, dtype=float)[None],
+            np.asarray(origin_pose, dtype=float)[None],
+            step_dt,
+        )[0]

@@ -10,7 +10,17 @@ The runner is where the paper's execution models live:
   The adaptive variation terminates early via Algorithm 1.
 
 Each episode returns an :class:`EpisodeTrace` carrying everything the
-pipeline latency/energy model and the trajectory metrics need.
+pipeline latency/energy model and the trajectory metrics need; in
+particular ``EpisodeTrace.executed_steps`` is the per-inference
+executed-trajectory-length sequence that
+:func:`repro.pipeline.executor.simulate_corki` consumes to place inference
+latency on trajectory-boundary frames.
+
+The loop bodies live in :mod:`repro.core.fleet`, which advances N episodes
+in lock-step with batched inference; :func:`run_baseline_episode` and
+:func:`run_corki_episode` are kept as thin N=1 wrappers so existing callers
+(and the paper-figure experiments) keep their single-episode API, with
+results element-wise identical to the same episode inside a larger fleet.
 """
 
 from __future__ import annotations
@@ -19,7 +29,6 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.closed_loop import NO_FEEDBACK, schedule_by_name
 from repro.core.config import (
     ADAPTIVE_DISTANCE_THRESHOLD,
     CorkiVariation,
@@ -74,34 +83,13 @@ def run_baseline_episode(
     max_frames: int = MAX_EPISODE_FRAMES,
     chained: bool = False,
 ) -> EpisodeTrace:
-    """Frame-by-frame execution (paper Fig. 1a)."""
-    observation = env.continue_with(task) if chained else env.reset(task)
-    assert env.scene is not None
-    reference = _reference_path(env, task)
-    observations = [observation] * WINDOW_LENGTH
-    path = [env.scene.ee_pose.copy()]
-    gripper_path = [env.scene.gripper_open]
-    executed = []
+    """Frame-by-frame execution (paper Fig. 1a); a fleet of one."""
+    from repro.core.fleet import FleetLane, FleetRunner
 
-    for _ in range(max_frames):
-        window = np.array(observations[-WINDOW_LENGTH:])
-        delta, gripper_open = policy.predict(window, task.instruction_id)
-        target = env.scene.ee_pose + delta
-        observation = env.step(target, gripper_open, actuation)
-        observations.append(observation)
-        path.append(env.scene.ee_pose.copy())
-        gripper_path.append(env.scene.gripper_open)
-        executed.append(1)
-        if env.succeeded:
-            break
-    return EpisodeTrace(
-        success=env.succeeded,
-        frames=len(executed),
-        executed_steps=executed,
-        ee_path=np.array(path),
-        reference_path=reference,
-        gripper_path=np.array(gripper_path, dtype=bool),
+    lane = FleetLane(
+        tasks=[task], actuation=actuation, max_frames=max_frames, chained_start=chained
     )
+    return FleetRunner(baseline=policy).run([env], [lane])[0][0]
 
 
 class _TokenWindow:
@@ -119,13 +107,23 @@ class _TokenWindow:
         self._first_real: np.ndarray | None = None
 
     def add_inference_frame(self, frame: int, observation: np.ndarray, instruction: int) -> None:
-        token = self._policy.encode_frame_token(observation, instruction)
+        self.insert_inference_token(
+            frame, self._policy.encode_frame_token(observation, instruction)
+        )
+
+    def add_feedback_frame(self, frame: int, observation: np.ndarray) -> None:
+        self.insert_feedback_token(frame, self._policy.encode_feedback_token(observation))
+
+    def insert_inference_token(self, frame: int, token: np.ndarray) -> None:
+        """Record an already-encoded VLM token (the fleet runner encodes all
+        planning lanes in one batch before inserting)."""
         if self._first_real is None:
             self._first_real = token
         self._tokens[frame] = token
 
-    def add_feedback_frame(self, frame: int, observation: np.ndarray) -> None:
-        self._tokens[frame] = self._policy.encode_feedback_token(observation)
+    def insert_feedback_token(self, frame: int, token: np.ndarray) -> None:
+        """Record an already-encoded ViT feedback token."""
+        self._tokens[frame] = token
 
     def assemble(self, current_frame: int) -> np.ndarray:
         mask = self._policy.mask_token()
@@ -150,57 +148,22 @@ def run_corki_episode(
     max_frames: int = MAX_EPISODE_FRAMES,
     chained: bool = False,
 ) -> EpisodeTrace:
-    """Trajectory-level execution (paper Fig. 1b) for one Corki variation."""
-    observation = env.continue_with(task) if chained else env.reset(task)
-    assert env.scene is not None
-    reference = _reference_path(env, task)
-    window = _TokenWindow(policy)
-    path = [env.scene.ee_pose.copy()]
-    gripper_path = [env.scene.gripper_open]
-    executed: list[int] = []
+    """Trajectory-level execution (paper Fig. 1b); a fleet of one.
 
-    schedule = (
-        schedule_by_name(variation.feedback) if variation.closed_loop else NO_FEEDBACK
+    ``rng`` drives the closed-loop feedback schedule only (one draw per
+    executed trajectory, as in the single-loop formulation of Sec. 3.4).
+    """
+    from repro.core.fleet import FleetLane, FleetRunner
+
+    lane = FleetLane(
+        tasks=[task],
+        variation=variation,
+        rng=rng,
+        actuation=actuation,
+        max_frames=max_frames,
+        chained_start=chained,
     )
-    frame = 0
-    while frame < max_frames:
-        window.add_inference_frame(frame, observation, task.instruction_id)
-        trajectory = policy.predict_trajectory(
-            window.assemble(frame), env.scene.ee_pose, env.frame_dt
-        )
-        steps = _decide_steps(trajectory, variation, env.scene.gripper_open)
-        steps = min(steps, max_frames - frame)
-        feedback_step = schedule.feedback_step(steps, rng)
-
-        for step in range(1, steps + 1):
-            target = trajectory.pose(step * trajectory.step_dt)
-            gripper_open = trajectory.gripper_at_step(step)
-            observation = env.step(target, gripper_open, actuation)
-            frame += 1
-            path.append(env.scene.ee_pose.copy())
-            gripper_path.append(env.scene.gripper_open)
-            if step == feedback_step:
-                window.add_feedback_frame(frame, observation)
-            if env.succeeded:
-                executed.append(step)
-                return EpisodeTrace(
-                    success=True,
-                    frames=frame,
-                    executed_steps=executed,
-                    ee_path=np.array(path),
-                    reference_path=reference,
-                    gripper_path=np.array(gripper_path, dtype=bool),
-                )
-        executed.append(steps)
-
-    return EpisodeTrace(
-        success=env.succeeded,
-        frames=frame,
-        executed_steps=executed,
-        ee_path=np.array(path),
-        reference_path=reference,
-        gripper_path=np.array(gripper_path, dtype=bool),
-    )
+    return FleetRunner(corki=policy).run([env], [lane])[0][0]
 
 
 def _decide_steps(trajectory, variation: CorkiVariation, gripper_open_now: bool) -> int:

@@ -43,7 +43,11 @@ class ExperimentContext:
         if scenario not in self._evaluations:
             layout = SEEN_LAYOUT if scenario == "seen" else UNSEEN_LAYOUT
             self._evaluations[scenario] = evaluate_all_systems(
-                self.policies(), layout, jobs=self.profile.jobs, seed=self.profile.eval_seed
+                self.policies(),
+                layout,
+                jobs=self.profile.jobs,
+                seed=self.profile.eval_seed,
+                fleet_size=self.profile.fleet_size,
             )
         return self._evaluations[scenario]
 

@@ -27,6 +27,7 @@ class Profile:
     threshold_points: tuple[float, ...]  # Fig. 15 sweep
     sweep_trajectories: int
     eval_seed: int = 1234
+    fleet_size: int = 32  # jobs rolled out in lock-step per evaluation fleet
 
 
 QUICK = Profile(

@@ -147,12 +147,20 @@ class LSTM(Module):
         self.cell = LSTMCell(input_size, hidden_size, rng)
 
     def forward(
-        self, sequence: list[Tensor], state: tuple[Tensor, Tensor] | None = None
+        self,
+        sequence: list[Tensor] | Tensor,
+        state: tuple[Tensor, Tensor] | None = None,
     ) -> tuple[list[Tensor], tuple[Tensor, Tensor]]:
-        """Run over ``sequence`` (list of [batch?, input] tensors).
+        """Run over ``sequence``: a list of ``[batch?, input]`` tensors or one
+        ``(batch, window, input)`` tensor sliced along the window axis.
 
+        The recurrence is inherently sequential over the window, but with a
+        batched ``sequence`` every gate matmul sees ``(batch, ...)`` operands,
+        which is what makes fleet evaluation amortise Python overhead.
         Returns all hidden states plus the final ``(h, c)``.
         """
+        if isinstance(sequence, Tensor):
+            sequence = [sequence[:, t, :] for t in range(sequence.shape[1])]
         if state is None:
             batch_shape = sequence[0].shape[:-1]
             state = self.cell.initial_state(batch_shape)

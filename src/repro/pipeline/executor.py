@@ -62,8 +62,11 @@ def simulate_corki(
     """Trajectory-level pipeline with communication hidden under execution.
 
     ``executed_steps`` lists, per inference, how many trajectory steps were
-    executed before re-planning -- exactly what
-    :class:`repro.core.runner.EpisodeTrace` records.  The first frame of each
+    executed before re-planning -- exactly the semantics of
+    :attr:`repro.core.runner.EpisodeTrace.executed_steps` (one entry per
+    inference, always ``[1, 1, ...]`` for the baseline), whether the trace
+    came from a single-episode runner or a
+    :class:`repro.core.fleet.FleetRunner` lane.  The first frame of each
     trajectory pays the inference latency; communication of the frames
     captured during execution hides under the robot's physical execution
     time (``steps`` x 33.3 ms) and only the remainder, if any, stays exposed
@@ -97,8 +100,9 @@ def simulate_corki(
 def executed_steps_from_trace(trace) -> list[int]:
     """Extract the executed-steps sequence from an accuracy-run episode trace.
 
-    Accepts any object with an ``executed_steps`` attribute; kept as a
-    function so the pipeline package does not import the core package.
+    Accepts any object with an ``executed_steps`` attribute -- in practice a
+    :class:`repro.core.runner.EpisodeTrace`; kept duck-typed so the pipeline
+    package does not import the core package.
     """
     steps = list(trace.executed_steps)
     if not steps:

@@ -13,6 +13,7 @@ from repro.sim.env import (
     TRACKING_100HZ,
     TRACKING_30HZ,
     ActuationModel,
+    BatchedManipulationEnv,
     ManipulationEnv,
 )
 from repro.sim.expert import ExpertTrajectory, min_jerk_profile, render_keyframes
@@ -24,6 +25,7 @@ __all__ = [
     "ActionNormalizer",
     "ActuationModel",
     "BLOCK_NAMES",
+    "BatchedManipulationEnv",
     "Block",
     "CameraModel",
     "Demonstration",

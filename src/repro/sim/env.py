@@ -13,6 +13,7 @@ effect the paper's accuracy results rest on.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 import numpy as np
 
@@ -27,6 +28,7 @@ __all__ = [
     "TRACKING_30HZ",
     "PERFECT_ACTUATION",
     "ManipulationEnv",
+    "BatchedManipulationEnv",
 ]
 
 _BLOCK_GRASP_RADIUS = 0.05
@@ -223,3 +225,106 @@ class ManipulationEnv:
             switch = scene.switch
             along = float(np.dot(ee - switch.handle_base, switch.axis)) / switch.travel
             switch.level = float(np.clip(along, 0.0, 1.0))
+
+
+class BatchedManipulationEnv:
+    """Vectorised facade over N independent :class:`ManipulationEnv` lanes.
+
+    The fleet runner (:mod:`repro.core.fleet`) advances many closed-loop
+    episodes in lock-step; this class gives it a step-many API while keeping
+    every lane's randomness in its own generator, so a lane's episode is
+    bit-for-bit the episode a standalone ``ManipulationEnv`` with the same
+    seed would produce regardless of how many other lanes run beside it.
+
+    All ``*_many`` methods take an optional ``indices`` sequence selecting
+    the lanes to touch (episodes in a fleet start, re-plan and finish on
+    different frames); omitted, they address every lane.  Observations come
+    back stacked as a ``(len(indices), OBSERVATION_DIM)`` array.
+    """
+
+    def __init__(self, envs: Sequence[ManipulationEnv]):
+        if not envs:
+            raise ValueError("a batched environment needs at least one lane")
+        self.envs = list(envs)
+        dts = {env.frame_dt for env in self.envs}
+        if len(dts) != 1:
+            raise ValueError("all lanes must share one camera frame_dt")
+
+    @classmethod
+    def from_seeds(
+        cls,
+        layout: SceneLayout,
+        seeds: Sequence[int],
+        actuation: ActuationModel = TRACKING_100HZ,
+        camera_noise_std: float = 0.01,
+    ) -> "BatchedManipulationEnv":
+        """One lane per seed, each with an independent generator."""
+        return cls(
+            [
+                ManipulationEnv(
+                    layout,
+                    np.random.default_rng(seed),
+                    actuation=actuation,
+                    camera_noise_std=camera_noise_std,
+                )
+                for seed in seeds
+            ]
+        )
+
+    def __len__(self) -> int:
+        return len(self.envs)
+
+    @property
+    def frame_dt(self) -> float:
+        return self.envs[0].frame_dt
+
+    def _select(self, indices: Sequence[int] | None) -> list[int]:
+        return list(range(len(self.envs))) if indices is None else list(indices)
+
+    def reset_many(
+        self, tasks: Sequence[Task], indices: Sequence[int] | None = None
+    ) -> np.ndarray:
+        """Start an episode per selected lane; returns stacked observations."""
+        chosen = self._select(indices)
+        if len(tasks) != len(chosen):
+            raise ValueError("one task per selected lane is required")
+        return np.stack(
+            [self.envs[i].reset(task) for i, task in zip(chosen, tasks)]
+        )
+
+    def step_many(
+        self,
+        target_poses: np.ndarray,
+        grippers_open: Sequence[bool],
+        actuation: ActuationModel | Sequence[ActuationModel] | None = None,
+        indices: Sequence[int] | None = None,
+    ) -> np.ndarray:
+        """Advance one camera frame on each selected lane.
+
+        ``target_poses`` is ``(K, 6)`` and ``grippers_open`` length-K for the
+        K selected lanes.  ``actuation`` may be one model for all lanes or a
+        per-lane sequence (a mixed fleet runs the baseline's 30 Hz lanes next
+        to Corki's 100 Hz lanes).  Returns the stacked new observations.
+        """
+        chosen = self._select(indices)
+        targets = np.asarray(target_poses, dtype=float)
+        if targets.shape != (len(chosen), 6):
+            raise ValueError(f"target_poses must be ({len(chosen)}, 6), got {targets.shape}")
+        if len(grippers_open) != len(chosen):
+            raise ValueError("one gripper flag per selected lane is required")
+        if isinstance(actuation, ActuationModel) or actuation is None:
+            models: Sequence[ActuationModel | None] = [actuation] * len(chosen)
+        else:
+            models = list(actuation)
+            if len(models) != len(chosen):
+                raise ValueError("one actuation model per selected lane is required")
+        return np.stack(
+            [
+                self.envs[i].step(target, bool(gripper), model)
+                for i, target, gripper, model in zip(chosen, targets, grippers_open, models)
+            ]
+        )
+
+    def succeeded_mask(self, indices: Sequence[int] | None = None) -> np.ndarray:
+        """Boolean success flags for the selected lanes' current tasks."""
+        return np.array([self.envs[i].succeeded for i in self._select(indices)], dtype=bool)

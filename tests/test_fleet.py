@@ -1,0 +1,234 @@
+"""Seed-for-seed equivalence of the batched fleet engine.
+
+The fleet runner must be a pure throughput optimisation: an episode rolled
+inside an N-lane fleet is element-wise identical to the same episode rolled
+by the single-episode runner from the same seeds.  Two mechanisms carry
+that guarantee and these tests lock both in:
+
+* every lane owns its environment and feedback generators, so no lane's
+  randomness depends on its neighbours; and
+* the batched policy entry points pad singleton batches
+  (``repro.core.policy._pad_singleton``), so BLAS takes the same GEMM
+  kernels whether one lane or thirty-two need inference on a tick.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    FleetLane,
+    FleetRunner,
+    VARIATIONS,
+    run_baseline_episode,
+    run_baseline_fleet,
+    run_corki_episode,
+    run_corki_fleet,
+    run_job,
+)
+from repro.sim import (
+    BatchedManipulationEnv,
+    SEEN_LAYOUT,
+    TASKS,
+    ManipulationEnv,
+)
+
+FLEET_N = 6
+MAX_FRAMES = 25
+
+
+def _envs(seed_base: int, n: int = FLEET_N) -> list[ManipulationEnv]:
+    return [
+        ManipulationEnv(SEEN_LAYOUT, np.random.default_rng(seed_base + i))
+        for i in range(n)
+    ]
+
+
+def _tasks(n: int = FLEET_N):
+    return [TASKS[i % len(TASKS)] for i in range(n)]
+
+
+def _assert_traces_identical(single, fleet):
+    assert single.success == fleet.success
+    assert single.frames == fleet.frames
+    assert single.executed_steps == fleet.executed_steps
+    assert np.array_equal(single.ee_path, fleet.ee_path)
+    assert np.array_equal(single.reference_path, fleet.reference_path)
+    assert np.array_equal(single.gripper_path, fleet.gripper_path)
+
+
+class TestBaselineEquivalence:
+    def test_fleet_matches_sequential_singles(self, tiny_policies):
+        baseline, _, _ = tiny_policies
+        singles = [
+            run_baseline_episode(env, baseline, task, max_frames=MAX_FRAMES)
+            for env, task in zip(_envs(50), _tasks())
+        ]
+        fleet = run_baseline_fleet(_envs(50), baseline, _tasks(), max_frames=MAX_FRAMES)
+        for single, batched in zip(singles, fleet):
+            _assert_traces_identical(single, batched)
+
+
+class TestCorkiEquivalence:
+    @pytest.mark.parametrize("name", ["corki-5", "corki-adap"])
+    def test_fleet_matches_sequential_singles(self, tiny_policies, name):
+        """Fixed-step and Algorithm-1 adaptive lanes de-synchronise their
+        inference frames inside the fleet; results must not change."""
+        _, corki, _ = tiny_policies
+        variation = VARIATIONS[name]
+        singles = [
+            run_corki_episode(
+                env, corki, task, variation, np.random.default_rng(70 + i),
+                max_frames=MAX_FRAMES,
+            )
+            for i, (env, task) in enumerate(zip(_envs(60), _tasks()))
+        ]
+        fleet = run_corki_fleet(
+            _envs(60),
+            corki,
+            _tasks(),
+            variation,
+            [np.random.default_rng(70 + i) for i in range(FLEET_N)],
+            max_frames=MAX_FRAMES,
+        )
+        for single, batched in zip(singles, fleet):
+            _assert_traces_identical(single, batched)
+
+
+class TestJobChainingEquivalence:
+    def test_fleet_lane_matches_run_job(self, tiny_policies):
+        """A multi-task lane chains tasks exactly like run_job: scene
+        persists via continue_with, and the job stops at the first failure."""
+        baseline, _, _ = tiny_policies
+        job = [TASKS[0], TASKS[5], TASKS[9]]
+
+        single_env = ManipulationEnv(SEEN_LAYOUT, np.random.default_rng(80))
+
+        def episode(task, chained):
+            return run_baseline_episode(
+                single_env, baseline, task, max_frames=MAX_FRAMES, chained=chained
+            )
+
+        single_traces = run_job(single_env, job, episode)
+
+        fleet_env = ManipulationEnv(SEEN_LAYOUT, np.random.default_rng(80))
+        lane = FleetLane(tasks=job, max_frames=MAX_FRAMES)
+        fleet_traces = FleetRunner(baseline=baseline).run([fleet_env], [lane])[0]
+
+        assert len(single_traces) == len(fleet_traces)
+        for single, batched in zip(single_traces, fleet_traces):
+            _assert_traces_identical(single, batched)
+
+    def test_corki_job_chaining(self, tiny_policies):
+        _, corki, _ = tiny_policies
+        job = [TASKS[1], TASKS[6]]
+        variation = VARIATIONS["corki-5"]
+
+        single_env = ManipulationEnv(SEEN_LAYOUT, np.random.default_rng(81))
+        single_rng = np.random.default_rng(91)
+
+        def episode(task, chained):
+            return run_corki_episode(
+                single_env, corki, task, variation, single_rng,
+                max_frames=MAX_FRAMES, chained=chained,
+            )
+
+        single_traces = run_job(single_env, job, episode)
+
+        fleet_env = ManipulationEnv(SEEN_LAYOUT, np.random.default_rng(81))
+        lane = FleetLane(
+            tasks=job, variation=variation,
+            rng=np.random.default_rng(91), max_frames=MAX_FRAMES,
+        )
+        fleet_traces = FleetRunner(corki=corki).run([fleet_env], [lane])[0]
+
+        assert len(single_traces) == len(fleet_traces)
+        for single, batched in zip(single_traces, fleet_traces):
+            _assert_traces_identical(single, batched)
+
+
+class TestMixedFleet:
+    def test_baseline_and_corki_lanes_share_a_fleet(self, tiny_policies):
+        """A heterogeneous fleet batches each policy kind separately and
+        still reproduces every lane's standalone episode."""
+        baseline, corki, _ = tiny_policies
+        variation = VARIATIONS["corki-5"]
+
+        single_base = run_baseline_episode(
+            ManipulationEnv(SEEN_LAYOUT, np.random.default_rng(100)),
+            baseline, TASKS[0], max_frames=MAX_FRAMES,
+        )
+        single_corki = run_corki_episode(
+            ManipulationEnv(SEEN_LAYOUT, np.random.default_rng(101)),
+            corki, TASKS[1], variation, np.random.default_rng(111),
+            max_frames=MAX_FRAMES,
+        )
+
+        envs = [
+            ManipulationEnv(SEEN_LAYOUT, np.random.default_rng(100)),
+            ManipulationEnv(SEEN_LAYOUT, np.random.default_rng(101)),
+        ]
+        lanes = [
+            FleetLane(tasks=[TASKS[0]], max_frames=MAX_FRAMES),
+            FleetLane(
+                tasks=[TASKS[1]], variation=variation,
+                rng=np.random.default_rng(111), max_frames=MAX_FRAMES,
+            ),
+        ]
+        traces = FleetRunner(baseline=baseline, corki=corki).run(envs, lanes)
+        _assert_traces_identical(single_base, traces[0][0])
+        _assert_traces_identical(single_corki, traces[1][0])
+
+
+class TestBatchedEnvFacade:
+    def test_step_many_shapes_and_masks(self, rng):
+        fleet = BatchedManipulationEnv.from_seeds(SEEN_LAYOUT, [1, 2, 3])
+        assert len(fleet) == 3
+        observations = fleet.reset_many([TASKS[0], TASKS[1], TASKS[2]])
+        assert observations.shape[0] == 3
+        targets = np.stack([env.scene.ee_pose for env in fleet.envs])
+        stepped = fleet.step_many(targets, [True, True, False])
+        assert stepped.shape == observations.shape
+        assert fleet.succeeded_mask().shape == (3,)
+
+    def test_indices_select_lanes(self):
+        fleet = BatchedManipulationEnv.from_seeds(SEEN_LAYOUT, [1, 2, 3])
+        fleet.reset_many([TASKS[0], TASKS[1], TASKS[2]])
+        before = fleet.envs[1].scene.ee_pose.copy()
+        targets = np.stack([fleet.envs[i].scene.ee_pose + 0.01 for i in (0, 2)])
+        fleet.step_many(targets, [True, True], indices=[0, 2])
+        # Lane 1 was not selected, so its arm never moved.
+        assert np.array_equal(fleet.envs[1].scene.ee_pose, before)
+        assert fleet.envs[0].frame_count == 1 and fleet.envs[2].frame_count == 1
+
+    def test_validates_lane_counts(self):
+        fleet = BatchedManipulationEnv.from_seeds(SEEN_LAYOUT, [1, 2])
+        with pytest.raises(ValueError):
+            fleet.reset_many([TASKS[0]])
+        with pytest.raises(ValueError):
+            BatchedManipulationEnv([])
+        fleet.reset_many([TASKS[0], TASKS[1]])
+        targets = np.stack([env.scene.ee_pose for env in fleet.envs])
+        with pytest.raises(ValueError, match="gripper flag"):
+            fleet.step_many(targets, [True])
+        with pytest.raises(ValueError, match="actuation model"):
+            fleet.step_many(targets, [True, True], actuation=[fleet.envs[0].actuation])
+
+
+class TestLaneValidation:
+    def test_closed_loop_corki_lane_requires_rng(self):
+        with pytest.raises(ValueError):
+            FleetLane(tasks=[TASKS[0]], variation=VARIATIONS["corki-5"])
+
+    def test_lane_requires_tasks(self):
+        with pytest.raises(ValueError):
+            FleetLane(tasks=[])
+
+    def test_runner_requires_matching_policies(self, tiny_policies):
+        baseline, _, _ = tiny_policies
+        env = ManipulationEnv(SEEN_LAYOUT, np.random.default_rng(0))
+        lane = FleetLane(
+            tasks=[TASKS[0]], variation=VARIATIONS["corki-5"],
+            rng=np.random.default_rng(1),
+        )
+        with pytest.raises(ValueError):
+            FleetRunner(baseline=baseline).run([env], [lane])
