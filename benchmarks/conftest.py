@@ -4,12 +4,29 @@ Each benchmark regenerates (at benchmark-friendly scale) the computation
 behind one paper artifact; the experiment drivers in
 ``repro.experiments`` produce the full-scale numbers.  Policies used by
 closed-loop benchmarks are trained once per session at a small size.
+
+Fleet benchmarks additionally report episodes/sec into a session-wide
+record; passing ``--fleet-json PATH`` (or setting ``REPRO_FLEET_JSON``)
+writes the record as a machine-readable ``BENCH_fleet.json`` artifact at
+session end -- the same schema ``repro-experiments bench --json`` emits and
+the CI throughput gate reads.
 """
 
 from __future__ import annotations
 
-import numpy as np
+import os
+
 import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--fleet-json",
+        action="store",
+        default=None,
+        metavar="PATH",
+        help="write fleet throughput results as a BENCH_fleet.json artifact",
+    )
 
 
 @pytest.fixture(scope="session")
@@ -22,20 +39,30 @@ def panda_model():
 @pytest.fixture(scope="session")
 def bench_policies():
     """Small trained policies shared by the closed-loop benchmarks."""
-    from repro.core import (
-        BaselinePolicy,
-        CorkiPolicy,
-        TrainingConfig,
-        train_baseline,
-        train_corki,
-    )
-    from repro.sim import OBSERVATION_DIM, SEEN_LAYOUT, TASKS, collect_demonstrations
+    from repro.analysis.fleet_bench import train_bench_policies
 
-    rng = np.random.default_rng(0)
-    demos = collect_demonstrations(SEEN_LAYOUT, rng, per_task=3)
-    baseline = BaselinePolicy(OBSERVATION_DIM, len(TASKS), rng, token_dim=16, hidden_dim=32)
-    corki = CorkiPolicy(OBSERVATION_DIM, len(TASKS), rng, token_dim=16, hidden_dim=32)
-    config = TrainingConfig(epochs=1, batch_size=64)
-    train_baseline(baseline, demos, config)
-    train_corki(corki, demos, config)
-    return baseline, corki, demos
+    return train_bench_policies()
+
+
+@pytest.fixture(scope="session")
+def fleet_bench_records():
+    """Mutable session record the fleet benchmarks append results to."""
+    return []
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _write_fleet_bench_json(request, fleet_bench_records):
+    """Persist the session's fleet measurements when a path was requested."""
+    yield
+    path = request.config.getoption("--fleet-json") or os.environ.get("REPRO_FLEET_JSON")
+    if not path or not fleet_bench_records:
+        return
+    from repro.analysis.fleet_bench import bench_envelope, write_bench_json
+
+    rounds = {entry.pop("rounds") for entry in fleet_bench_records}
+    artifact = bench_envelope(
+        sorted(fleet_bench_records, key=lambda e: (e["policy"], e["fleet_size"])),
+        rounds=rounds.pop() if len(rounds) == 1 else sorted(rounds),
+    )
+    written = write_bench_json(path, artifact)
+    print(f"\n[fleet benchmark artifact written to {written}]")

@@ -1,0 +1,173 @@
+"""Fleet throughput measurement and its machine-readable artifact.
+
+One measurement routine backs three consumers:
+
+* ``repro-experiments bench [--json PATH]`` -- the CLI entry point;
+* ``benchmarks/test_bench_fleet.py`` -- the pytest-benchmark suite, whose
+  session can dump the same artifact via ``--fleet-json``; and
+* the CI throughput gate, which compares a fresh N=32 measurement against
+  the committed ``artifacts/BENCH_fleet.json`` and fails on a >2x
+  regression.
+
+The artifact records episodes/sec for the baseline (inference every frame)
+and Corki-5 (inference at trajectory boundaries) execution models across
+fleet sizes, which is the perf trajectory the ROADMAP asks each PR to move.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from pathlib import Path
+from typing import Sequence
+
+import numpy as np
+
+BENCH_SCHEMA = "repro-fleet-bench/1"
+FLEET_SIZES = (1, 8, 32, 128)
+BENCH_FRAMES = 20
+DEFAULT_BENCH_PATH = Path(__file__).resolve().parents[3] / "artifacts" / "BENCH_fleet.json"
+
+
+def train_bench_policies():
+    """Small trained policies at the benchmark scale (shared with conftest)."""
+    from repro.core import (
+        BaselinePolicy,
+        CorkiPolicy,
+        TrainingConfig,
+        train_baseline,
+        train_corki,
+    )
+    from repro.sim import OBSERVATION_DIM, SEEN_LAYOUT, TASKS, collect_demonstrations
+
+    rng = np.random.default_rng(0)
+    demos = collect_demonstrations(SEEN_LAYOUT, rng, per_task=3)
+    baseline = BaselinePolicy(OBSERVATION_DIM, len(TASKS), rng, token_dim=16, hidden_dim=32)
+    corki = CorkiPolicy(OBSERVATION_DIM, len(TASKS), rng, token_dim=16, hidden_dim=32)
+    config = TrainingConfig(epochs=1, batch_size=64)
+    train_baseline(baseline, demos, config)
+    train_corki(corki, demos, config)
+    return baseline, corki, demos
+
+
+def fleet_inputs(n: int, seed_base: int = 0):
+    """Fresh environments and a task per lane for one benchmark round."""
+    from repro.sim import SEEN_LAYOUT, TASKS, ManipulationEnv
+
+    tasks = [TASKS[i % len(TASKS)] for i in range(n)]
+    envs = [
+        ManipulationEnv(SEEN_LAYOUT, np.random.default_rng(seed_base + i))
+        for i in range(n)
+    ]
+    return envs, tasks
+
+
+def episodes_per_second(run, n: int, rounds: int = 3) -> float:
+    """Best-of-``rounds`` throughput of ``run()`` (which rolls ``n`` episodes)."""
+    best = float("inf")
+    for _ in range(rounds):
+        started = time.perf_counter()
+        run()
+        best = min(best, time.perf_counter() - started)
+    return n / best
+
+
+def bench_envelope(results: list[dict], frames: int = BENCH_FRAMES, rounds: int = 3) -> dict:
+    """Wrap measurement rows in the artifact envelope (one producer for the
+    schema: the CLI, the pytest session dump and the CI gate all agree)."""
+    return {
+        "schema": BENCH_SCHEMA,
+        "benchmark": "fleet",
+        "frames_per_episode": frames,
+        "rounds": rounds,
+        "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "host": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "machine": platform.machine(),
+        },
+        "results": results,
+    }
+
+
+def measure_fleet_throughput(
+    policies=None,
+    fleet_sizes: Sequence[int] = FLEET_SIZES,
+    frames: int = BENCH_FRAMES,
+    rounds: int = 3,
+) -> dict:
+    """Measure baseline and Corki-5 fleet throughput across fleet sizes.
+
+    Returns the artifact dict (see :data:`BENCH_SCHEMA`); pass it to
+    :func:`write_bench_json` to persist.
+    """
+    from repro.core import VARIATIONS, run_baseline_fleet, run_corki_fleet
+
+    baseline, corki, _ = policies if policies is not None else train_bench_policies()
+    variation = VARIATIONS["corki-5"]
+    results = []
+    for n in fleet_sizes:
+        def run_baseline():
+            envs, tasks = fleet_inputs(n)
+            run_baseline_fleet(envs, baseline, tasks, max_frames=frames)
+
+        def run_corki():
+            envs, tasks = fleet_inputs(n)
+            rngs = [np.random.default_rng(1000 + i) for i in range(n)]
+            run_corki_fleet(envs, corki, tasks, variation, rngs, max_frames=frames)
+
+        results.append(
+            {
+                "policy": "baseline",
+                "fleet_size": n,
+                "episodes_per_second": round(episodes_per_second(run_baseline, n, rounds), 1),
+            }
+        )
+        results.append(
+            {
+                "policy": "corki-5",
+                "fleet_size": n,
+                "episodes_per_second": round(episodes_per_second(run_corki, n, rounds), 1),
+            }
+        )
+    return bench_envelope(results, frames=frames, rounds=rounds)
+
+
+def write_bench_json(path: str | Path, report: dict) -> Path:
+    """Write the artifact; returns the resolved path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(report, indent=2) + "\n")
+    return path
+
+
+def load_bench_json(path: str | Path) -> dict:
+    return json.loads(Path(path).read_text())
+
+
+def recorded_throughput(report: dict, policy: str, fleet_size: int) -> float | None:
+    """Episodes/sec recorded for one (policy, fleet size) cell, if present."""
+    for entry in report.get("results", []):
+        if entry.get("policy") == policy and entry.get("fleet_size") == fleet_size:
+            return float(entry["episodes_per_second"])
+    return None
+
+
+def format_report(report: dict) -> str:
+    """Human-readable table of one measurement (the CLI's output)."""
+    lines = [
+        f"Fleet throughput (episodes/sec, {report['frames_per_episode']}-frame episodes, "
+        f"best of {report['rounds']} rounds)",
+        f"{'fleet size':>10}  {'baseline':>10}  {'corki-5':>10}",
+    ]
+    sizes = sorted({entry["fleet_size"] for entry in report["results"]})
+    for n in sizes:
+        base = recorded_throughput(report, "baseline", n)
+        cork = recorded_throughput(report, "corki-5", n)
+        lines.append(
+            f"{n:>10}  "
+            f"{'-' if base is None else format(base, '.1f'):>10}  "
+            f"{'-' if cork is None else format(cork, '.1f'):>10}"
+        )
+    return "\n".join(lines)

@@ -6,6 +6,8 @@ Usage::
     repro-experiments tbl1 fig13     # a subset
     repro-experiments --list
     repro-experiments --fleet-size 64 tbl1   # wider evaluation fleets
+    repro-experiments bench                  # fleet throughput measurement
+    repro-experiments bench --json artifacts/BENCH_fleet.json
     REPRO_PROFILE=full repro-experiments tbl1
 """
 
@@ -47,11 +49,25 @@ def main(argv: list[str] | None = None) -> int:
         help="jobs rolled out in lock-step per evaluation fleet "
              "(default: the profile's fleet_size; 1 disables batching)",
     )
+    parser.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="('bench' only) also write the measurement as a machine-readable "
+             "JSON artifact (the BENCH_fleet.json schema the CI gate reads)",
+    )
     args = parser.parse_args(argv)
 
     if args.list or not args.experiments:
-        print("available experiments:", ", ".join(_ORDER))
+        print("available experiments:", ", ".join(_ORDER), "(plus: bench)")
         return 0
+
+    if "bench" in args.experiments:
+        if len(args.experiments) > 1:
+            print(
+                "'bench' runs alone; invoke other experiments in a separate call",
+                file=sys.stderr,
+            )
+            return 2
+        return _run_bench(args.json)
 
     requested = _ORDER if args.experiments == ["all"] else args.experiments
     unknown = [name for name in requested if name not in EXPERIMENTS]
@@ -77,6 +93,25 @@ def main(argv: list[str] | None = None) -> int:
             path = save_report(name, report, profile.name)
             print(f"[saved {path}]")
         print(f"--- {name} done in {time.perf_counter() - started:.1f}s ---\n")
+    return 0
+
+
+def _run_bench(json_path: str | None) -> int:
+    """Measure fleet throughput (episodes/sec across fleet sizes)."""
+    from repro.analysis.fleet_bench import (
+        format_report,
+        measure_fleet_throughput,
+        write_bench_json,
+    )
+
+    started = time.perf_counter()
+    print("=== bench (fleet throughput) ===")
+    report = measure_fleet_throughput()
+    print(format_report(report))
+    if json_path:
+        path = write_bench_json(json_path, report)
+        print(f"[saved {path}]")
+    print(f"--- bench done in {time.perf_counter() - started:.1f}s ---")
     return 0
 
 

@@ -31,11 +31,17 @@ from repro.core.runner import (
 from repro.core.training import (
     TrainingConfig,
     build_baseline_dataset,
+    build_corki_dataset,
     deployment_slot_pattern,
     train_baseline,
     train_corki,
 )
-from repro.core.trajectory import CubicTrajectory, fit_cubic, polynomial_design_matrix
+from repro.core.trajectory import (
+    CubicTrajectory,
+    fit_cubic,
+    polynomial_design_matrix,
+    pose_batch,
+)
 from repro.core.waypoints import (
     adaptive_termination_step,
     gripper_change_flags,
@@ -63,11 +69,13 @@ __all__ = [
     "WINDOW_LENGTH",
     "adaptive_termination_step",
     "build_baseline_dataset",
+    "build_corki_dataset",
     "deployment_slot_pattern",
     "fit_cubic",
     "gripper_change_flags",
     "point_line_distance",
     "polynomial_design_matrix",
+    "pose_batch",
     "run_baseline_episode",
     "run_baseline_fleet",
     "run_corki_episode",

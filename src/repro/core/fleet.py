@@ -43,6 +43,7 @@ from repro.core.runner import (
     _decide_steps,
     _reference_path,
 )
+from repro.core.trajectory import pose_batch
 from repro.sim.env import (
     TRACKING_100HZ,
     TRACKING_30HZ,
@@ -145,9 +146,10 @@ class _LaneState:
         """The (target pose, gripper) to execute this tick."""
         raise NotImplementedError
 
-    def after_step(self, observation: np.ndarray) -> bool:
-        """Advance bookkeeping after the env stepped; True if a feedback
-        frame was captured this tick and still needs encoding."""
+    def after_step(self, observation: np.ndarray, succeeded: bool) -> bool:
+        """Advance bookkeeping after the env stepped; ``succeeded`` is this
+        lane's entry in the tick's success mask.  True if a feedback frame
+        was captured this tick and still needs encoding."""
         raise NotImplementedError  # pragma: no cover - abstract
 
 
@@ -160,11 +162,24 @@ class _BaselineLaneState(_LaneState):
         super().__init__(index, env, lane)
 
     def _reset_episode_state(self) -> None:
-        self.observations = [self.observation] * WINDOW_LENGTH
+        # Rolling *token* window (RoboFlamingo's queue of 12): the VLM
+        # encodes frames independently, so only the newest frame needs
+        # encoding each tick; warm-up slots repeat the first frame's token.
+        # ``None`` marks a fresh episode whose first token is still pending.
+        self._tokens: np.ndarray | None = None
         self._command: tuple[np.ndarray, bool] | None = None
 
-    def window(self) -> np.ndarray:
-        return np.array(self.observations[-WINDOW_LENGTH:])
+    def push_token(self, token: np.ndarray) -> None:
+        """Shift this tick's newest-frame token into the window."""
+        if self._tokens is None:
+            self._tokens = np.repeat(token[None], WINDOW_LENGTH, axis=0)
+        else:
+            self._tokens[:-1] = self._tokens[1:]
+            self._tokens[-1] = token
+
+    def token_window(self) -> np.ndarray:
+        assert self._tokens is not None
+        return self._tokens
 
     def set_command(self, delta: np.ndarray, gripper_open: bool) -> None:
         assert self.env.scene is not None
@@ -174,13 +189,12 @@ class _BaselineLaneState(_LaneState):
         assert self._command is not None
         return self._command
 
-    def after_step(self, observation: np.ndarray) -> bool:
-        self.observations.append(observation)
+    def after_step(self, observation: np.ndarray, succeeded: bool) -> bool:
         self._record_frame(observation)
         self.executed.append(1)
         self._command = None
-        if self.env.succeeded or self.frame >= self.lane.max_frames:
-            self._finish_episode(self.env.succeeded)
+        if succeeded or self.frame >= self.lane.max_frames:
+            self._finish_episode(succeeded)
         return False
 
 
@@ -230,12 +244,12 @@ class _CorkiLaneState(_LaneState):
         target = self.trajectory.pose(step * self.trajectory.step_dt)
         return target, self.trajectory.gripper_at_step(step)
 
-    def after_step(self, observation: np.ndarray) -> bool:
+    def after_step(self, observation: np.ndarray, succeeded: bool) -> bool:
         self.step_in_traj += 1
         step = self.step_in_traj
         self._record_frame(observation)
         captured = step == self.feedback_step
-        if self.env.succeeded:
+        if succeeded:
             # Mid-trajectory success ends the episode immediately; a feedback
             # frame captured on the same tick dies with the episode's window
             # (the single runner encodes it and then discards the window).
@@ -248,7 +262,7 @@ class _CorkiLaneState(_LaneState):
             self.executed.append(self.steps_planned)
             self.trajectory = None
             if self.frame >= self.lane.max_frames:
-                self._finish_episode(self.env.succeeded)
+                self._finish_episode(succeeded)
                 return False
         return captured
 
@@ -343,31 +357,74 @@ class FleetRunner:
             state.adopt_plan(trajectory)
 
     def _infer_baseline_lanes(self, active: list[_LaneState]) -> None:
-        """One batched per-frame action prediction for every baseline lane."""
+        """One batched per-frame action prediction for every baseline lane.
+
+        Each lane's newest frame (the only window slot that changed since
+        the last tick) is VLM-encoded in one batch and shifted into the
+        lane's token ring; the LSTM and heads then run on the stacked rings.
+        Re-encoding a frame would reproduce its token bit for bit, so this
+        is a pure 12x cut of the per-tick VLM work.
+        """
         lanes = [state for state in active if isinstance(state, _BaselineLaneState)]
         if not lanes:
             return
         assert self.baseline is not None
-        windows = np.stack([state.window() for state in lanes])
+        observations = np.stack([state.observation for state in lanes])
         instructions = np.array([state.task.instruction_id for state in lanes])
-        deltas, grippers = self.baseline.predict_batch(windows, instructions)
+        tokens = self.baseline.encode_frame_token_batch(observations, instructions)
+        for state, token in zip(lanes, tokens):
+            state.push_token(token)
+        windows = np.stack([state.token_window() for state in lanes])
+        deltas, grippers = self.baseline.predict_token_batch(windows)
         for state, delta, gripper in zip(lanes, deltas, grippers):
             state.set_command(delta, bool(gripper))
 
     def _step_lanes(self, active: list[_LaneState], fleet: BatchedManipulationEnv) -> None:
         """Advance every active lane one camera frame, then batch-encode the
-        closed-loop feedback frames captured this tick."""
-        commands = [state.tick_command() for state in active]
+        closed-loop feedback frames captured this tick.
+
+        Corki lanes' targets are one batched cubic evaluation
+        (:func:`repro.core.trajectory.pose_batch`) at each lane's own
+        execution time; baseline lanes reuse the command computed by this
+        tick's batched inference.  Success is evaluated as one per-tick mask
+        before any lane advances its episode bookkeeping.
+        """
+        count = len(active)
+        targets = np.empty((count, 6))
+        grippers = np.zeros(count, dtype=bool)
+        corki_rows: list[int] = []
+        for k, state in enumerate(active):
+            if isinstance(state, _CorkiLaneState):
+                corki_rows.append(k)
+            else:
+                target, gripper = state.tick_command()
+                targets[k] = target
+                grippers[k] = gripper
+        if corki_rows:
+            rows = np.array(corki_rows)
+            states = [active[k] for k in corki_rows]
+            trajectories = [state.trajectory for state in states]
+            steps = [state.step_in_traj + 1 for state in states]
+            times = np.array(
+                [step * trajectory.step_dt for step, trajectory in zip(steps, trajectories)]
+            )
+            targets[rows] = pose_batch(trajectories, times)
+            grippers[rows] = [
+                trajectory.gripper_at_step(step)
+                for trajectory, step in zip(trajectories, steps)
+            ]
+        indices = [state.index for state in active]
         observations = fleet.step_many(
-            np.stack([target for target, _ in commands]),
-            [gripper for _, gripper in commands],
+            targets,
+            grippers,
             [state.actuation for state in active],
-            [state.index for state in active],
+            indices,
         )
+        succeeded = fleet.succeeded_mask(indices)
         feedback = [
             state
-            for state, observation in zip(active, observations)
-            if state.after_step(observation)
+            for state, observation, success in zip(active, observations, succeeded)
+            if state.after_step(observation, bool(success))
         ]
         if not feedback:
             return

@@ -48,6 +48,10 @@ def _batched_forward(inputs, forward):
     ``forward`` under ``no_grad`` and slices each returned array back to the
     true batch size.  Every batched deployment entry point routes through
     here so the determinism-critical pad/slice pairing lives in one place.
+    ``forward`` is a raw-array ``infer`` chain (see :mod:`repro.nn.layers`):
+    deployment needs no autodiff graph, and the graph bookkeeping is a large
+    share of the fleet engine's per-tick cost; the ``no_grad`` guard stays as
+    a belt-and-braces measure for any Tensor op a forward may still touch.
     """
     batch = inputs[0].shape[0]
     if batch == 1:
@@ -93,6 +97,24 @@ class _PolicyBase(Module):
         hidden_states, _ = self.lstm(tokens)
         return hidden_states[-1]
 
+    def encode_frame_token_batch(
+        self, observations: np.ndarray, instructions: np.ndarray
+    ) -> np.ndarray:
+        """VLM tokens for one frame per fleet lane, in one forward pass.
+
+        ``observations`` is ``(batch, obs)`` and ``instructions`` an int
+        array ``(batch,)``; returns ``(batch, token_dim)`` tokens.  Corki
+        lanes call this at planning boundaries; baseline lanes call it every
+        tick for the newest window frame.
+        """
+        return _batched_forward(
+            (
+                np.asarray(observations, dtype=float),
+                np.asarray(instructions, dtype=int),
+            ),
+            lambda obs, instr: (self.vlm.infer(obs, instr),),
+        )[0]
+
 
 class BaselinePolicy(_PolicyBase):
     """RoboFlamingo-style per-frame action prediction."""
@@ -133,8 +155,8 @@ class BaselinePolicy(_PolicyBase):
         set of matmuls replaces ``batch`` Python-level forward passes.
         """
         def forward(windows, instr):
-            hidden = self._run_lstm(self.encode_tokens(windows, instr))
-            return self.pose_head(hidden).numpy(), self.gripper_head(hidden).numpy()
+            hidden = self.lstm.infer(self.vlm.infer(windows, instr))
+            return self.pose_head.infer(hidden), self.gripper_head.infer(hidden)
 
         pose, gripper = _batched_forward(
             (
@@ -142,6 +164,28 @@ class BaselinePolicy(_PolicyBase):
                 np.asarray(instructions, dtype=int),
             ),
             forward,
+        )
+        return self.normalizer.denormalize(pose), gripper[:, 0] > 0.0
+
+    def predict_token_batch(
+        self, token_windows: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Deployment inference from already-encoded token windows.
+
+        The VLM encodes each frame independently (no cross-frame mixing), so
+        a sliding window only ever needs its *newest* frame encoded -- the
+        fleet runner keeps a per-lane token ring, batch-encodes one frame
+        per lane per tick (:meth:`encode_frame_token_batch`) and hands the
+        stacked ``(batch, window, token_dim)`` rings here.  Encoding a frame
+        once and reusing it is bitwise identical to re-encoding the full
+        window every tick, at a twelfth of the VLM work.
+        """
+        def forward(tokens):
+            hidden = self.lstm.infer(tokens)
+            return self.pose_head.infer(hidden), self.gripper_head.infer(hidden)
+
+        pose, gripper = _batched_forward(
+            (np.asarray(token_windows, dtype=float),), forward
         )
         return self.normalizer.denormalize(pose), gripper[:, 0] > 0.0
 
@@ -244,22 +288,6 @@ class CorkiPolicy(_PolicyBase):
 
     # -- deployment -----------------------------------------------------------
 
-    def encode_frame_token_batch(
-        self, observations: np.ndarray, instructions: np.ndarray
-    ) -> np.ndarray:
-        """VLM tokens for the fleet lanes that chose to run inference this tick.
-
-        ``observations`` is ``(batch, obs)`` and ``instructions`` an int
-        array ``(batch,)``; returns ``(batch, token_dim)`` tokens.
-        """
-        return _batched_forward(
-            (
-                np.asarray(observations, dtype=float),
-                np.asarray(instructions, dtype=int),
-            ),
-            lambda obs, instr: (self.encode_tokens(obs, instr).numpy(),),
-        )[0]
-
     def encode_frame_token(self, observation: np.ndarray, instruction: int) -> np.ndarray:
         """Token for one frame the system chose to run VLM inference on."""
         return self.encode_frame_token_batch(
@@ -270,7 +298,7 @@ class CorkiPolicy(_PolicyBase):
         """ViT closed-loop feature tokens for a ``(batch, obs)`` block."""
         return _batched_forward(
             (np.asarray(observations, dtype=float),),
-            lambda obs: (self.feedback_encoder(obs).numpy(),),
+            lambda obs: (self.feedback_encoder.infer(obs),),
         )[0]
 
     def encode_feedback_token(self, observation: np.ndarray) -> np.ndarray:
@@ -298,10 +326,10 @@ class CorkiPolicy(_PolicyBase):
         :class:`CubicTrajectory` per lane.
         """
         def forward(windows):
-            hidden = self._run_lstm(Tensor(windows))
+            hidden = self.lstm.infer(windows)
             return (
-                self.coefficient_head(hidden).numpy(),
-                self.gripper_head(hidden).numpy(),
+                self.coefficient_head.infer(hidden),
+                self.gripper_head.infer(hidden),
             )
 
         origins = np.asarray(origin_poses, dtype=float)

@@ -17,12 +17,13 @@ import numpy as np
 from repro.core.policy import WINDOW_LENGTH, BaselinePolicy, CorkiPolicy
 from repro.nn.functional import bce_with_logits, mse_loss
 from repro.nn.optim import Adam, clip_gradients
-from repro.sim.dataset import ActionNormalizer, Demonstration, corki_targets
+from repro.sim.dataset import ActionNormalizer, Demonstration
 
 __all__ = [
     "TrainingConfig",
     "deployment_slot_pattern",
     "build_baseline_dataset",
+    "build_corki_dataset",
     "train_baseline",
     "train_corki",
 ]
@@ -69,23 +70,18 @@ def deployment_slot_pattern(
     return real, feedback
 
 
-def _window_indices(demo_lengths: list[int]) -> list[tuple[int, int]]:
-    """(demo index, frame index) pairs for every supervisable frame."""
-    pairs = []
-    for demo_index, length in enumerate(demo_lengths):
-        pairs.extend((demo_index, t) for t in range(length - 1))
-    return pairs
+def _window_index_matrix(length: int) -> np.ndarray:
+    """Window indices for every supervisable frame of one demonstration.
 
-
-def _observation_window(demo: Demonstration, t: int) -> np.ndarray:
-    """The last ``WINDOW_LENGTH`` observations ending at frame ``t``.
-
-    Frames before the episode start repeat the first observation, matching
-    RoboFlamingo's warm-up behaviour with a partially filled queue.
+    Row ``t`` holds the ``WINDOW_LENGTH`` frame indices ending at ``t``,
+    clipped at the episode start (frames before it repeat the first
+    observation, matching RoboFlamingo's warm-up behaviour with a partially
+    filled queue) -- one fancy-indexing gather materialises what the
+    historical code assembled window by window.
     """
-    indices = np.arange(t - WINDOW_LENGTH + 1, t + 1)
-    indices = np.clip(indices, 0, len(demo) - 1)
-    return demo.observations[indices]
+    frames = np.arange(length - 1)
+    offsets = np.arange(-WINDOW_LENGTH + 1, 1)
+    return np.clip(frames[:, None] + offsets[None, :], 0, length - 1)
 
 
 def build_baseline_dataset(
@@ -94,20 +90,60 @@ def build_baseline_dataset(
     """Materialise all per-frame supervision windows for the baseline.
 
     Returns ``(windows, instructions, pose_targets, gripper_targets)``.
-    Pose targets are normalised next-frame deltas.
+    Pose targets are normalised next-frame deltas.  Each demonstration's
+    windows and targets come from array indexing (sample order stays
+    demo-major, frame-minor).
     """
     windows, instructions, poses, grippers = [], [], [], []
     for demo in demonstrations:
-        for t in range(len(demo) - 1):
-            windows.append(_observation_window(demo, t))
-            instructions.append(demo.instruction_id)
-            poses.append(normalizer.normalize(demo.poses[t + 1] - demo.poses[t]))
-            grippers.append(float(demo.gripper_open[t + 1]))
+        length = len(demo)
+        windows.append(demo.observations[_window_index_matrix(length)])
+        instructions.append(np.full(length - 1, demo.instruction_id, dtype=int))
+        poses.append(normalizer.normalize(demo.poses[1:] - demo.poses[:-1]))
+        grippers.append(demo.gripper_open[1:].astype(float))
     return (
-        np.array(windows),
-        np.array(instructions),
-        np.array(poses),
-        np.array(grippers)[:, None],
+        np.concatenate(windows),
+        np.concatenate(instructions),
+        np.concatenate(poses),
+        np.concatenate(grippers)[:, None],
+    )
+
+
+def build_corki_dataset(
+    demonstrations: list[Demonstration],
+    normalizer: ActionNormalizer,
+    horizon: int,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Materialise all trajectory-supervision tensors for Corki (Eq. 5).
+
+    Returns ``(windows, instructions, offset_targets, gripper_targets)``
+    with shapes ``(P, window, obs)``, ``(P,)``, ``(P, horizon + 1, 6)`` and
+    ``(P, horizon)``; offset row 0 is the zero start offset and rows 1..
+    are normalised future waypoint offsets.  Everything is gathered with
+    array indexing -- element for element what per-row
+    :func:`repro.sim.dataset.corki_targets` calls produced -- so one build
+    per training run replaces the historical per-batch Python assembly.
+    Sample order is demo-major, frame-minor.
+    """
+    windows, instructions, offsets, grippers = [], [], [], []
+    future_offsets = np.arange(1, horizon + 1)
+    for demo in demonstrations:
+        length = len(demo)
+        frames = np.arange(length - 1)
+        windows.append(demo.observations[_window_index_matrix(length)])
+        instructions.append(np.full(length - 1, demo.instruction_id, dtype=int))
+        # Beyond the episode end the trajectory holds its final pose.
+        future = np.minimum(frames[:, None] + future_offsets[None, :], length - 1)
+        offsets.append(demo.poses[future] - demo.poses[frames][:, None, :])
+        grippers.append(demo.gripper_open[future].astype(float))
+    count = sum(len(demo) - 1 for demo in demonstrations)
+    offset_targets = np.zeros((count, horizon + 1, 6))
+    offset_targets[:, 1:] = np.concatenate(offsets) / normalizer.scale
+    return (
+        np.concatenate(windows),
+        np.concatenate(instructions),
+        offset_targets,
+        np.concatenate(grippers),
     )
 
 
@@ -123,7 +159,10 @@ def train_baseline(
     policy.set_normalizer(normalizer)
     windows, instructions, poses, grippers = build_baseline_dataset(demonstrations, normalizer)
 
-    optimizer = Adam(policy.parameters(), lr=config.learning_rate)
+    # One walk of the module tree per run: Adam and the per-batch gradient
+    # clip share this list instead of re-collecting parameters every batch.
+    parameters = policy.parameters()
+    optimizer = Adam(parameters, lr=config.learning_rate)
     history = []
     for epoch in range(config.epochs):
         order = rng.permutation(len(windows))
@@ -136,7 +175,7 @@ def train_baseline(
             )
             optimizer.zero_grad()
             loss.backward()
-            clip_gradients(policy.parameters(), config.grad_clip)
+            clip_gradients(parameters, config.grad_clip)
             optimizer.step()
             losses.append(loss.item())
         history.append(float(np.mean(losses)))
@@ -161,44 +200,45 @@ def train_corki(
     normalizer = ActionNormalizer.fit(demonstrations)
     policy.set_normalizer(normalizer)
 
-    pairs = _window_indices([len(demo) for demo in demonstrations])
     horizon = policy.horizon
-    optimizer = Adam(policy.parameters(), lr=config.learning_rate)
+    # Windows and targets are deterministic: one array-indexed build per run
+    # (the historical code re-assembled them row by row in every batch).
+    windows, instructions, offset_targets, gripper_targets = build_corki_dataset(
+        demonstrations, normalizer, horizon
+    )
+    total = len(windows)
+    parameters = policy.parameters()
+    optimizer = Adam(parameters, lr=config.learning_rate)
     history = []
     for epoch in range(config.epochs):
-        order = rng.permutation(len(pairs))
+        order = rng.permutation(total)
+        # Deployment-pattern masks are the epoch's only random supervision
+        # input.  Drawing them per sample in epoch order consumes the
+        # generator in exactly the sequence the per-batch assembly did, so
+        # training is seed-for-seed unchanged; row ``p`` masks sample
+        # ``order[p]``.
+        real = np.zeros((total, WINDOW_LENGTH), dtype=bool)
+        feedback = np.zeros((total, WINDOW_LENGTH), dtype=bool)
+        for position in range(total):
+            period = int(rng.integers(1, horizon + 1))
+            real[position], feedback[position] = deployment_slot_pattern(
+                WINDOW_LENGTH, period, rng
+            )
         losses = []
-        for start in range(0, len(order), config.batch_size):
-            batch_pairs = [pairs[i] for i in order[start : start + config.batch_size]]
-            batch = len(batch_pairs)
-            windows = np.zeros((batch, WINDOW_LENGTH, policy.observation_dim))
-            instructions = np.zeros(batch, dtype=int)
-            # Targets cover j = 0..horizon; row 0 is the zero start offset.
-            offset_targets = np.zeros((batch, horizon + 1, 6))
-            gripper_targets = np.zeros((batch, horizon))
-            real = np.zeros((batch, WINDOW_LENGTH), dtype=bool)
-            feedback = np.zeros((batch, WINDOW_LENGTH), dtype=bool)
-            for row, (demo_index, t) in enumerate(batch_pairs):
-                demo = demonstrations[demo_index]
-                windows[row] = _observation_window(demo, t)
-                instructions[row] = demo.instruction_id
-                offsets, gripper = corki_targets(demo, t, horizon)
-                offset_targets[row, 1:] = offsets / normalizer.scale
-                gripper_targets[row] = gripper
-                period = int(rng.integers(1, horizon + 1))
-                real[row], feedback[row] = deployment_slot_pattern(
-                    WINDOW_LENGTH, period, rng
-                )
-
-            coefficients, gripper_logits = policy(windows, instructions, real, feedback)
+        for start in range(0, total, config.batch_size):
+            batch = order[start : start + config.batch_size]
+            rows = slice(start, start + len(batch))
+            coefficients, gripper_logits = policy(
+                windows[batch], instructions[batch], real[rows], feedback[rows]
+            )
             waypoints = policy.waypoint_offsets(coefficients)  # (batch, 6, horizon + 1)
-            target = np.transpose(offset_targets, (0, 2, 1))
+            target = np.transpose(offset_targets[batch], (0, 2, 1))
             loss = mse_loss(waypoints, target) + config.gripper_weight * bce_with_logits(
-                gripper_logits, gripper_targets
+                gripper_logits, gripper_targets[batch]
             )
             optimizer.zero_grad()
             loss.backward()
-            clip_gradients(policy.parameters(), config.grad_clip)
+            clip_gradients(parameters, config.grad_clip)
             optimizer.step()
             losses.append(loss.item())
         history.append(float(np.mean(losses)))

@@ -12,10 +12,11 @@ supervising raw coefficients.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 import numpy as np
 
-__all__ = ["CubicTrajectory", "fit_cubic", "polynomial_design_matrix"]
+__all__ = ["CubicTrajectory", "fit_cubic", "polynomial_design_matrix", "pose_batch"]
 
 
 def polynomial_design_matrix(tau: np.ndarray) -> np.ndarray:
@@ -91,6 +92,28 @@ class CubicTrajectory:
         pass the original step index, so no re-slicing is ever needed.
         """
         return bool(self.gripper_open[min(step, self.steps) - 1])
+
+
+def pose_batch(
+    trajectories: Sequence[CubicTrajectory], times: np.ndarray
+) -> np.ndarray:
+    """Evaluate ``trajectories[k].pose(times[k])`` for all k in one call.
+
+    This is the fleet runner's per-tick command evaluator: every Corki lane
+    mid-trajectory needs its cubic sampled at its own execution time, and the
+    normalised-time basis plus the stacked ``(N, 6, 4) @ (N, 4, 1)`` matmul
+    replace N Python-level :meth:`CubicTrajectory.pose` calls.  The stacked
+    matmul reduces over the same four coefficients in the same order as the
+    scalar matvec, so each row is bitwise the scalar result
+    (``tests/test_trajectory.py`` locks this in).
+    """
+    times = np.asarray(times, dtype=float)
+    durations = np.array([trajectory.duration for trajectory in trajectories])
+    tau = np.clip(times / durations, 0.0, 1.0)
+    basis = polynomial_design_matrix(tau)  # (N, 4)
+    coefficients = np.stack([trajectory.coefficients for trajectory in trajectories])
+    origins = np.stack([trajectory.origin for trajectory in trajectories])
+    return origins + (coefficients @ basis[:, :, None])[:, :, 0]
 
 
 def fit_cubic(

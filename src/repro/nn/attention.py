@@ -60,18 +60,15 @@ class MultiHeadSelfAttention(Module):
 
 
 def _swap_last_two(x: Tensor) -> Tensor:
-    """Transpose the last two axes, differentiable for 2-D and 3-D tensors."""
-    if x.ndim == 2:
-        return x.transpose()
-    if x.ndim == 3:
-        batch, tokens, dim = x.shape
-        # reshape-free transpose via per-batch slicing would be O(batch);
-        # reshape + stride tricks are not autograd-safe, so transpose through
-        # an explicit matmul-friendly reshape chain.
-        from repro.nn.tensor import stack
+    """Transpose the last two axes, differentiable at any rank.
 
-        return stack([x[b].transpose() for b in range(batch)], axis=0)
-    raise ValueError(f"unsupported rank {x.ndim} for attention transpose")
+    ``Tensor.swapaxes`` records a single graph node whose backward swaps the
+    gradient back, replacing the earlier per-slice ``stack`` of 2-D
+    transposes that grew the autograd graph linearly with the batch size.
+    """
+    if x.ndim < 2:
+        raise ValueError(f"unsupported rank {x.ndim} for attention transpose")
+    return x.swapaxes(-1, -2)
 
 
 class TransformerBlock(Module):

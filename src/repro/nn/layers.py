@@ -2,13 +2,23 @@
 
 These mirror the structure of the RoboFlamingo policy head (paper Fig. 3):
 an LSTM over the 12-token vision-language window followed by two MLP heads.
+
+Each layer has two forward paths:
+
+* ``forward`` builds the autodiff graph on :class:`Tensor` nodes (training);
+* ``infer`` runs the identical numpy operations, in the identical order, on
+  raw arrays.  Deployment inference needs no graph, and skipping the
+  per-operation ``Tensor`` bookkeeping is a large share of the fleet
+  engine's tick budget.  The two paths must stay bitwise equal --
+  ``tests/test_nn.py`` asserts ``forward(x).numpy() == infer(x)`` exactly
+  for every layer, and the fleet equivalence suite pins it end to end.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.nn.tensor import Tensor
+from repro.nn.tensor import Tensor, sigmoid_values
 
 __all__ = ["Module", "Linear", "MLP", "LSTMCell", "LSTM", "Embedding", "LayerNorm", "Sequential"]
 
@@ -71,6 +81,19 @@ class Linear(Module):
     def forward(self, x: Tensor) -> Tensor:
         return x @ self.weight + self.bias
 
+    def infer(self, x: np.ndarray) -> np.ndarray:
+        """Raw-array forward; bitwise the Tensor ``forward``.
+
+        Stacked inputs collapse to one 2-D GEMM: BLAS row results match the
+        batched-matmul loop bit for bit (pinned by ``tests/test_nn.py``) and
+        one large product beats many small ones.
+        """
+        if x.ndim > 2:
+            lead = x.shape[:-1]
+            flat = x.reshape(-1, x.shape[-1]) @ self.weight.data
+            return flat.reshape(*lead, self.out_features) + self.bias.data
+        return x @ self.weight.data + self.bias.data
+
 
 class Sequential(Module):
     """Apply a list of modules/callables in order."""
@@ -101,6 +124,12 @@ class MLP(Module):
             x = layer(x).tanh()
         return self.layers[-1](x)
 
+    def infer(self, x: np.ndarray) -> np.ndarray:
+        """Raw-array forward; bitwise the Tensor ``forward``."""
+        for layer in self.layers[:-1]:
+            x = np.tanh(layer.infer(x))
+        return self.layers[-1].infer(x)
+
 
 class LSTMCell(Module):
     """A single LSTM cell with fused gate weights.
@@ -129,6 +158,33 @@ class LSTMCell(Module):
         o_gate = gates[..., 3 * hs : 4 * hs].sigmoid()
         c_next = f_gate * c_prev + i_gate * g_gate
         h_next = o_gate * c_next.tanh()
+        return h_next, c_next
+
+    def infer(
+        self,
+        gate_inputs: np.ndarray,
+        state: tuple[np.ndarray, np.ndarray],
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Raw-array cell update from a precomputed input projection.
+
+        ``gate_inputs`` is this step's ``x @ weight_ih`` (the input half of
+        the fused gate pre-activations, hoisted out of the recurrence by
+        :meth:`LSTM.infer`); adding the recurrent projection and bias in the
+        same order as ``forward`` keeps every gate bitwise identical.
+        """
+        h_prev, c_prev = state
+        gates = gate_inputs + h_prev @ self.weight_hh.data + self.bias.data
+        hs = self.hidden_size
+        # One logistic over the fused pre-activations (sigmoid is elementwise,
+        # so the i/f/o bands of the fused result equal three per-band calls);
+        # the cell-gate band alone takes the tanh.
+        squashed = sigmoid_values(gates)
+        i_gate = squashed[..., 0:hs]
+        f_gate = squashed[..., hs : 2 * hs]
+        g_gate = np.tanh(gates[..., 2 * hs : 3 * hs])
+        o_gate = squashed[..., 3 * hs : 4 * hs]
+        c_next = f_gate * c_prev + i_gate * g_gate
+        h_next = o_gate * np.tanh(c_next)
         return h_next, c_next
 
     def initial_state(self, batch_shape: tuple[int, ...] = ()) -> tuple[Tensor, Tensor]:
@@ -171,6 +227,23 @@ class LSTM(Module):
             hidden_states.append(h)
         return hidden_states, state
 
+    def infer(self, sequence: np.ndarray) -> np.ndarray:
+        """Final hidden state over a ``(batch, window, input)`` raw block.
+
+        The input projections of every window step are one stacked matmul
+        (row-for-row bitwise equal to the per-step products); only the
+        recurrent half stays inside the loop.  Together with the raw-array
+        cell this removes all per-operation graph bookkeeping from
+        deployment inference.
+        """
+        cell = self.cell
+        gate_inputs = sequence @ cell.weight_ih.data
+        shape = sequence.shape[:-2] + (cell.hidden_size,)
+        h, c = np.zeros(shape), np.zeros(shape)
+        for t in range(sequence.shape[-2]):
+            h, c = cell.infer(gate_inputs[..., t, :], (h, c))
+        return h
+
 
 class Embedding(Module):
     """Lookup table for instruction ids and the mask token (paper Fig. 4)."""
@@ -180,6 +253,10 @@ class Embedding(Module):
 
     def forward(self, index: int | np.ndarray) -> Tensor:
         return self.table[index]
+
+    def infer(self, index: int | np.ndarray) -> np.ndarray:
+        """Raw-array lookup; bitwise the Tensor ``forward``."""
+        return self.table.data[index]
 
 
 class LayerNorm(Module):
@@ -196,3 +273,13 @@ class LayerNorm(Module):
         variance = (centred * centred).mean(axis=-1, keepdims=True)
         normalised = centred * (variance + self.eps) ** -0.5
         return normalised * self.gain + self.shift
+
+    def infer(self, x: np.ndarray) -> np.ndarray:
+        """Raw-array forward; bitwise the Tensor ``forward`` (whose ``mean``
+        is ``sum / count``, replicated here rather than ``np.mean``)."""
+        count = float(x.shape[-1])
+        mean = x.sum(axis=-1, keepdims=True) / count
+        centred = x - mean
+        variance = (centred * centred).sum(axis=-1, keepdims=True) / count
+        normalised = centred * (variance + self.eps) ** -0.5
+        return normalised * self.gain.data + self.shift.data

@@ -23,7 +23,15 @@ from typing import Callable, Iterable, Sequence, Union
 
 import numpy as np
 
-__all__ = ["Tensor", "as_tensor", "stack", "concat", "no_grad"]
+__all__ = [
+    "Tensor",
+    "as_tensor",
+    "stack",
+    "concat",
+    "no_grad",
+    "is_grad_enabled",
+    "sigmoid_values",
+]
 
 ArrayLike = Union[np.ndarray, float, int, Sequence]
 
@@ -43,6 +51,27 @@ class no_grad:
         global _GRAD_ENABLED
         _GRAD_ENABLED = self._previous
         return False
+
+
+def is_grad_enabled() -> bool:
+    """Whether operations currently record the autodiff graph."""
+    return _GRAD_ENABLED
+
+
+def sigmoid_values(z: np.ndarray) -> np.ndarray:
+    """Numerically stable logistic on a raw array.
+
+    The exponent ``-|z|`` is always the non-positive side of ``z`` (negation
+    is exact, so this matches a two-sided branch bit for bit) and ``exp``
+    never overflows; each branch then evaluates the same closed form as the
+    historical masked implementation over a shared denominator, so results
+    are bitwise unchanged.  Shared by :meth:`Tensor.sigmoid` and the
+    raw-array deployment path in :mod:`repro.nn.layers`.
+    """
+    z = np.asarray(z)
+    exp_z = np.exp(-np.abs(z))
+    denominator = 1.0 + exp_z
+    return np.where(z >= 0, 1.0 / denominator, exp_z / denominator)
 
 
 def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
@@ -233,13 +262,7 @@ class Tensor:
         return Tensor._result(data, (self,), backward)
 
     def sigmoid(self) -> "Tensor":
-        # Numerically stable logistic: evaluate exp only on the safe side.
-        z = self.data
-        data = np.empty_like(z)
-        positive = z >= 0
-        data[positive] = 1.0 / (1.0 + np.exp(-z[positive]))
-        exp_z = np.exp(z[~positive])
-        data[~positive] = exp_z / (1.0 + exp_z)
+        data = sigmoid_values(self.data)
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
@@ -290,6 +313,19 @@ class Tensor:
                 self._accumulate(grad.T)
 
         return Tensor._result(self.data.T, (self,), backward)
+
+    def swapaxes(self, axis1: int, axis2: int) -> "Tensor":
+        """Exchange two axes (a batched transpose), differentiable.
+
+        One graph node regardless of batch size -- the backward pass swaps
+        the gradient's axes back -- unlike a per-slice ``stack`` of 2-D
+        transposes, whose graph grows with the leading dimension.
+        """
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(np.swapaxes(grad, axis1, axis2))
+
+        return Tensor._result(np.swapaxes(self.data, axis1, axis2), (self,), backward)
 
     def __getitem__(self, index) -> "Tensor":
         data = self.data[index]

@@ -43,3 +43,11 @@ class PatchFeatureEncoder(Module):
         projected = self.projection(patches).tanh()
         pooled = projected.mean(axis=-2)
         return self.norm(pooled)
+
+    def infer(self, observation: np.ndarray) -> np.ndarray:
+        """Raw-array forward for deployment; bitwise the Tensor ``forward``
+        (the pooling replicates ``Tensor.mean``'s ``sum / count``)."""
+        patches = observation.reshape(*observation.shape[:-1], self.num_patches, self.patch_dim)
+        projected = np.tanh(self.projection.infer(patches))
+        pooled = projected.sum(axis=-2) / float(projected.shape[-2])
+        return self.norm.infer(pooled)

@@ -58,3 +58,11 @@ class CompactVLM(Module):
             # One instruction per batch row, shared across the token window.
             text = text.reshape(text.shape[0], 1, self.token_dim)
         return self.norm((visual + text).tanh())
+
+    def infer(self, observation: np.ndarray, instruction: int | np.ndarray) -> np.ndarray:
+        """Raw-array forward for deployment; bitwise the Tensor ``forward``."""
+        visual = self.obs_out.infer(np.tanh(self.obs_in.infer(observation)))
+        text = self.instruction_embedding.infer(instruction)
+        if visual.ndim == 3 and text.ndim == 2:
+            text = text.reshape(text.shape[0], 1, self.token_dim)
+        return self.norm.infer(np.tanh(visual + text))

@@ -17,7 +17,15 @@ from repro.sim.env import (
     ManipulationEnv,
 )
 from repro.sim.expert import ExpertTrajectory, min_jerk_profile, render_keyframes
-from repro.sim.objects import BLOCK_NAMES, Block, Drawer, SceneState, Switch
+from repro.sim.objects import (
+    BLOCK_NAMES,
+    Block,
+    Drawer,
+    SceneArrays,
+    SceneState,
+    SceneView,
+    Switch,
+)
 from repro.sim.tasks import TASKS, Keyframe, Task, sample_job, task_by_instruction
 from repro.sim.world import SEEN_LAYOUT, UNSEEN_LAYOUT, WORKSPACE, SceneLayout, sample_scene
 
@@ -37,8 +45,10 @@ __all__ = [
     "PERFECT_ACTUATION",
     "RAW_FEATURE_DIM",
     "SEEN_LAYOUT",
+    "SceneArrays",
     "SceneLayout",
     "SceneState",
+    "SceneView",
     "Switch",
     "TASKS",
     "TRACKING_100HZ",

@@ -11,11 +11,19 @@ environments.
 
 from __future__ import annotations
 
+from typing import Sequence
+
 import numpy as np
 
-from repro.sim.objects import BLOCK_NAMES, SceneState
+from repro.sim.objects import BLOCK_NAMES, SceneArrays, SceneState
 
-__all__ = ["CameraModel", "RAW_FEATURE_DIM", "OBSERVATION_DIM"]
+__all__ = [
+    "CameraModel",
+    "RAW_FEATURE_DIM",
+    "OBSERVATION_DIM",
+    "raw_feature_rows",
+    "render_rows",
+]
 
 RAW_FEATURE_DIM = 35
 OBSERVATION_DIM = 48
@@ -97,3 +105,59 @@ class CameraModel:
         if self.noise_std > 0.0:
             pixels = pixels + rng.normal(0.0, self.noise_std, size=pixels.shape)
         return pixels
+
+
+def raw_feature_rows(arrays: SceneArrays, lanes: np.ndarray) -> np.ndarray:
+    """Stacked raw state descriptors for the selected lanes of a store.
+
+    Row ``k`` is exactly :meth:`CameraModel.raw_features` of lane
+    ``lanes[k]``: the assembly is pure elementwise arithmetic on the stacked
+    arrays, so each element is bitwise the value the scalar path computes.
+    """
+    count = len(lanes)
+    raw = np.empty((count, RAW_FEATURE_DIM))
+    ee = arrays.ee_pose[lanes]
+    raw[:, 0:6] = ee
+    raw[:, 6] = np.where(arrays.gripper_open[lanes], 1.0, 0.0)
+    positions = arrays.block_position[lanes]  # (count, blocks, 3)
+    yaws = arrays.block_yaw[lanes]  # (count, blocks)
+    for slot in range(len(BLOCK_NAMES)):
+        base = 7 + slot * 7
+        raw[:, base : base + 3] = positions[:, slot] - ee[:, :3]
+        raw[:, base + 3] = np.sin(yaws[:, slot])
+        raw[:, base + 4] = np.cos(yaws[:, slot])
+        raw[:, base + 5 : base + 7] = positions[:, slot, :2]
+    raw[:, 28] = arrays.drawer_opening[lanes]
+    raw[:, 29] = arrays.switch_level[lanes]
+    raw[:, 30] = np.where(
+        arrays.switch_level[lanes] >= arrays.switch_on_threshold[lanes], 1.0, 0.0
+    )
+    raw[:, 31:33] = arrays.zone_left[lanes, :2]
+    raw[:, 33:35] = arrays.zone_right[lanes, :2]
+    return raw
+
+
+def render_rows(
+    arrays: SceneArrays,
+    lanes: np.ndarray,
+    cameras: Sequence["CameraModel"],
+    rngs: Sequence[np.random.Generator],
+) -> np.ndarray:
+    """Render one frame per selected lane, stacked as ``(len(lanes), obs)``.
+
+    The feature assembly, bias/shift adds, tanh response and sensor noise are
+    all vectorised or drawn per lane in lane order; the fixed projection stays
+    a per-lane matvec because BLAS's GEMV and GEMM kernels round differently,
+    and fleet observations must be bitwise the scalar ``render`` output.
+    """
+    raw = raw_feature_rows(arrays, lanes)
+    gained = FEATURE_GAINS * raw
+    pixels = np.empty((len(lanes), OBSERVATION_DIM))
+    for k in range(len(lanes)):
+        pixels[k] = _WEIGHTS @ gained[k]
+    shifts = np.array([camera.domain_shift for camera in cameras])
+    pixels = np.tanh((pixels + _BIAS) + shifts[:, None] * _SHIFT)
+    for k, (camera, rng) in enumerate(zip(cameras, rngs)):
+        if camera.noise_std > 0.0:
+            pixels[k] += rng.normal(0.0, camera.noise_std, size=OBSERVATION_DIM)
+    return pixels

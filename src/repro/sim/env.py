@@ -8,6 +8,17 @@ within the frame.  Actuation models are calibrated against the dynamics tier
 ``repro.analysis.calibration`` -- so that the 100 Hz accelerator-backed
 controller tracks tighter than the 30 Hz CPU baseline, which is the physical
 effect the paper's accuracy results rest on.
+
+Scene state lives in a structure-of-arrays store
+(:class:`repro.sim.objects.SceneArrays`); :func:`step_lanes` is the one
+physics kernel, advancing any set of lanes with vectorised displacement /
+tracking / clamp / drag arithmetic.  A standalone :class:`ManipulationEnv`
+owns a capacity-1 store, so ``env.step`` *is* the batched kernel with one
+lane -- scalar/vector divergence is impossible by construction.  Per-lane
+randomness stays in each lane's own generator and is drawn in lane order,
+which keeps every observation bitwise identical to the pre-vectorised
+scalar loop (``tests/test_fleet.py`` locks this in against a frozen scalar
+reference implementation).
 """
 
 from __future__ import annotations
@@ -17,8 +28,15 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.sim.camera import CameraModel
-from repro.sim.objects import SceneState
+from repro.sim.camera import CameraModel, render_rows
+from repro.sim.objects import (
+    ATTACHED_DRAWER,
+    ATTACHED_SWITCH,
+    BLOCK_NAMES,
+    SceneArrays,
+    SceneState,
+    SceneView,
+)
 from repro.sim.tasks import Task
 from repro.sim.world import SceneLayout, WORKSPACE, sample_scene
 
@@ -29,11 +47,14 @@ __all__ = [
     "PERFECT_ACTUATION",
     "ManipulationEnv",
     "BatchedManipulationEnv",
+    "step_lanes",
 ]
 
 _BLOCK_GRASP_RADIUS = 0.05
 _BLOCK_GRASP_HEIGHT = 0.05
 _TABLE_BLOCK_Z = 0.02
+_HELD_BLOCK_OFFSET = np.array([0.0, 0.0, -0.01])
+_NUM_BLOCKS = len(BLOCK_NAMES)
 
 
 @dataclass(frozen=True)
@@ -80,10 +101,23 @@ class ManipulationEnv:
         self.rng = rng
         self.actuation = actuation
         self.camera = CameraModel(noise_std=camera_noise_std, domain_shift=layout.camera_shift)
-        self.scene: SceneState | None = None
+        self.scene: SceneView | None = None
         self.initial_scene: SceneState | None = None
         self.task: Task | None = None
         self.frame_count = 0
+        # A standalone environment is a fleet of one: it owns a singleton
+        # structure-of-arrays store until a BatchedManipulationEnv re-homes
+        # it into a shared store (see _rehome).
+        self._arrays = SceneArrays(1)
+        self._lane = 0
+
+    def _rehome(self, arrays: SceneArrays, lane: int) -> None:
+        """Move this environment's state into lane ``lane`` of a shared store."""
+        snapshot = self.scene.copy() if self.scene is not None else None
+        self._arrays = arrays
+        self._lane = lane
+        if snapshot is not None:
+            self.scene = arrays.adopt(lane, snapshot)
 
     # -- episode lifecycle ---------------------------------------------------
 
@@ -92,8 +126,8 @@ class ManipulationEnv:
         if scene is None:
             scene = sample_scene(self.layout, self.rng)
         task.prepare(scene, self.rng)
-        self.scene = scene
-        self.initial_scene = scene.copy()
+        self.scene = self._arrays.adopt(self._lane, scene)
+        self.initial_scene = self.scene.copy()
         self.task = task
         self.frame_count = 0
         return self.observe()
@@ -141,29 +175,21 @@ class ManipulationEnv:
         The arm moves by ``tracking_gain`` of the commanded displacement plus
         actuation noise; the gripper command is applied instantaneously (the
         Panda gripper is position-controlled and fast relative to a frame).
-        Returns the new observation.
+        Returns the new observation.  This is the batched physics kernel
+        (:func:`step_lanes`) applied to this environment's single lane.
         """
         if self.scene is None:
             raise RuntimeError("reset() must run before step()")
-        model = actuation or self.actuation
-        scene = self.scene
         target = np.asarray(target_pose, dtype=float)
-
-        displacement = target - scene.ee_pose
-        realised = model.tracking_gain * displacement
-        if model.noise_std > 0.0:
-            noise = self.rng.normal(0.0, model.noise_std, size=6)
-            noise[3:] *= 2.0  # orientation noise in radians is relatively larger
-            realised = realised + noise
-        new_pose = scene.ee_pose + realised
-        new_pose[:3] = WORKSPACE.clamp(new_pose[:3])
-        delta_yaw = new_pose[5] - scene.ee_pose[5]
-        scene.ee_pose = new_pose
-
-        self._update_gripper(gripper_open)
-        self._drag_attached(delta_yaw)
-        self.frame_count += 1
-        return self.observe()
+        observations = step_lanes(
+            self._arrays,
+            np.array([self._lane]),
+            [self],
+            target.reshape(1, 6),
+            np.array([bool(gripper_open)]),
+            [actuation or self.actuation],
+        )
+        return observations[0]
 
     # -- attachment mechanics -----------------------------------------------------
 
@@ -227,6 +253,77 @@ class ManipulationEnv:
             switch.level = float(np.clip(along, 0.0, 1.0))
 
 
+def step_lanes(
+    arrays: SceneArrays,
+    lanes: np.ndarray,
+    envs: Sequence[ManipulationEnv],
+    targets: np.ndarray,
+    grippers_open: np.ndarray,
+    models: Sequence[ActuationModel],
+) -> np.ndarray:
+    """Advance the selected lanes one camera frame; the fleet physics kernel.
+
+    ``lanes`` selects rows of ``arrays``; ``envs[k]`` is the environment that
+    owns lane ``lanes[k]`` (supplying its generator, camera and frame
+    counter).  Displacement, tracking gain, workspace clamp and the yaw-drag
+    of attached blocks are vectorised across lanes; actuation noise and
+    sensor noise are drawn per lane *in lane order* from each lane's own
+    generator, so results are bitwise identical to stepping each lane alone.
+    Rare per-lane events (gripper transitions, drawer/switch drag) fall back
+    to the object-view code path.  Returns stacked observations.
+    """
+    count = len(lanes)
+    ee = arrays.ee_pose[lanes]
+    displacement = targets - ee
+    gains = np.array([model.tracking_gain for model in models])
+    realised = gains[:, None] * displacement
+
+    noise = None
+    noisy: list[int] = []
+    for k, (env, model) in enumerate(zip(envs, models)):
+        if model.noise_std > 0.0:
+            draw = env.rng.normal(0.0, model.noise_std, size=6)
+            draw[3:] *= 2.0  # orientation noise in radians is relatively larger
+            if noise is None:
+                noise = np.zeros((count, 6))
+            noise[k] = draw
+            noisy.append(k)
+    if noisy:
+        rows = np.array(noisy)
+        realised[rows] += noise[rows]
+
+    new_pose = ee + realised
+    new_pose[:, :3] = WORKSPACE.clamp(new_pose[:, :3])
+    delta_yaw = new_pose[:, 5] - ee[:, 5]
+    arrays.ee_pose[lanes] = new_pose
+
+    # Gripper transitions are events, not per-frame work: only lanes whose
+    # command differs from their state run the (object-view) grasp/release
+    # mechanics.
+    commands = np.asarray(grippers_open, dtype=bool)
+    for k in np.nonzero(arrays.gripper_open[lanes] != commands)[0]:
+        envs[k]._update_gripper(bool(commands[k]))
+
+    # While closed, held objects follow the end-effector.  Blocks (the common
+    # case during block tasks) update via one fancy-indexed assignment;
+    # drawer/switch lanes take the per-lane path.
+    attached = arrays.attached[lanes]
+    held = np.nonzero((attached >= 0) & (attached < _NUM_BLOCKS))[0]
+    if held.size:
+        held_lanes = lanes[held]
+        slots = attached[held]
+        arrays.block_position[held_lanes, slots] = new_pose[held, :3] + _HELD_BLOCK_OFFSET
+        arrays.block_yaw[held_lanes, slots] += delta_yaw[held]
+    for k in np.nonzero((attached == ATTACHED_DRAWER) | (attached == ATTACHED_SWITCH))[0]:
+        envs[k]._drag_attached(float(delta_yaw[k]))
+
+    for env in envs:
+        env.frame_count += 1
+    return render_rows(
+        arrays, lanes, [env.camera for env in envs], [env.rng for env in envs]
+    )
+
+
 class BatchedManipulationEnv:
     """Vectorised facade over N independent :class:`ManipulationEnv` lanes.
 
@@ -249,6 +346,13 @@ class BatchedManipulationEnv:
         dts = {env.frame_dt for env in self.envs}
         if len(dts) != 1:
             raise ValueError("all lanes must share one camera frame_dt")
+        # One shared structure-of-arrays store for the whole fleet: each
+        # environment's state (current scene included) moves into its lane,
+        # after which scalar and batched stepping read and write the same
+        # stacked arrays.
+        self._arrays = SceneArrays(len(self.envs))
+        for lane, env in enumerate(self.envs):
+            env._rehome(self._arrays, lane)
 
     @classmethod
     def from_seeds(
@@ -318,11 +422,18 @@ class BatchedManipulationEnv:
             models = list(actuation)
             if len(models) != len(chosen):
                 raise ValueError("one actuation model per selected lane is required")
-        return np.stack(
-            [
-                self.envs[i].step(target, bool(gripper), model)
-                for i, target, gripper, model in zip(chosen, targets, grippers_open, models)
-            ]
+        envs = [self.envs[i] for i in chosen]
+        for env in envs:
+            if env.scene is None:
+                raise RuntimeError("reset() must run before step()")
+        resolved = [model or env.actuation for model, env in zip(models, envs)]
+        return step_lanes(
+            self._arrays,
+            np.asarray(chosen, dtype=int),
+            envs,
+            targets,
+            np.array([bool(gripper) for gripper in grippers_open]),
+            resolved,
         )
 
     def succeeded_mask(self, indices: Sequence[int] | None = None) -> np.ndarray:

@@ -53,15 +53,20 @@ def render_keyframes(
     duration (at least one frame); the segment's gripper command applies to
     every frame it produces.
     """
-    poses = [np.asarray(start_pose, dtype=float).copy()]
-    gripper = [True if not keyframes else keyframes[0].gripper_open]
-    current = poses[0]
+    start = np.asarray(start_pose, dtype=float).copy()
+    segments = [start[None]]
+    gripper = [np.array([True if not keyframes else keyframes[0].gripper_open])]
+    current = start
     for frame in keyframes:
         steps = max(1, int(round(frame.duration / frame_dt)))
         blend = min_jerk_profile(np.arange(1, steps + 1) / steps)
         target = np.asarray(frame.pose, dtype=float)
-        for value in blend:
-            poses.append(current + value * (target - current))
-            gripper.append(frame.gripper_open)
+        # One broadcast per segment: row j is current + blend[j] * (target -
+        # current), elementwise the same products and sums as the former
+        # per-frame Python loop.
+        segments.append(current + blend[:, None] * (target - current))
+        gripper.append(np.full(steps, frame.gripper_open, dtype=bool))
         current = target
-    return ExpertTrajectory(np.array(poses), np.array(gripper, dtype=bool), frame_dt)
+    return ExpertTrajectory(
+        np.concatenate(segments), np.concatenate(gripper), frame_dt
+    )

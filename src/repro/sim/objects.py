@@ -5,6 +5,20 @@ manipulation in a tabletop scene with coloured blocks, a sliding drawer, a
 switch and a lightbulb.  This module reproduces that object set with the
 kinematic state the five task families of the paper (move / switch / drawer /
 rotate / lift) need.
+
+Two representations of the same state live here:
+
+* the plain dataclasses (:class:`Block`, :class:`Drawer`, :class:`Switch`,
+  :class:`SceneState`) -- the object view used for scene sampling, task
+  predicates and episode snapshots; and
+* :class:`SceneArrays`, a structure-of-arrays store holding N scenes in
+  stacked numpy arrays so the fleet physics kernel
+  (:func:`repro.sim.env.step_lanes`) can advance every lane with vectorised
+  arithmetic.  :meth:`SceneArrays.adopt` copies a plain scene into one lane
+  and returns a :class:`SceneView` -- a ``SceneState``-compatible window
+  whose attributes read and write the stacked arrays directly, so the object
+  API (task ``prepare``/``success`` closures, the grasp mechanics) and the
+  vectorised kernel always see one consistent state with no sync step.
 """
 
 from __future__ import annotations
@@ -13,9 +27,34 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-__all__ = ["Block", "Drawer", "Switch", "SceneState", "BLOCK_NAMES"]
+__all__ = [
+    "Block",
+    "Drawer",
+    "Switch",
+    "SceneState",
+    "SceneArrays",
+    "SceneView",
+    "BLOCK_NAMES",
+    "ATTACHED_NONE",
+    "ATTACHED_DRAWER",
+    "ATTACHED_SWITCH",
+]
 
 BLOCK_NAMES = ("red", "blue", "pink")
+
+# ``SceneArrays.attached`` codes: block index by BLOCK_NAMES order, then the
+# two fixtures; ATTACHED_NONE marks an empty gripper.
+ATTACHED_NONE = -1
+ATTACHED_DRAWER = len(BLOCK_NAMES)
+ATTACHED_SWITCH = len(BLOCK_NAMES) + 1
+
+_ATTACH_CODE: dict[str | None, int] = {
+    **{name: index for index, name in enumerate(BLOCK_NAMES)},
+    "drawer": ATTACHED_DRAWER,
+    "switch": ATTACHED_SWITCH,
+    None: ATTACHED_NONE,
+}
+_ATTACH_NAME: dict[int, str | None] = {code: name for name, code in _ATTACH_CODE.items()}
 
 
 @dataclass
@@ -108,4 +147,285 @@ class SceneState:
             switch=self.switch.copy(),
             attached=self.attached,
             zones={name: centre.copy() for name, centre in self.zones.items()},
+        )
+
+
+class SceneArrays:
+    """Structure-of-arrays state for ``capacity`` scenes (one per fleet lane).
+
+    Every field stacks one scalar/vector per lane along axis 0; block fields
+    add a block axis ordered by :data:`BLOCK_NAMES`.  The fleet physics
+    kernel indexes these arrays with a lane-id vector, which is what turns
+    the per-lane Python tier of ``env.step`` into a handful of vectorised
+    numpy statements.
+    """
+
+    def __init__(self, capacity: int):
+        if capacity < 1:
+            raise ValueError("SceneArrays needs capacity >= 1")
+        blocks = len(BLOCK_NAMES)
+        self.capacity = capacity
+        self.ee_pose = np.zeros((capacity, 6))
+        self.gripper_open = np.zeros(capacity, dtype=bool)
+        self.attached = np.full(capacity, ATTACHED_NONE, dtype=np.int64)
+        self.block_position = np.zeros((capacity, blocks, 3))
+        self.block_yaw = np.zeros((capacity, blocks))
+        self.block_half_extent = np.zeros((capacity, blocks))
+        self.drawer_handle_base = np.zeros((capacity, 3))
+        self.drawer_axis = np.zeros((capacity, 3))
+        self.drawer_opening = np.zeros(capacity)
+        self.drawer_max_opening = np.zeros(capacity)
+        self.drawer_grasp_radius = np.zeros(capacity)
+        self.switch_handle_base = np.zeros((capacity, 3))
+        self.switch_axis = np.zeros((capacity, 3))
+        self.switch_level = np.zeros(capacity)
+        self.switch_travel = np.zeros(capacity)
+        self.switch_grasp_radius = np.zeros(capacity)
+        self.switch_on_threshold = np.zeros(capacity)
+        self.switch_off_threshold = np.zeros(capacity)
+        self.zone_left = np.zeros((capacity, 3))
+        self.zone_right = np.zeros((capacity, 3))
+
+    def adopt(self, lane: int, scene: "SceneState | SceneView") -> "SceneView":
+        """Copy ``scene`` into lane ``lane`` and return the live view."""
+        if set(scene.blocks) != set(BLOCK_NAMES):
+            raise ValueError(f"scene blocks must be {BLOCK_NAMES}, got {tuple(scene.blocks)}")
+        if not {"left", "right"} <= set(scene.zones):
+            raise ValueError("scene zones must include 'left' and 'right'")
+        self.ee_pose[lane] = scene.ee_pose
+        self.gripper_open[lane] = scene.gripper_open
+        self.attached[lane] = _ATTACH_CODE[scene.attached]
+        for slot, name in enumerate(BLOCK_NAMES):
+            block = scene.blocks[name]
+            self.block_position[lane, slot] = block.position
+            self.block_yaw[lane, slot] = block.yaw
+            self.block_half_extent[lane, slot] = block.half_extent
+        drawer = scene.drawer
+        self.drawer_handle_base[lane] = drawer.handle_base
+        self.drawer_axis[lane] = drawer.axis
+        self.drawer_opening[lane] = drawer.opening
+        self.drawer_max_opening[lane] = drawer.max_opening
+        self.drawer_grasp_radius[lane] = drawer.grasp_radius
+        switch = scene.switch
+        self.switch_handle_base[lane] = switch.handle_base
+        self.switch_axis[lane] = switch.axis
+        self.switch_level[lane] = switch.level
+        self.switch_travel[lane] = switch.travel
+        self.switch_grasp_radius[lane] = switch.grasp_radius
+        self.switch_on_threshold[lane] = switch.on_threshold
+        self.switch_off_threshold[lane] = switch.off_threshold
+        self.zone_left[lane] = scene.zones["left"]
+        self.zone_right[lane] = scene.zones["right"]
+        extra_zones = {
+            name: np.array(centre, dtype=float)
+            for name, centre in scene.zones.items()
+            if name not in ("left", "right")
+        }
+        return SceneView(self, lane, extra_zones)
+
+
+class _BlockView:
+    """A :class:`Block`-compatible window onto one lane/slot of a store."""
+
+    __slots__ = ("_arrays", "_lane", "_slot", "name")
+
+    def __init__(self, arrays: SceneArrays, lane: int, slot: int, name: str):
+        self._arrays = arrays
+        self._lane = lane
+        self._slot = slot
+        self.name = name
+
+    @property
+    def position(self) -> np.ndarray:
+        return self._arrays.block_position[self._lane, self._slot]
+
+    @position.setter
+    def position(self, value: np.ndarray) -> None:
+        self._arrays.block_position[self._lane, self._slot] = value
+
+    @property
+    def yaw(self) -> float:
+        return float(self._arrays.block_yaw[self._lane, self._slot])
+
+    @yaw.setter
+    def yaw(self, value: float) -> None:
+        self._arrays.block_yaw[self._lane, self._slot] = value
+
+    @property
+    def half_extent(self) -> float:
+        return float(self._arrays.block_half_extent[self._lane, self._slot])
+
+    @half_extent.setter
+    def half_extent(self, value: float) -> None:
+        self._arrays.block_half_extent[self._lane, self._slot] = value
+
+    def copy(self) -> Block:
+        return Block(self.name, self.position.copy(), self.yaw, self.half_extent)
+
+
+class _DrawerView:
+    """A :class:`Drawer`-compatible window onto one lane of a store."""
+
+    __slots__ = ("_arrays", "_lane")
+
+    def __init__(self, arrays: SceneArrays, lane: int):
+        self._arrays = arrays
+        self._lane = lane
+
+    @property
+    def handle_base(self) -> np.ndarray:
+        return self._arrays.drawer_handle_base[self._lane]
+
+    @property
+    def axis(self) -> np.ndarray:
+        return self._arrays.drawer_axis[self._lane]
+
+    @property
+    def opening(self) -> float:
+        return float(self._arrays.drawer_opening[self._lane])
+
+    @opening.setter
+    def opening(self, value: float) -> None:
+        self._arrays.drawer_opening[self._lane] = value
+
+    @property
+    def max_opening(self) -> float:
+        return float(self._arrays.drawer_max_opening[self._lane])
+
+    @property
+    def grasp_radius(self) -> float:
+        return float(self._arrays.drawer_grasp_radius[self._lane])
+
+    @property
+    def handle_position(self) -> np.ndarray:
+        return self.handle_base + self.opening * self.axis
+
+    def copy(self) -> Drawer:
+        return Drawer(
+            self.handle_base.copy(), self.axis.copy(), self.opening, self.max_opening,
+            self.grasp_radius,
+        )
+
+
+class _SwitchView:
+    """A :class:`Switch`-compatible window onto one lane of a store."""
+
+    __slots__ = ("_arrays", "_lane")
+
+    def __init__(self, arrays: SceneArrays, lane: int):
+        self._arrays = arrays
+        self._lane = lane
+
+    @property
+    def handle_base(self) -> np.ndarray:
+        return self._arrays.switch_handle_base[self._lane]
+
+    @property
+    def axis(self) -> np.ndarray:
+        return self._arrays.switch_axis[self._lane]
+
+    @property
+    def level(self) -> float:
+        return float(self._arrays.switch_level[self._lane])
+
+    @level.setter
+    def level(self, value: float) -> None:
+        self._arrays.switch_level[self._lane] = value
+
+    @property
+    def travel(self) -> float:
+        return float(self._arrays.switch_travel[self._lane])
+
+    @property
+    def grasp_radius(self) -> float:
+        return float(self._arrays.switch_grasp_radius[self._lane])
+
+    @property
+    def on_threshold(self) -> float:
+        return float(self._arrays.switch_on_threshold[self._lane])
+
+    @property
+    def off_threshold(self) -> float:
+        return float(self._arrays.switch_off_threshold[self._lane])
+
+    @property
+    def handle_position(self) -> np.ndarray:
+        return self.handle_base + self.level * self.travel * self.axis
+
+    @property
+    def light_on(self) -> bool:
+        return self.level >= self.on_threshold
+
+    def copy(self) -> Switch:
+        return Switch(
+            self.handle_base.copy(), self.axis.copy(), self.level, self.travel,
+            self.grasp_radius, self.on_threshold, self.off_threshold,
+        )
+
+
+class SceneView:
+    """A :class:`SceneState`-compatible window onto one lane of a store.
+
+    Attribute reads and writes go straight to the stacked arrays, so the
+    object API (task closures, grasp mechanics, the scalar camera path) and
+    the vectorised kernel operate on the same storage.  ``copy`` detaches a
+    plain :class:`SceneState` snapshot, which is what episode bookkeeping
+    (``initial_scene``) keeps.
+    """
+
+    __slots__ = ("_arrays", "_lane", "blocks", "drawer", "switch", "zones")
+
+    def __init__(
+        self,
+        arrays: SceneArrays,
+        lane: int,
+        extra_zones: dict[str, np.ndarray] | None = None,
+    ):
+        self._arrays = arrays
+        self._lane = lane
+        self.blocks = {
+            name: _BlockView(arrays, lane, slot, name)
+            for slot, name in enumerate(BLOCK_NAMES)
+        }
+        self.drawer = _DrawerView(arrays, lane)
+        self.switch = _SwitchView(arrays, lane)
+        self.zones = {
+            "left": arrays.zone_left[lane],
+            "right": arrays.zone_right[lane],
+            **(extra_zones or {}),
+        }
+
+    @property
+    def ee_pose(self) -> np.ndarray:
+        return self._arrays.ee_pose[self._lane]
+
+    @ee_pose.setter
+    def ee_pose(self, value: np.ndarray) -> None:
+        self._arrays.ee_pose[self._lane] = value
+
+    @property
+    def gripper_open(self) -> bool:
+        return bool(self._arrays.gripper_open[self._lane])
+
+    @gripper_open.setter
+    def gripper_open(self, value: bool) -> None:
+        self._arrays.gripper_open[self._lane] = bool(value)
+
+    @property
+    def attached(self) -> str | None:
+        return _ATTACH_NAME[int(self._arrays.attached[self._lane])]
+
+    @attached.setter
+    def attached(self, value: str | None) -> None:
+        self._arrays.attached[self._lane] = _ATTACH_CODE[value]
+
+    def copy(self) -> SceneState:
+        return SceneState(
+            ee_pose=self.ee_pose.copy(),
+            gripper_open=self.gripper_open,
+            blocks={name: block.copy() for name, block in self.blocks.items()},
+            drawer=self.drawer.copy(),
+            switch=self.switch.copy(),
+            attached=self.attached,
+            zones={name: np.array(centre, dtype=float) for name, centre in self.zones.items()},
         )

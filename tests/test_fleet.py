@@ -27,10 +27,14 @@ from repro.core import (
 )
 from repro.sim import (
     BatchedManipulationEnv,
+    CameraModel,
     SEEN_LAYOUT,
     TASKS,
+    WORKSPACE,
     ManipulationEnv,
+    sample_scene,
 )
+from repro.sim.env import PERFECT_ACTUATION, TRACKING_100HZ, TRACKING_30HZ
 
 FLEET_N = 6
 MAX_FRAMES = 25
@@ -212,6 +216,196 @@ class TestBatchedEnvFacade:
             fleet.step_many(targets, [True])
         with pytest.raises(ValueError, match="actuation model"):
             fleet.step_many(targets, [True, True], actuation=[fleet.envs[0].actuation])
+
+
+class _ScalarReferenceEnv:
+    """The pre-vectorisation scalar environment, frozen as a test oracle.
+
+    This is the object-at-a-time ``ManipulationEnv`` exactly as it stood
+    before the structure-of-arrays kernel landed: plain ``SceneState``
+    mutation, one Python-level step per frame.  The vectorised
+    ``step_many`` must reproduce it bit for bit, per lane, at any fleet
+    size -- the tentpole guarantee of the SoA refactor.
+    """
+
+    frame_dt = 1.0 / 30.0
+    _BLOCK_GRASP_RADIUS = 0.05
+    _BLOCK_GRASP_HEIGHT = 0.05
+    _TABLE_BLOCK_Z = 0.02
+
+    def __init__(self, layout, rng, actuation=TRACKING_100HZ, camera_noise_std=0.01):
+        self.layout = layout
+        self.rng = rng
+        self.actuation = actuation
+        self.camera = CameraModel(noise_std=camera_noise_std, domain_shift=layout.camera_shift)
+        self.scene = None
+        self.initial_scene = None
+        self.task = None
+        self.frame_count = 0
+
+    def reset(self, task):
+        scene = sample_scene(self.layout, self.rng)
+        task.prepare(scene, self.rng)
+        self.scene = scene
+        self.initial_scene = scene.copy()
+        self.task = task
+        self.frame_count = 0
+        return self.camera.render(self.scene, self.rng)
+
+    @property
+    def succeeded(self):
+        return bool(self.task.success(self.initial_scene, self.scene))
+
+    def step(self, target_pose, gripper_open, actuation=None):
+        model = actuation or self.actuation
+        scene = self.scene
+        target = np.asarray(target_pose, dtype=float)
+        displacement = target - scene.ee_pose
+        realised = model.tracking_gain * displacement
+        if model.noise_std > 0.0:
+            noise = self.rng.normal(0.0, model.noise_std, size=6)
+            noise[3:] *= 2.0
+            realised = realised + noise
+        new_pose = scene.ee_pose + realised
+        new_pose[:3] = WORKSPACE.clamp(new_pose[:3])
+        delta_yaw = new_pose[5] - scene.ee_pose[5]
+        scene.ee_pose = new_pose
+        self._update_gripper(gripper_open)
+        self._drag_attached(delta_yaw)
+        self.frame_count += 1
+        return self.camera.render(self.scene, self.rng)
+
+    def _update_gripper(self, gripper_open):
+        scene = self.scene
+        if gripper_open and not scene.gripper_open:
+            self._release()
+            scene.gripper_open = True
+        elif not gripper_open and scene.gripper_open:
+            scene.gripper_open = False
+            self._try_grasp()
+
+    def _try_grasp(self):
+        scene = self.scene
+        ee = scene.ee_pose[:3]
+        best_name, best_distance = None, np.inf
+        for name, block in scene.blocks.items():
+            planar = float(np.linalg.norm(block.position[:2] - ee[:2]))
+            vertical = abs(block.position[2] - ee[2] + 0.01)
+            if planar <= self._BLOCK_GRASP_RADIUS and vertical <= self._BLOCK_GRASP_HEIGHT:
+                if planar < best_distance:
+                    best_name, best_distance = name, planar
+        drawer_distance = float(np.linalg.norm(scene.drawer.handle_position - ee))
+        if drawer_distance <= scene.drawer.grasp_radius and drawer_distance < best_distance:
+            best_name, best_distance = "drawer", drawer_distance
+        switch_distance = float(np.linalg.norm(scene.switch.handle_position - ee))
+        if switch_distance <= scene.switch.grasp_radius and switch_distance < best_distance:
+            best_name, best_distance = "switch", switch_distance
+        scene.attached = best_name
+
+    def _release(self):
+        scene = self.scene
+        if scene.attached in scene.blocks:
+            scene.blocks[scene.attached].position[2] = self._TABLE_BLOCK_Z
+        scene.attached = None
+
+    def _drag_attached(self, delta_yaw):
+        scene = self.scene
+        if scene.attached is None:
+            return
+        ee = scene.ee_pose[:3]
+        if scene.attached in scene.blocks:
+            block = scene.blocks[scene.attached]
+            block.position = ee + np.array([0.0, 0.0, -0.01])
+            block.yaw += delta_yaw
+        elif scene.attached == "drawer":
+            drawer = scene.drawer
+            along = float(np.dot(ee - drawer.handle_base, drawer.axis))
+            drawer.opening = float(np.clip(along, 0.0, drawer.max_opening))
+        elif scene.attached == "switch":
+            switch = scene.switch
+            along = float(np.dot(ee - switch.handle_base, switch.axis)) / switch.travel
+            switch.level = float(np.clip(along, 0.0, 1.0))
+
+
+class TestVectorizedKernelEquivalence:
+    """step_many must be seed-for-seed the frozen scalar implementation."""
+
+    N = 6
+    FRAMES = 60
+
+    def _drive(self, env_factory, step):
+        """Roll N lanes with shared pseudo-random commands; returns frames."""
+        envs = [env_factory(i) for i in range(self.N)]
+        tasks = [TASKS[(3 * i) % len(TASKS)] for i in range(self.N)]
+        observations = [[env.reset(task)] for env, task in zip(envs, tasks)]
+        command_rngs = [np.random.default_rng(900 + i) for i in range(self.N)]
+        models = [
+            [TRACKING_100HZ, TRACKING_30HZ, PERFECT_ACTUATION][i % 3]
+            for i in range(self.N)
+        ]
+        for _ in range(self.FRAMES):
+            targets = np.stack(
+                [
+                    envs[i].scene.ee_pose + command_rngs[i].normal(0.0, 0.03, 6)
+                    for i in range(self.N)
+                ]
+            )
+            grippers = [bool(command_rngs[i].integers(0, 2)) for i in range(self.N)]
+            stepped = step(envs, targets, grippers, models)
+            for i in range(self.N):
+                observations[i].append(stepped[i])
+        return envs, [np.array(o) for o in observations]
+
+    def test_step_many_matches_frozen_scalar_reference(self):
+        def scalar_factory(i):
+            return _ScalarReferenceEnv(SEEN_LAYOUT, np.random.default_rng(7000 + i))
+
+        def scalar_step(envs, targets, grippers, models):
+            return [
+                env.step(target, gripper, model)
+                for env, target, gripper, model in zip(envs, targets, grippers, models)
+            ]
+
+        fleet_holder = {}
+
+        def batched_factory(i):
+            return ManipulationEnv(SEEN_LAYOUT, np.random.default_rng(7000 + i))
+
+        def batched_step(envs, targets, grippers, models):
+            if "fleet" not in fleet_holder:
+                fleet_holder["fleet"] = BatchedManipulationEnv(envs)
+            return fleet_holder["fleet"].step_many(targets, grippers, models)
+
+        scalar_envs, scalar_obs = self._drive(scalar_factory, scalar_step)
+        batched_envs, batched_obs = self._drive(batched_factory, batched_step)
+
+        for i in range(self.N):
+            assert np.array_equal(scalar_obs[i], batched_obs[i]), f"lane {i} observations"
+            ref, new = scalar_envs[i].scene, batched_envs[i].scene
+            assert np.array_equal(ref.ee_pose, new.ee_pose)
+            assert ref.gripper_open == new.gripper_open
+            assert ref.attached == new.attached
+            for name in ref.blocks:
+                assert np.array_equal(ref.blocks[name].position, new.blocks[name].position)
+                assert ref.blocks[name].yaw == new.blocks[name].yaw
+            assert ref.drawer.opening == new.drawer.opening
+            assert ref.switch.level == new.switch.level
+            assert scalar_envs[i].succeeded == batched_envs[i].succeeded
+
+    def test_standalone_step_is_the_batched_kernel(self):
+        """A standalone env (fleet of one) matches the frozen scalar oracle."""
+        reference = _ScalarReferenceEnv(SEEN_LAYOUT, np.random.default_rng(11))
+        env = ManipulationEnv(SEEN_LAYOUT, np.random.default_rng(11))
+        ref_obs = reference.reset(TASKS[4])
+        new_obs = env.reset(TASKS[4])
+        assert np.array_equal(ref_obs, new_obs)
+        commands = np.random.default_rng(12)
+        for _ in range(self.FRAMES):
+            target = env.scene.ee_pose + commands.normal(0.0, 0.03, 6)
+            gripper = bool(commands.integers(0, 2))
+            assert np.array_equal(
+                reference.step(target, gripper), env.step(target, gripper)
+            )
 
 
 class TestLaneValidation:

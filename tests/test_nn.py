@@ -301,3 +301,124 @@ class TestSerialization:
         state.pop(sorted(state)[0])
         with pytest.raises(KeyError):
             load_state_dict(layer, state)
+
+
+class TestInferFastPath:
+    """The raw-array deployment path must be bitwise the Tensor forward.
+
+    Batch sizes start at 2: singleton batches are padded by the policy layer
+    (``repro.core.policy._pad_singleton``) before reaching ``infer``, because
+    one-row matmuls dispatch to a differently-ordered BLAS kernel.
+    """
+
+    def test_linear_mlp_layernorm_embedding(self, rng):
+        from repro.nn.layers import MLP, Embedding, LayerNorm, Linear
+        from repro.nn.tensor import Tensor, no_grad
+
+        for batch in (2, 5, 32):
+            x = rng.normal(size=(batch, 16))
+            linear = Linear(16, 24, rng)
+            mlp = MLP([16, 32, 8], rng)
+            norm = LayerNorm(16)
+            embed = Embedding(7, 12, rng)
+            indices = rng.integers(0, 7, size=batch)
+            with no_grad():
+                assert np.array_equal(linear(Tensor(x)).numpy(), linear.infer(x))
+                assert np.array_equal(mlp(Tensor(x)).numpy(), mlp.infer(x))
+                assert np.array_equal(norm(Tensor(x)).numpy(), norm.infer(x))
+                assert np.array_equal(embed(indices).numpy(), embed.infer(indices))
+
+    def test_linear_stacked_input_collapses_to_one_gemm(self, rng):
+        from repro.nn.layers import Linear
+        from repro.nn.tensor import Tensor, no_grad
+
+        linear = Linear(48, 32, rng)
+        x = rng.normal(size=(6, 12, 48))
+        with no_grad():
+            assert np.array_equal(linear(Tensor(x)).numpy(), linear.infer(x))
+
+    def test_lstm_final_hidden_state(self, rng):
+        from repro.nn.layers import LSTM
+        from repro.nn.tensor import Tensor, no_grad
+
+        lstm = LSTM(16, 32, rng)
+        for batch in (2, 3, 32):
+            sequence = rng.normal(size=(batch, 12, 16))
+            with no_grad():
+                hidden_states, _ = lstm(Tensor(sequence))
+                assert np.array_equal(hidden_states[-1].numpy(), lstm.infer(sequence))
+
+    def test_vlm_and_vit_encoders(self, rng):
+        from repro.nn.tensor import Tensor, no_grad
+        from repro.nn.vit import PatchFeatureEncoder
+        from repro.nn.vlm import CompactVLM
+
+        vlm = CompactVLM(48, 19, 16, rng)
+        vit = PatchFeatureEncoder(48, 8, 16, rng)
+        for batch in (2, 4, 16):
+            instructions = rng.integers(0, 19, size=batch)
+            flat = rng.normal(size=(batch, 48))
+            windowed = rng.normal(size=(batch, 12, 48))
+            with no_grad():
+                assert np.array_equal(
+                    vlm(flat, instructions).numpy(), vlm.infer(flat, instructions)
+                )
+                assert np.array_equal(
+                    vlm(windowed, instructions).numpy(), vlm.infer(windowed, instructions)
+                )
+                assert np.array_equal(vit(flat).numpy(), vit.infer(flat))
+
+    def test_sigmoid_values_matches_masked_reference(self, rng):
+        from repro.nn.tensor import sigmoid_values
+
+        z = rng.normal(scale=40.0, size=4096)  # deep into both saturation tails
+        reference = np.empty_like(z)
+        positive = z >= 0
+        reference[positive] = 1.0 / (1.0 + np.exp(-z[positive]))
+        exp_z = np.exp(z[~positive])
+        reference[~positive] = exp_z / (1.0 + exp_z)
+        assert np.array_equal(sigmoid_values(z), reference)
+
+
+class TestSwapaxes:
+    def test_forward_matches_numpy(self, rng):
+        from repro.nn.tensor import Tensor
+
+        x = rng.normal(size=(3, 4, 5))
+        assert np.array_equal(
+            Tensor(x).swapaxes(-1, -2).numpy(), np.swapaxes(x, -1, -2)
+        )
+
+    def test_gradient_swaps_back(self, rng):
+        from repro.nn.tensor import Tensor
+
+        x = Tensor(rng.normal(size=(2, 3, 4)), requires_grad=True)
+        weights = rng.normal(size=(2, 4, 3))
+        (x.swapaxes(-1, -2) * Tensor(weights)).sum().backward()
+        assert np.array_equal(x.grad, np.swapaxes(weights, -1, -2))
+
+    def test_attention_uses_single_node_transpose(self, rng):
+        """TransformerVLM's attention trains through swapaxes (gradcheck)."""
+        from repro.nn.attention import MultiHeadSelfAttention
+        from repro.nn.tensor import Tensor
+
+        attention = MultiHeadSelfAttention(dim=4, heads=2, rng=rng)
+        x0 = rng.normal(size=(2, 3, 4))  # batched rank-3 input
+
+        def fn(x):
+            return (attention(x) * attention(x)).sum()
+
+        x = Tensor(x0.copy(), requires_grad=True)
+        fn(x).backward()
+        analytic = x.grad.copy()
+        eps = 1e-6
+        numeric = np.zeros_like(x0)
+        for i in range(x0.size):
+            plus, minus = x0.copy().ravel(), x0.copy().ravel()
+            plus[i] += eps
+            minus[i] -= eps
+            numeric.ravel()[i] = (
+                fn(Tensor(plus.reshape(x0.shape))).item()
+                - fn(Tensor(minus.reshape(x0.shape))).item()
+            ) / (2 * eps)
+        assert np.allclose(analytic, numeric, atol=1e-5)

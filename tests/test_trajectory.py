@@ -7,6 +7,7 @@ from hypothesis import strategies as st
 from hypothesis.extra.numpy import arrays
 
 from repro.core import CubicTrajectory, fit_cubic, polynomial_design_matrix
+from repro.core.trajectory import pose_batch
 
 
 def make_trajectory(coefficients=None, steps=9, duration=0.3):
@@ -115,3 +116,40 @@ class TestFitting:
         noise_before = np.abs(noisy - clean).mean()
         noise_after = np.abs(reconstruction - clean).mean()
         assert noise_after < noise_before
+
+
+class TestPoseBatch:
+    """The fleet runner's batched evaluator must equal per-lane pose()."""
+
+    def _random_trajectories(self, rng, count):
+        trajectories = []
+        for k in range(count):
+            steps = int(rng.integers(3, 12))
+            trajectories.append(
+                CubicTrajectory(
+                    origin=rng.normal(size=6),
+                    coefficients=rng.normal(size=(6, 4)),
+                    duration=float(rng.uniform(0.1, 0.6)),
+                    gripper_open=rng.integers(0, 2, size=steps).astype(bool),
+                )
+            )
+        return trajectories
+
+    def test_bitwise_equal_to_scalar_pose(self, rng):
+        for count in (1, 2, 7, 32):
+            trajectories = self._random_trajectories(rng, count)
+            times = rng.uniform(-0.05, 0.8, size=count)  # includes clamp edges
+            batched = pose_batch(trajectories, times)
+            scalar = np.stack(
+                [t.pose(float(time)) for t, time in zip(trajectories, times)]
+            )
+            assert np.array_equal(batched, scalar)
+
+    def test_execution_time_grid(self, rng):
+        """The exact call pattern of the fleet tick: step * step_dt times."""
+        trajectories = self._random_trajectories(rng, 9)
+        steps = [int(rng.integers(1, t.steps + 1)) for t in trajectories]
+        times = np.array([s * t.step_dt for s, t in zip(steps, trajectories)])
+        batched = pose_batch(trajectories, times)
+        for k, (trajectory, step) in enumerate(zip(trajectories, steps)):
+            assert np.array_equal(batched[k], trajectory.pose(step * trajectory.step_dt))
