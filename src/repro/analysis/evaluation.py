@@ -27,13 +27,29 @@ from repro.core.policy import BaselinePolicy, CorkiPolicy
 from repro.core.runner import EpisodeTrace
 from repro.core.training import TrainingConfig, train_baseline, train_corki
 from repro.nn.serialization import load_module, save_module
-from repro.sim.camera import OBSERVATION_DIM
+from repro.sim.camera import OBSERVATION_DIM, RAW_FEATURE_DIM
 from repro.sim.dataset import ActionNormalizer, collect_demonstrations
-from repro.sim.env import BatchedManipulationEnv, ManipulationEnv, TRACKING_100HZ, TRACKING_30HZ
-from repro.sim.tasks import TASKS, sample_job
+from repro.sim.env import (
+    BatchedManipulationEnv,
+    ManipulationEnv,
+    PERFECT_ACTUATION,
+    TRACKING_100HZ,
+    TRACKING_30HZ,
+)
+from repro.sim.expert import render_keyframes
+from repro.sim.tasks import TASK_FAMILIES, TASKS, sample_job
 from repro.sim.world import SEEN_LAYOUT, SceneLayout
 
-__all__ = ["TrainedPolicies", "SystemEvaluation", "get_trained_policies", "evaluate_system", "evaluate_all_systems"]
+__all__ = [
+    "TrainedPolicies",
+    "SystemEvaluation",
+    "FamilyCell",
+    "get_trained_policies",
+    "evaluate_system",
+    "evaluate_all_systems",
+    "evaluate_system_families",
+    "expert_oracle_families",
+]
 
 DEFAULT_FLEET_SIZE = 32
 """Jobs advanced in lock-step per fleet; larger fleets amortise inference
@@ -83,7 +99,15 @@ def get_trained_policies(
     corki = CorkiPolicy(
         OBSERVATION_DIM, len(TASKS), rng, token_dim=token_dim, hidden_dim=hidden_dim
     )
-    tag = f"d{demos_per_task}-e{epochs}-s{seed}-h{hidden_dim}-t{token_dim}"
+    # The registry size shapes the instruction head, and the camera optics
+    # (raw descriptor width -> fixed projection -> observation width) shape
+    # what every observation *means*, so all three belong in the cache key:
+    # growing the task suite or the scene's sensor channels retrains instead
+    # of silently loading weights trained under different optics.
+    tag = (
+        f"d{demos_per_task}-e{epochs}-s{seed}-h{hidden_dim}-t{token_dim}"
+        f"-i{len(TASKS)}-r{RAW_FEATURE_DIM}-o{OBSERVATION_DIM}"
+    )
     paths = _cache_paths(tag)
 
     if use_cache and all(os.path.exists(path) for path in paths.values()):
@@ -215,3 +239,124 @@ def evaluate_all_systems(
             completed_counts=corki5.completed_counts,
         )
     return results
+
+
+# -- per-family task-suite reporting ------------------------------------------
+
+
+@dataclass(frozen=True)
+class FamilyCell:
+    """Success aggregate of one task family (one cell of the family matrix)."""
+
+    family: str
+    episodes: int
+    successes: int
+    failed_instructions: tuple[str, ...] = ()
+
+    @property
+    def success_rate(self) -> float:
+        return self.successes / self.episodes if self.episodes else 0.0
+
+
+def _aggregate_families(
+    outcomes: list[tuple[str, str, bool]]
+) -> dict[str, FamilyCell]:
+    """Fold (family, instruction, success) episode outcomes into cells."""
+    episodes: dict[str, int] = {family: 0 for family in TASK_FAMILIES}
+    successes: dict[str, int] = {family: 0 for family in TASK_FAMILIES}
+    failed: dict[str, list[str]] = {family: [] for family in TASK_FAMILIES}
+    for family, instruction, success in outcomes:
+        episodes[family] += 1
+        if success:
+            successes[family] += 1
+        elif instruction not in failed[family]:
+            failed[family].append(instruction)
+    return {
+        family: FamilyCell(
+            family=family,
+            episodes=episodes[family],
+            successes=successes[family],
+            failed_instructions=tuple(failed[family]),
+        )
+        for family in TASK_FAMILIES
+    }
+
+
+def evaluate_system_families(
+    policies: TrainedPolicies,
+    system: str,
+    layout: SceneLayout,
+    episodes_per_task: int = 2,
+    seed: int = 4321,
+    fleet_size: int = DEFAULT_FLEET_SIZE,
+) -> dict[str, FamilyCell]:
+    """Per-family success matrix row for one system (the Tbl. 2-style view).
+
+    Every registry task runs ``episodes_per_task`` single-task episodes as
+    fleet lanes tagged with their family (``FleetLane.label``), rolled
+    through :class:`FleetRunner` in ``fleet_size`` chunks.  Lane seeding
+    follows :func:`evaluate_system` -- ``(seed, lane)`` derived generators --
+    so the matrix is deterministic and fleet-size invariant.
+    """
+    variation: CorkiVariation | None = None
+    if system != "roboflamingo":
+        variation = VARIATIONS[system]
+
+    specs = [task for task in TASKS for _ in range(episodes_per_task)]
+    runner = FleetRunner(baseline=policies.baseline, corki=policies.corki)
+    outcomes: list[tuple[str, str, bool]] = []
+    chunk = max(1, fleet_size)
+    for start in range(0, len(specs), chunk):
+        tasks = specs[start : start + chunk]
+        envs = []
+        lanes = []
+        for offset, task in enumerate(tasks):
+            lane_index = start + offset
+            envs.append(ManipulationEnv(layout, np.random.default_rng([seed + 1, lane_index])))
+            lanes.append(
+                FleetLane(
+                    tasks=[task],
+                    variation=variation,
+                    rng=np.random.default_rng([seed + 2, lane_index]),
+                    actuation=TRACKING_30HZ if variation is None else TRACKING_100HZ,
+                    label=task.family,
+                )
+            )
+        fleet = BatchedManipulationEnv(envs)
+        for lane, lane_traces in zip(lanes, runner.run(fleet, lanes)):
+            outcomes.append(
+                (lane.label, lane.tasks[0].instruction, bool(lane_traces[0].success))
+            )
+    return _aggregate_families(outcomes)
+
+
+def expert_oracle_families(
+    layout: SceneLayout,
+    episodes_per_task: int = 2,
+    seed: int = 0,
+) -> dict[str, FamilyCell]:
+    """Scripted-expert (jitter-free) success per family: the oracle matrix.
+
+    Every registry task must score 1.0 here by construction -- its expert
+    keyframes are supposed to achieve its own ``success`` predicate from any
+    sampled scene.  A lower rate means a predicate, expert script or scene
+    mechanic drifted; the CI task-suite smoke job gates on exactly this.
+    """
+    outcomes: list[tuple[str, str, bool]] = []
+    for index, task in enumerate(TASKS):
+        for episode in range(episodes_per_task):
+            env = ManipulationEnv(
+                layout,
+                np.random.default_rng([seed, index, episode]),
+                actuation=PERFECT_ACTUATION,
+                camera_noise_std=0.0,
+            )
+            env.reset(task)
+            assert env.scene is not None
+            trajectory = render_keyframes(
+                env.scene.ee_pose, task.expert(env.scene), env.frame_dt
+            )
+            for t in range(1, len(trajectory)):
+                env.step(trajectory.poses[t], bool(trajectory.gripper_open[t]))
+            outcomes.append((task.family, task.instruction, env.succeeded))
+    return _aggregate_families(outcomes)

@@ -8,6 +8,8 @@ Usage::
     repro-experiments --fleet-size 64 tbl1   # wider evaluation fleets
     repro-experiments bench                  # fleet throughput measurement
     repro-experiments bench --json artifacts/BENCH_fleet.json
+    repro-experiments suite                  # expert-oracle task-suite health gate
+    repro-experiments suite --episodes 1 --layout seen
     REPRO_PROFILE=full repro-experiments tbl1
 """
 
@@ -21,8 +23,9 @@ import time
 from repro.experiments import EXPERIMENTS, get_profile
 
 _ORDER = [
-    "fig2", "fig9", "tbl1", "tbl2", "fig11", "fig12", "fig13", "fig14",
-    "fig15", "tbl3", "tbl4", "resources", "ablation", "ablation-algo", "power",
+    "fig2", "fig9", "tbl1", "tbl2", "families", "fig11", "fig12", "fig13",
+    "fig14", "fig15", "tbl3", "tbl4", "resources", "ablation", "ablation-algo",
+    "power",
 ]
 
 
@@ -54,10 +57,18 @@ def main(argv: list[str] | None = None) -> int:
         help="('bench' only) also write the measurement as a machine-readable "
              "JSON artifact (the BENCH_fleet.json schema the CI gate reads)",
     )
+    parser.add_argument(
+        "--episodes", type=int, default=2, metavar="N",
+        help="('suite' only) expert-oracle episodes per registry task",
+    )
+    parser.add_argument(
+        "--layout", choices=("seen", "unseen", "both"), default="both",
+        help="('suite' only) which layout(s) the oracle sweep covers",
+    )
     args = parser.parse_args(argv)
 
     if args.list or not args.experiments:
-        print("available experiments:", ", ".join(_ORDER), "(plus: bench)")
+        print("available experiments:", ", ".join(_ORDER), "(plus: bench, suite)")
         return 0
 
     if "bench" in args.experiments:
@@ -68,6 +79,15 @@ def main(argv: list[str] | None = None) -> int:
             )
             return 2
         return _run_bench(args.json)
+
+    if "suite" in args.experiments:
+        if len(args.experiments) > 1:
+            print(
+                "'suite' runs alone; invoke other experiments in a separate call",
+                file=sys.stderr,
+            )
+            return 2
+        return _run_suite(args.episodes, args.layout)
 
     requested = _ORDER if args.experiments == ["all"] else args.experiments
     unknown = [name for name in requested if name not in EXPERIMENTS]
@@ -93,6 +113,64 @@ def main(argv: list[str] | None = None) -> int:
             path = save_report(name, report, profile.name)
             print(f"[saved {path}]")
         print(f"--- {name} done in {time.perf_counter() - started:.1f}s ---\n")
+    return 0
+
+
+def _run_suite(episodes: int, layout_choice: str) -> int:
+    """Expert-oracle task-suite health gate (the CI smoke job's entry point).
+
+    Rolls the jitter-free scripted expert over every registry task and fails
+    (exit 1) if any family's success rate drops below 1.0 -- the cheap,
+    training-free way to catch a predicate, expert script or scene mechanic
+    drifting apart.
+    """
+    from repro.analysis.evaluation import expert_oracle_families
+    from repro.analysis.reporting import format_table
+    from repro.sim.tasks import TASK_FAMILIES, TASKS, tasks_by_family
+    from repro.sim.world import SEEN_LAYOUT, UNSEEN_LAYOUT
+
+    if episodes < 1:
+        print("--episodes must be >= 1", file=sys.stderr)
+        return 2
+    layouts = {
+        "seen": [SEEN_LAYOUT],
+        "unseen": [UNSEEN_LAYOUT],
+        "both": [SEEN_LAYOUT, UNSEEN_LAYOUT],
+    }[layout_choice]
+
+    started = time.perf_counter()
+    print("=== suite (expert-oracle task-suite gate) ===")
+    failures: list[str] = []
+    for layout in layouts:
+        cells = expert_oracle_families(layout, episodes_per_task=episodes)
+        rows = [
+            [
+                family,
+                len(tasks_by_family(family)),
+                f"{cells[family].successes}/{cells[family].episodes}",
+                f"{cells[family].success_rate * 100:.0f}%",
+            ]
+            for family in TASK_FAMILIES
+        ]
+        print(format_table(
+            ["family", "tasks", "episodes", "oracle success"],
+            rows,
+            title=f"{layout.name} layout ({len(TASKS)} instructions, "
+                  f"{episodes} episodes/task)",
+        ))
+        for family in TASK_FAMILIES:
+            cell = cells[family]
+            if cell.success_rate < 1.0:
+                failures.extend(
+                    f"{layout.name}: {instruction}"
+                    for instruction in cell.failed_instructions
+                )
+    print(f"--- suite done in {time.perf_counter() - started:.1f}s ---")
+    if failures:
+        print("expert oracle failed on:", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
     return 0
 
 

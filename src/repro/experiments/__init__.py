@@ -22,11 +22,13 @@ def _registry():
         fig13_latency_energy,
         fig14_frame_analysis,
         fig15_threshold,
+        family_report,
         resources_report,
         tbl3_tbl4_scaling,
     )
 
     return {
+        "families": family_report.run,
         "fig2": fig02_breakdown.run,
         "fig9": fig09_mass_matrix.run,
         "fig11": fig11_traj_error.run,

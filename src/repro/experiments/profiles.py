@@ -28,6 +28,7 @@ class Profile:
     sweep_trajectories: int
     eval_seed: int = 1234
     fleet_size: int = 32  # jobs rolled out in lock-step per evaluation fleet
+    family_episodes: int = 2  # episodes per task in the per-family matrix
 
 
 QUICK = Profile(
@@ -48,6 +49,7 @@ FULL = Profile(
     pipeline_frames=300,
     threshold_points=(0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8),
     sweep_trajectories=4,
+    family_episodes=6,
 )
 
 

@@ -20,13 +20,23 @@ from repro.sim.expert import ExpertTrajectory, min_jerk_profile, render_keyframe
 from repro.sim.objects import (
     BLOCK_NAMES,
     Block,
+    Button,
     Drawer,
     SceneArrays,
     SceneState,
     SceneView,
     Switch,
 )
-from repro.sim.tasks import TASKS, Keyframe, Task, sample_job, task_by_instruction
+from repro.sim.tasks import (
+    TASKS,
+    TASK_FAMILIES,
+    Keyframe,
+    Task,
+    sample_job,
+    task_by_instruction,
+    tasks_by_family,
+    wrap_angle,
+)
 from repro.sim.world import SEEN_LAYOUT, UNSEEN_LAYOUT, WORKSPACE, SceneLayout, sample_scene
 
 __all__ = [
@@ -35,6 +45,7 @@ __all__ = [
     "BLOCK_NAMES",
     "BatchedManipulationEnv",
     "Block",
+    "Button",
     "CameraModel",
     "Demonstration",
     "Drawer",
@@ -51,6 +62,7 @@ __all__ = [
     "SceneView",
     "Switch",
     "TASKS",
+    "TASK_FAMILIES",
     "TRACKING_100HZ",
     "TRACKING_30HZ",
     "Task",
@@ -64,4 +76,6 @@ __all__ = [
     "sample_job",
     "sample_scene",
     "task_by_instruction",
+    "tasks_by_family",
+    "wrap_angle",
 ]

@@ -25,7 +25,7 @@ __all__ = [
     "render_rows",
 ]
 
-RAW_FEATURE_DIM = 35
+RAW_FEATURE_DIM = 38
 OBSERVATION_DIM = 48
 
 def _channel_gains() -> np.ndarray:
@@ -45,6 +45,7 @@ def _channel_gains() -> np.ndarray:
         gains[base + 5 : base + 7] = 3.0  # block position on the table
     gains[28] = 5.0  # drawer opening (0..0.18 m)
     gains[31:35] = 3.0  # zone centres
+    gains[36:38] = 3.0  # button position (led state at 35 is already binary)
     return gains
 
 
@@ -93,6 +94,8 @@ class CameraModel:
         parts.append([1.0 if scene.switch.light_on else 0.0])
         parts.append(scene.zones["left"][:2])
         parts.append(scene.zones["right"][:2])
+        parts.append([1.0 if scene.button.led_on else 0.0])
+        parts.append(scene.button.position[:2])
         raw = np.concatenate([np.asarray(p, dtype=float).ravel() for p in parts])
         if raw.shape != (RAW_FEATURE_DIM,):
             raise AssertionError(f"raw feature dim drifted: {raw.shape}")
@@ -134,6 +137,8 @@ def raw_feature_rows(arrays: SceneArrays, lanes: np.ndarray) -> np.ndarray:
     )
     raw[:, 31:33] = arrays.zone_left[lanes, :2]
     raw[:, 33:35] = arrays.zone_right[lanes, :2]
+    raw[:, 35] = np.where(arrays.led_on[lanes], 1.0, 0.0)
+    raw[:, 36:38] = arrays.button_position[lanes, :2]
     return raw
 
 

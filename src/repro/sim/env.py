@@ -32,7 +32,11 @@ from repro.sim.camera import CameraModel, render_rows
 from repro.sim.objects import (
     ATTACHED_DRAWER,
     ATTACHED_SWITCH,
+    BASIN_FLOOR_Z,
+    BASIN_MIN_OPENING,
+    BASIN_RADIUS,
     BLOCK_NAMES,
+    STACK_SNAP_RADIUS,
     SceneArrays,
     SceneState,
     SceneView,
@@ -55,6 +59,25 @@ _BLOCK_GRASP_HEIGHT = 0.05
 _TABLE_BLOCK_Z = 0.02
 _HELD_BLOCK_OFFSET = np.array([0.0, 0.0, -0.01])
 _NUM_BLOCKS = len(BLOCK_NAMES)
+_BLOCK_SLOTS = np.arange(_NUM_BLOCKS)
+
+# Push (shove) mechanics: a low-sweeping arm slides table-level blocks aside.
+# The deadzone keeps grasp descents (planar distance ~ 0 above the target)
+# from expelling the block about to be grasped; the radius stays below the
+# per-frame sweep speed margin so a sweeping end-effector cannot tunnel past
+# the deadzone between frames.
+_PUSH_RADIUS = 0.048
+_PUSH_DEADZONE = 0.02
+_PUSH_EE_HEIGHT = 0.06  # the arm only shoves while sweeping at/below this z
+# Only table-level blocks slide: stacked blocks (z ~ 0.07) sit above the
+# band, basin-resting blocks (z = 0.005) below it -- a shove must not drag a
+# block sideways through the drawer wall.
+_PUSH_BLOCK_MIN_Z = 0.015
+_PUSH_BLOCK_MAX_Z = 0.03
+
+# Release settling: a dropped block lands in the open drawer's basin, on top
+# of a block within the snap radius, or on the table -- in that order (the
+# radii live in repro.sim.objects, shared with the task predicates).
 
 
 @dataclass(frozen=True)
@@ -224,12 +247,17 @@ class ManipulationEnv:
         scene.attached = best_name
 
     def _release(self) -> None:
-        """On open: drop whatever is held; blocks fall to the table."""
+        """On open: drop whatever is held; blocks settle where they land.
+
+        Landing spots, in priority order: the open drawer's basin
+        (place-in-drawer tasks), the top of a block within the snap radius
+        (stacking), else the table.
+        """
         scene = self.scene
         assert scene is not None
         if scene.attached in scene.blocks:
             block = scene.blocks[scene.attached]
-            block.position[2] = _TABLE_BLOCK_Z
+            block.position[2] = _settle_height(scene, scene.attached)
         scene.attached = None
 
     def _drag_attached(self, delta_yaw: float) -> None:
@@ -253,6 +281,37 @@ class ManipulationEnv:
             switch.level = float(np.clip(along, 0.0, 1.0))
 
 
+def _settle_height(scene: "SceneState | SceneView", name: str) -> float:
+    """Resting height for block ``name`` when the gripper releases it.
+
+    Release is a rare per-lane event, so this stays an object-view helper
+    (shared by the scalar and batched paths through ``_release``).  A block
+    only stacks onto a support whose top face is at or below the held
+    block's centre -- a low drop next to a neighbour lands on the table, not
+    teleported on top of it.
+    """
+    block = scene.blocks[name]
+    drawer = scene.drawer
+    if drawer.opening >= BASIN_MIN_OPENING:
+        basin = drawer.basin_position
+        if float(np.linalg.norm(block.position[:2] - basin[:2])) <= BASIN_RADIUS:
+            return BASIN_FLOOR_Z
+    best_height, best_distance = None, np.inf
+    for other_name, other in scene.blocks.items():
+        if other_name == name:
+            continue
+        planar = float(np.linalg.norm(other.position[:2] - block.position[:2]))
+        top = other.position[2] + other.half_extent
+        if (
+            planar <= STACK_SNAP_RADIUS
+            and planar < best_distance
+            and top <= block.position[2] + 1e-9
+        ):
+            best_height = top + block.half_extent
+            best_distance = planar
+    return _TABLE_BLOCK_Z if best_height is None else float(best_height)
+
+
 def step_lanes(
     arrays: SceneArrays,
     lanes: np.ndarray,
@@ -272,6 +331,9 @@ def step_lanes(
     Rare per-lane events (gripper transitions, drawer/switch drag) fall back
     to the object-view code path.  Returns stacked observations.
     """
+    # Kernel order (shared verbatim by the scalar and batched paths):
+    # displacement/gain/noise/clamp -> gripper events -> held-object drag ->
+    # block shove -> button edge -> render.
     count = len(lanes)
     ee = arrays.ee_pose[lanes]
     displacement = targets - ee
@@ -313,9 +375,53 @@ def step_lanes(
         held_lanes = lanes[held]
         slots = attached[held]
         arrays.block_position[held_lanes, slots] = new_pose[held, :3] + _HELD_BLOCK_OFFSET
+        # Yaw accumulates unwrapped by design: the camera consumes block yaw
+        # only through sin/cos, and the rotate predicate wraps its *delta*
+        # (repro.sim.tasks.wrap_angle), so canonicalising here would change
+        # commanded grasp yaws without fixing anything.
         arrays.block_yaw[held_lanes, slots] += delta_yaw[held]
     for k in np.nonzero((attached == ATTACHED_DRAWER) | (attached == ATTACHED_SWITCH))[0]:
         envs[k]._drag_attached(float(delta_yaw[k]))
+
+    # Open-path shove (the push task family): any table-level, unheld block
+    # inside the sweep annulus slides to the push radius along the line from
+    # the end-effector through the block.  Pure elementwise arithmetic per
+    # (lane, block) pair, so one lane and N lanes are bitwise identical.
+    # Most ticks no arm is sweeping low, so the lane set is pre-filtered on
+    # the scalar height gate before any per-block arithmetic runs.
+    low = np.nonzero(new_pose[:, 2] <= _PUSH_EE_HEIGHT)[0]
+    if low.size:
+        low_lanes = lanes[low]
+        positions = arrays.block_position[low_lanes]  # fresh: drag may have moved blocks
+        offsets = positions[:, :, :2] - new_pose[low, None, :2]
+        planar = np.sqrt(np.sum(offsets * offsets, axis=2))
+        pushable = (
+            (planar > _PUSH_DEADZONE)
+            & (planar < _PUSH_RADIUS)
+            & (positions[:, :, 2] >= _PUSH_BLOCK_MIN_Z)
+            & (positions[:, :, 2] <= _PUSH_BLOCK_MAX_Z)
+            & (attached[low, None] != _BLOCK_SLOTS[None, :])
+        )
+        push_rows, push_slots = np.nonzero(pushable)
+        if push_rows.size:
+            shoved = (
+                new_pose[low[push_rows], :2]
+                + offsets[push_rows, push_slots]
+                / planar[push_rows, push_slots][:, None]
+                * _PUSH_RADIUS
+            )
+            arrays.block_position[low_lanes[push_rows], push_slots, 0] = shoved[:, 0]
+            arrays.block_position[low_lanes[push_rows], push_slots, 1] = shoved[:, 1]
+
+    # Latching button: the LED toggles on the frame the end-effector first
+    # enters the press region; holding contact does not re-toggle.
+    button_offset = arrays.button_position[lanes, :2] - new_pose[:, :2]
+    button_planar = np.sqrt(np.sum(button_offset * button_offset, axis=1))
+    contact = (button_planar <= arrays.button_press_radius[lanes]) & (
+        new_pose[:, 2] <= arrays.button_press_height[lanes]
+    )
+    arrays.led_on[lanes] ^= contact & ~arrays.button_contact[lanes]
+    arrays.button_contact[lanes] = contact
 
     for env in envs:
         env.frame_count += 1

@@ -1,10 +1,11 @@
-"""Scene objects of the CALVIN-like tabletop: blocks, a drawer, a switch.
+"""Scene objects of the CALVIN-like tabletop: blocks, drawer, switch, button.
 
 The CALVIN benchmark (Mees et al., 2022) evaluates language-conditioned
 manipulation in a tabletop scene with coloured blocks, a sliding drawer, a
-switch and a lightbulb.  This module reproduces that object set with the
-kinematic state the five task families of the paper (move / switch / drawer /
-rotate / lift) need.
+slider switch driving a lightbulb, and a button driving an LED.  This module
+reproduces that object set with the kinematic state the full 34-instruction
+task suite (:mod:`repro.sim.tasks`) needs: lift / move / rotate / push /
+drawer / switch / lightbulb / led / place-in-drawer / stack / unstack.
 
 Two representations of the same state live here:
 
@@ -29,6 +30,7 @@ import numpy as np
 
 __all__ = [
     "Block",
+    "Button",
     "Drawer",
     "Switch",
     "SceneState",
@@ -70,6 +72,23 @@ class Block:
         return Block(self.name, self.position.copy(), self.yaw, self.half_extent)
 
 
+_BASIN_SETBACK = 0.07
+"""Metres from the drawer handle back to the centre of its storage basin."""
+
+BASIN_FLOOR_Z = 0.005
+"""Resting height of a block placed inside the drawer basin (below table top)."""
+
+BASIN_RADIUS = 0.06
+"""Planar capture radius of the basin: release within it drops the block in."""
+
+BASIN_MIN_OPENING = 0.10
+"""The basin only accepts (and task predicates only count) blocks while the
+drawer is at least this open."""
+
+STACK_SNAP_RADIUS = 0.04
+"""Planar radius within which a released block settles onto a support block."""
+
+
 @dataclass
 class Drawer:
     """A sliding drawer; ``opening`` in metres along its prismatic axis."""
@@ -84,6 +103,17 @@ class Drawer:
     def handle_position(self) -> np.ndarray:
         """Current world position of the drawer handle."""
         return self.handle_base + self.opening * self.axis
+
+    @property
+    def basin_position(self) -> np.ndarray:
+        """Centre of the drawer's storage basin (tracks the opening).
+
+        The basin sits ``_BASIN_SETBACK`` behind the handle along the slide
+        axis, with its floor below the table top; blocks released above it
+        while the drawer is open settle at :data:`BASIN_FLOOR_Z`.
+        """
+        anchor = self.handle_base + (self.opening - _BASIN_SETBACK) * self.axis
+        return np.array([anchor[0], anchor[1], BASIN_FLOOR_Z])
 
     def copy(self) -> "Drawer":
         drawer = Drawer(
@@ -121,6 +151,29 @@ class Switch:
 
 
 @dataclass
+class Button:
+    """A latching push-button that toggles the scene LED.
+
+    The LED flips state on the frame the end-effector first enters the press
+    region (planar distance within ``press_radius`` and height at or below
+    ``press_height``); holding contact does not re-toggle -- ``contact``
+    tracks the previous frame's contact so only the False-to-True edge fires.
+    """
+
+    position: np.ndarray
+    led_on: bool = False
+    contact: bool = False
+    press_radius: float = 0.04
+    press_height: float = 0.05
+
+    def copy(self) -> "Button":
+        return Button(
+            self.position.copy(), self.led_on, self.contact,
+            self.press_radius, self.press_height,
+        )
+
+
+@dataclass
 class SceneState:
     """Full kinematic state of the tabletop scene plus the end-effector.
 
@@ -135,6 +188,7 @@ class SceneState:
     blocks: dict[str, Block]
     drawer: Drawer
     switch: Switch
+    button: Button
     attached: str | None = None
     zones: dict[str, np.ndarray] = field(default_factory=dict)
 
@@ -145,6 +199,7 @@ class SceneState:
             blocks={name: block.copy() for name, block in self.blocks.items()},
             drawer=self.drawer.copy(),
             switch=self.switch.copy(),
+            button=self.button.copy(),
             attached=self.attached,
             zones={name: centre.copy() for name, centre in self.zones.items()},
         )
@@ -183,6 +238,11 @@ class SceneArrays:
         self.switch_grasp_radius = np.zeros(capacity)
         self.switch_on_threshold = np.zeros(capacity)
         self.switch_off_threshold = np.zeros(capacity)
+        self.button_position = np.zeros((capacity, 3))
+        self.button_press_radius = np.zeros(capacity)
+        self.button_press_height = np.zeros(capacity)
+        self.led_on = np.zeros(capacity, dtype=bool)
+        self.button_contact = np.zeros(capacity, dtype=bool)
         self.zone_left = np.zeros((capacity, 3))
         self.zone_right = np.zeros((capacity, 3))
 
@@ -214,6 +274,12 @@ class SceneArrays:
         self.switch_grasp_radius[lane] = switch.grasp_radius
         self.switch_on_threshold[lane] = switch.on_threshold
         self.switch_off_threshold[lane] = switch.off_threshold
+        button = scene.button
+        self.button_position[lane] = button.position
+        self.button_press_radius[lane] = button.press_radius
+        self.button_press_height[lane] = button.press_height
+        self.led_on[lane] = button.led_on
+        self.button_contact[lane] = button.contact
         self.zone_left[lane] = scene.zones["left"]
         self.zone_right[lane] = scene.zones["right"]
         extra_zones = {
@@ -300,6 +366,11 @@ class _DrawerView:
     def handle_position(self) -> np.ndarray:
         return self.handle_base + self.opening * self.axis
 
+    @property
+    def basin_position(self) -> np.ndarray:
+        anchor = self.handle_base + (self.opening - _BASIN_SETBACK) * self.axis
+        return np.array([anchor[0], anchor[1], BASIN_FLOOR_Z])
+
     def copy(self) -> Drawer:
         return Drawer(
             self.handle_base.copy(), self.axis.copy(), self.opening, self.max_opening,
@@ -363,6 +434,50 @@ class _SwitchView:
         )
 
 
+class _ButtonView:
+    """A :class:`Button`-compatible window onto one lane of a store."""
+
+    __slots__ = ("_arrays", "_lane")
+
+    def __init__(self, arrays: SceneArrays, lane: int):
+        self._arrays = arrays
+        self._lane = lane
+
+    @property
+    def position(self) -> np.ndarray:
+        return self._arrays.button_position[self._lane]
+
+    @property
+    def press_radius(self) -> float:
+        return float(self._arrays.button_press_radius[self._lane])
+
+    @property
+    def press_height(self) -> float:
+        return float(self._arrays.button_press_height[self._lane])
+
+    @property
+    def led_on(self) -> bool:
+        return bool(self._arrays.led_on[self._lane])
+
+    @led_on.setter
+    def led_on(self, value: bool) -> None:
+        self._arrays.led_on[self._lane] = bool(value)
+
+    @property
+    def contact(self) -> bool:
+        return bool(self._arrays.button_contact[self._lane])
+
+    @contact.setter
+    def contact(self, value: bool) -> None:
+        self._arrays.button_contact[self._lane] = bool(value)
+
+    def copy(self) -> Button:
+        return Button(
+            self.position.copy(), self.led_on, self.contact,
+            self.press_radius, self.press_height,
+        )
+
+
 class SceneView:
     """A :class:`SceneState`-compatible window onto one lane of a store.
 
@@ -373,7 +488,7 @@ class SceneView:
     (``initial_scene``) keeps.
     """
 
-    __slots__ = ("_arrays", "_lane", "blocks", "drawer", "switch", "zones")
+    __slots__ = ("_arrays", "_lane", "blocks", "drawer", "switch", "button", "zones")
 
     def __init__(
         self,
@@ -389,6 +504,7 @@ class SceneView:
         }
         self.drawer = _DrawerView(arrays, lane)
         self.switch = _SwitchView(arrays, lane)
+        self.button = _ButtonView(arrays, lane)
         self.zones = {
             "left": arrays.zone_left[lane],
             "right": arrays.zone_right[lane],
@@ -426,6 +542,7 @@ class SceneView:
             blocks={name: block.copy() for name, block in self.blocks.items()},
             drawer=self.drawer.copy(),
             switch=self.switch.copy(),
+            button=self.button.copy(),
             attached=self.attached,
             zones={name: np.array(centre, dtype=float) for name, centre in self.zones.items()},
         )

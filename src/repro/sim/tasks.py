@@ -1,10 +1,28 @@
-"""The five CALVIN task families, their instructions and success predicates.
+"""The CALVIN-style 34-instruction task suite: predicates and expert scripts.
 
-Paper Sec. 5.1: "The tasks are categorized into five types: moving an
-object, turning a switch on and off, pushing and pulling a drawer, rotating
-an object, and lifting an object."  Each concrete (task family, object,
-direction) combination is one language instruction; the registry below
-enumerates 19 of them, which play the role of CALVIN's 34 task set.
+Paper Sec. 5.1 evaluates on CALVIN's 34-task set.  The registry below
+reproduces that scale over the tabletop scene of :mod:`repro.sim.objects`:
+
+===========  =====================================================  =====
+family       instructions                                           count
+===========  =====================================================  =====
+lift         lift the {red,blue,pink} block                             3
+move         move the {red,blue,pink} block to the {left,right} zone    6
+rotate       rotate the {red,blue,pink} block to the {left,right}       6
+drawer       {open,close} the drawer                                    2
+switch       turn the switch {on,off}                                   2
+push         push the {red,blue,pink} block to the {left,right}         6
+lightbulb    turn {on,off} the lightbulb                                2
+led          turn {on,off} the led                                      2
+place        place the {red,blue,pink} block in the drawer              3
+stack        stack the red block on top of the blue block               1
+unstack      take off the red block from the blue block                 1
+===========  =====================================================  =====
+
+Each :class:`Task` also declares the scene *resources* it touches (the
+block(s) in ``objects`` plus the ``fixture`` it operates), which is what
+:func:`sample_job` keys on so that the tasks of one long-horizon job never
+share an object.
 """
 
 from __future__ import annotations
@@ -14,11 +32,27 @@ from typing import Callable
 
 import numpy as np
 
-from repro.sim.objects import BLOCK_NAMES, SceneState
+from repro.sim.objects import (
+    BASIN_MIN_OPENING,
+    BASIN_RADIUS,
+    BLOCK_NAMES,
+    STACK_SNAP_RADIUS,
+    SceneState,
+)
 
-__all__ = ["Keyframe", "Task", "TASKS", "task_by_instruction", "sample_job"]
+__all__ = [
+    "Keyframe",
+    "Task",
+    "TASKS",
+    "TASK_FAMILIES",
+    "task_by_instruction",
+    "tasks_by_family",
+    "sample_job",
+    "wrap_angle",
+]
 
-_GRASP_Z = 0.03  # end-effector height for grasping a block on the table
+_GRASP_HEIGHT = 0.01  # end-effector height above a block's centre when grasping
+_TABLE_GRASP_Z = 0.03  # grasp/place height for a block resting on the table
 _LIFT_Z = 0.18
 _APPROACH_Z = 0.12
 _ROTATE_ANGLE = np.pi * 5.0 / 12.0  # expert rotates 75 degrees
@@ -27,6 +61,32 @@ _ZONE_RADIUS = 0.07
 _LIFT_SUCCESS_Z = 0.10
 _DRAWER_OPEN_SUCCESS = 0.12
 _DRAWER_CLOSED_SUCCESS = 0.03
+_TABLE_TOP_Z = 0.03  # a block resting on the table has its centre below this
+_TABLE_BOTTOM_Z = 0.015  # ... and above this (the drawer basin sits lower)
+# Push family: the expert starts just outside the shove radius of
+# repro.sim.env (0.048), sweeps low through the block and a bit beyond.
+_PUSH_START_OFFSET = 0.06
+_PUSH_SWEEP_BEYOND = 0.08
+_PUSH_Z = 0.035
+_PUSH_SUCCESS = 0.05  # metres of displacement along the commanded direction
+_STACK_SUCCESS_RADIUS = 0.035
+_STACK_HEIGHT_TOL = 0.01
+_UNSTACK_CLEAR = 0.08
+_UNSTACK_CARRY = 0.12  # where the expert sets an unstacked block down
+_BASIN_PLACE_Z = 0.07  # end-effector height when releasing into the basin
+_BUTTON_PRESS_Z = 0.035
+_BASIN_SUCCESS_Z = 0.015  # a placed block rests below the table top
+
+
+def wrap_angle(angle: float) -> float:
+    """Wrap an angle (or angle delta) into ``(-pi, pi]``.
+
+    Yaw integrates unwrapped in the physics kernel; predicates comparing two
+    yaws must wrap the *difference*, or a block whose cumulative yaw crosses
+    the +-pi seam relative to a canonicalised snapshot flips the sign of the
+    measured rotation.
+    """
+    return float(np.pi - np.mod(np.pi - angle, 2.0 * np.pi))
 
 
 @dataclass(frozen=True)
@@ -51,7 +111,11 @@ class Task:
     (e.g. the close-drawer task starts with the drawer open); ``success``
     compares the initial and current scene; ``expert`` produces the scripted
     demonstration keyframes used both for data collection and as the
-    evaluation oracle's reference.
+    evaluation oracle's reference.  ``objects`` names the block(s) the task
+    manipulates and ``fixture`` the articulated fixture it operates
+    (``"drawer"``, ``"switch"`` or ``"button"``); together they are the
+    task's scene resources, which :func:`sample_job` keeps disjoint within
+    one job.
     """
 
     instruction: str
@@ -59,6 +123,8 @@ class Task:
     prepare: Callable[[SceneState, np.random.Generator], None]
     success: Callable[[SceneState, SceneState], bool]
     expert: Callable[[SceneState], list[Keyframe]]
+    objects: tuple[str, ...] = ()
+    fixture: str | None = None
     instruction_id: int = field(default=-1)
 
 
@@ -67,10 +133,11 @@ def _pose(position: np.ndarray, yaw: float = 0.0) -> np.ndarray:
 
 
 def _grasp_block_keyframes(scene: SceneState, name: str) -> list[Keyframe]:
+    """Approach/descend/close on a block wherever it rests (table or stack)."""
     block = scene.blocks[name]
     above = block.position + np.array([0.0, 0.0, _APPROACH_Z])
     grasp = block.position.copy()
-    grasp[2] = _GRASP_Z
+    grasp[2] = block.position[2] + _GRASP_HEIGHT
     return [
         Keyframe(_pose(above, block.yaw), True, 0.50),
         Keyframe(_pose(grasp, block.yaw), True, 0.35),
@@ -101,6 +168,7 @@ def _make_lift(name: str) -> Task:
         prepare=lambda scene, rng: None,
         success=success,
         expert=expert,
+        objects=(name,),
     )
 
 
@@ -116,7 +184,7 @@ def _make_move(name: str, zone: str) -> Task:
         target = scene.zones[zone]
         yaw = scene.blocks[name].yaw
         above_target = np.array([target[0], target[1], _APPROACH_Z])
-        place = np.array([target[0], target[1], _GRASP_Z])
+        place = np.array([target[0], target[1], _TABLE_GRASP_Z])
         carry = frames[-1].pose.copy()
         carry[2] = _APPROACH_Z
         frames.extend(
@@ -136,6 +204,7 @@ def _make_move(name: str, zone: str) -> Task:
         prepare=lambda scene, rng: None,
         success=success,
         expert=expert,
+        objects=(name,),
     )
 
 
@@ -143,7 +212,9 @@ def _make_rotate(name: str, direction: str) -> Task:
     sign = 1.0 if direction == "left" else -1.0
 
     def success(initial: SceneState, current: SceneState) -> bool:
-        delta = current.blocks[name].yaw - initial.blocks[name].yaw
+        # Wrap the *delta*: comparing raw yaws mis-scores a rotation whose
+        # endpoints straddle the +-pi seam (one of them canonicalised).
+        delta = wrap_angle(current.blocks[name].yaw - initial.blocks[name].yaw)
         return sign * delta >= _ROTATE_SUCCESS
 
     def expert(scene: SceneState) -> list[Keyframe]:
@@ -166,6 +237,43 @@ def _make_rotate(name: str, direction: str) -> Task:
         prepare=lambda scene, rng: None,
         success=success,
         expert=expert,
+        objects=(name,),
+    )
+
+
+def _make_push(name: str, direction: str) -> Task:
+    sign = -1.0 if direction == "left" else 1.0  # left is -x, toward the left zone
+
+    def success(initial: SceneState, current: SceneState) -> bool:
+        block = current.blocks[name]
+        displacement = block.position[0] - initial.blocks[name].position[0]
+        on_table = _TABLE_BOTTOM_Z <= block.position[2] <= _TABLE_TOP_Z
+        return sign * displacement >= _PUSH_SUCCESS and on_table and current.attached != name
+
+    def expert(scene: SceneState) -> list[Keyframe]:
+        block = scene.blocks[name]
+        start = block.position.copy()
+        start[0] -= sign * _PUSH_START_OFFSET
+        start[2] = _PUSH_Z
+        sweep = block.position.copy()
+        sweep[0] += sign * _PUSH_SWEEP_BEYOND
+        sweep[2] = _PUSH_Z
+        above = start.copy()
+        above[2] = _APPROACH_Z
+        return [
+            Keyframe(_pose(above), True, 0.50),
+            Keyframe(_pose(start), True, 0.30),
+            Keyframe(_pose(sweep), True, 0.60),
+            _retreat(_pose(sweep)),
+        ]
+
+    return Task(
+        instruction=f"push the {name} block to the {direction}",
+        family="push",
+        prepare=lambda scene, rng: None,
+        success=success,
+        expert=expert,
+        objects=(name,),
     )
 
 
@@ -211,23 +319,11 @@ def _make_drawer(action: str) -> Task:
         prepare=prepare,
         success=success,
         expert=expert,
+        fixture="drawer",
     )
 
 
-def _make_switch(action: str) -> Task:
-    level_target = 0.95 if action == "on" else 0.02
-
-    def prepare(scene: SceneState, rng: np.random.Generator) -> None:
-        if action == "on":
-            scene.switch.level = float(rng.uniform(0.0, 0.15))
-        else:
-            scene.switch.level = float(rng.uniform(0.85, 1.0))
-
-    def success(initial: SceneState, current: SceneState) -> bool:
-        if action == "on":
-            return current.switch.level >= current.switch.on_threshold
-        return current.switch.level <= current.switch.off_threshold
-
+def _switch_expert(level_target: float) -> Callable[[SceneState], list[Keyframe]]:
     def expert(scene: SceneState) -> list[Keyframe]:
         switch = scene.switch
         frames = _handle_keyframes(switch.handle_position)
@@ -241,13 +337,237 @@ def _make_switch(action: str) -> Task:
         )
         return frames
 
+    return expert
+
+
+def _switch_prepare(turning_on: bool) -> Callable[[SceneState, np.random.Generator], None]:
+    def prepare(scene: SceneState, rng: np.random.Generator) -> None:
+        if turning_on:
+            scene.switch.level = float(rng.uniform(0.0, 0.15))
+        else:
+            scene.switch.level = float(rng.uniform(0.85, 1.0))
+
+    return prepare
+
+
+def _make_switch(action: str) -> Task:
+    def success(initial: SceneState, current: SceneState) -> bool:
+        if action == "on":
+            return current.switch.level >= current.switch.on_threshold
+        return current.switch.level <= current.switch.off_threshold
+
     return Task(
         instruction=f"turn the switch {action}",
         family="switch",
+        prepare=_switch_prepare(action == "on"),
+        success=success,
+        expert=_switch_expert(0.95 if action == "on" else 0.02),
+        fixture="switch",
+    )
+
+
+def _make_lightbulb(state: str) -> Task:
+    want_on = state == "on"
+
+    def success(initial: SceneState, current: SceneState) -> bool:
+        return current.switch.light_on == want_on
+
+    return Task(
+        instruction=f"turn {state} the lightbulb",
+        family="lightbulb",
+        prepare=_switch_prepare(want_on),
+        success=success,
+        expert=_switch_expert(0.95 if want_on else 0.02),
+        fixture="switch",
+    )
+
+
+def _make_led(state: str) -> Task:
+    want_on = state == "on"
+
+    def prepare(scene: SceneState, rng: np.random.Generator) -> None:
+        scene.button.led_on = not want_on
+        scene.button.contact = False
+
+    def success(initial: SceneState, current: SceneState) -> bool:
+        return current.button.led_on == want_on
+
+    def expert(scene: SceneState) -> list[Keyframe]:
+        button = scene.button.position
+        above = np.array([button[0], button[1], _APPROACH_Z])
+        press = np.array([button[0], button[1], _BUTTON_PRESS_Z])
+        return [
+            Keyframe(_pose(above), True, 0.50),
+            Keyframe(_pose(press), True, 0.35),
+            _retreat(_pose(press)),
+        ]
+
+    return Task(
+        instruction=f"turn {state} the led",
+        family="led",
         prepare=prepare,
         success=success,
         expert=expert,
+        fixture="button",
     )
+
+
+def _make_place_in_drawer(name: str) -> Task:
+    def prepare(scene: SceneState, rng: np.random.Generator) -> None:
+        scene.drawer.opening = float(rng.uniform(0.13, 0.17))
+
+    def success(initial: SceneState, current: SceneState) -> bool:
+        block = current.blocks[name]
+        basin = current.drawer.basin_position
+        inside = np.linalg.norm(block.position[:2] - basin[:2]) <= BASIN_RADIUS
+        below_table = block.position[2] <= _BASIN_SUCCESS_Z
+        open_enough = current.drawer.opening >= BASIN_MIN_OPENING
+        return inside and below_table and open_enough and current.attached != name
+
+    def expert(scene: SceneState) -> list[Keyframe]:
+        frames = _grasp_block_keyframes(scene, name)
+        basin = scene.drawer.basin_position
+        above = np.array([basin[0], basin[1], _APPROACH_Z])
+        drop = np.array([basin[0], basin[1], _BASIN_PLACE_Z])
+        carry = frames[-1].pose.copy()
+        carry[2] = _APPROACH_Z
+        frames.extend(
+            [
+                Keyframe(carry, False, 0.30),
+                Keyframe(_pose(above), False, 0.55),
+                Keyframe(_pose(drop), False, 0.30),
+                Keyframe(_pose(drop), True, 0.15),
+                _retreat(_pose(drop)),
+            ]
+        )
+        return frames
+
+    return Task(
+        instruction=f"place the {name} block in the drawer",
+        family="place",
+        prepare=prepare,
+        success=success,
+        expert=expert,
+        objects=(name,),
+        fixture="drawer",
+    )
+
+
+def _stacked_on(top, base) -> bool:
+    """Whether block ``top`` rests centred on block ``base``."""
+    planar = np.linalg.norm(top.position[:2] - base.position[:2])
+    resting = base.position[2] + base.half_extent + top.half_extent
+    return bool(
+        planar <= _STACK_SUCCESS_RADIUS
+        and abs(top.position[2] - resting) <= _STACK_HEIGHT_TOL
+    )
+
+
+def _make_stack(top_name: str, base_name: str) -> Task:
+    def success(initial: SceneState, current: SceneState) -> bool:
+        stacked = _stacked_on(current.blocks[top_name], current.blocks[base_name])
+        return stacked and current.attached != top_name
+
+    def expert(scene: SceneState) -> list[Keyframe]:
+        frames = _grasp_block_keyframes(scene, top_name)
+        base = scene.blocks[base_name]
+        top = scene.blocks[top_name]
+        yaw = top.yaw
+        above = np.array([base.position[0], base.position[1], _APPROACH_Z])
+        drop_z = base.position[2] + base.half_extent + 2 * top.half_extent + _GRASP_HEIGHT
+        drop = np.array([base.position[0], base.position[1], drop_z])
+        carry = frames[-1].pose.copy()
+        carry[2] = _LIFT_Z
+        frames.extend(
+            [
+                Keyframe(carry, False, 0.35),
+                Keyframe(_pose(above, yaw), False, 0.55),
+                Keyframe(_pose(drop, yaw), False, 0.35),
+                Keyframe(_pose(drop, yaw), True, 0.15),
+                _retreat(_pose(drop, yaw)),
+            ]
+        )
+        return frames
+
+    return Task(
+        instruction=f"stack the {top_name} block on top of the {base_name} block",
+        family="stack",
+        prepare=lambda scene, rng: None,
+        success=success,
+        expert=expert,
+        objects=(top_name, base_name),
+    )
+
+
+def _make_unstack(top_name: str, base_name: str) -> Task:
+    def prepare(scene: SceneState, rng: np.random.Generator) -> None:
+        base = scene.blocks[base_name]
+        top = scene.blocks[top_name]
+        top.position = base.position + np.array(
+            [0.0, 0.0, base.half_extent + top.half_extent]
+        )
+
+    def success(initial: SceneState, current: SceneState) -> bool:
+        top = current.blocks[top_name]
+        base = current.blocks[base_name]
+        clear = np.linalg.norm(top.position[:2] - base.position[:2]) >= _UNSTACK_CLEAR
+        on_table = top.position[2] <= _TABLE_TOP_Z
+        return bool(clear) and on_table and current.attached != top_name
+
+    def expert(scene: SceneState) -> list[Keyframe]:
+        frames = _grasp_block_keyframes(scene, top_name)
+        base = scene.blocks[base_name]
+        yaw = scene.blocks[top_name].yaw
+        # Set the block down a fixed distance from the stack, in whichever
+        # axis direction keeps the most clearance from the bystander blocks.
+        candidates = [
+            base.position[:2] + _UNSTACK_CARRY * np.array(direction)
+            for direction in ((1.0, 0.0), (-1.0, 0.0), (0.0, 1.0), (0.0, -1.0))
+        ]
+        others = [
+            block.position[:2]
+            for name, block in scene.blocks.items()
+            if name not in (top_name, base_name)
+        ]
+
+        def clearance(spot: np.ndarray) -> float:
+            if not others:
+                return np.inf
+            return min(float(np.linalg.norm(spot - other)) for other in others)
+
+        landing = max(candidates, key=clearance)
+        above = np.array([landing[0], landing[1], _APPROACH_Z])
+        place = np.array([landing[0], landing[1], _TABLE_GRASP_Z])
+        carry = frames[-1].pose.copy()
+        carry[2] = _APPROACH_Z
+        frames.extend(
+            [
+                Keyframe(carry, False, 0.30),
+                Keyframe(_pose(above, yaw), False, 0.45),
+                Keyframe(_pose(place, yaw), False, 0.35),
+                Keyframe(_pose(place, yaw), True, 0.15),
+                _retreat(_pose(place, yaw)),
+            ]
+        )
+        return frames
+
+    return Task(
+        instruction=f"take off the {top_name} block from the {base_name} block",
+        family="unstack",
+        prepare=prepare,
+        success=success,
+        expert=expert,
+        objects=(top_name, base_name),
+    )
+
+
+def _ensure_unique_instructions(tasks: list[Task]) -> None:
+    """Reject duplicate instruction strings (easy to hit as the suite grows)."""
+    seen: set[str] = set()
+    for task in tasks:
+        if task.instruction in seen:
+            raise ValueError(f"duplicate instruction in registry: {task.instruction!r}")
+        seen.add(task.instruction)
 
 
 def _build_registry() -> list[Task]:
@@ -264,6 +584,19 @@ def _build_registry() -> list[Task]:
     tasks.append(_make_drawer("close"))
     tasks.append(_make_switch("on"))
     tasks.append(_make_switch("off"))
+    for name in BLOCK_NAMES:
+        for direction in ("left", "right"):
+            tasks.append(_make_push(name, direction))
+    tasks.append(_make_lightbulb("on"))
+    tasks.append(_make_lightbulb("off"))
+    tasks.append(_make_led("on"))
+    tasks.append(_make_led("off"))
+    for name in BLOCK_NAMES:
+        tasks.append(_make_place_in_drawer(name))
+    tasks.append(_make_stack("red", "blue"))
+    tasks.append(_make_unstack("red", "blue"))
+
+    _ensure_unique_instructions(tasks)
     return [
         Task(
             instruction=task.instruction,
@@ -271,6 +604,8 @@ def _build_registry() -> list[Task]:
             prepare=task.prepare,
             success=task.success,
             expert=task.expert,
+            objects=task.objects,
+            fixture=task.fixture,
             instruction_id=index,
         )
         for index, task in enumerate(tasks)
@@ -280,33 +615,68 @@ def _build_registry() -> list[Task]:
 TASKS: list[Task] = _build_registry()
 """The full instruction registry; ``instruction_id`` indexes into it."""
 
+TASK_FAMILIES: tuple[str, ...] = tuple(dict.fromkeys(task.family for task in TASKS))
+"""Family names in registry order (the per-family report's row order)."""
+
+_TASKS_BY_INSTRUCTION: dict[str, Task] = {task.instruction: task for task in TASKS}
+
 
 def task_by_instruction(instruction: str) -> Task:
-    """Look a task up by its natural-language instruction string."""
-    for task in TASKS:
-        if task.instruction == instruction:
-            return task
-    raise KeyError(f"unknown instruction: {instruction!r}")
+    """Look a task up by its natural-language instruction string (O(1))."""
+    try:
+        return _TASKS_BY_INSTRUCTION[instruction]
+    except KeyError:
+        raise KeyError(f"unknown instruction: {instruction!r}") from None
+
+
+def tasks_by_family(family: str) -> list[Task]:
+    """All registry tasks of one family, in registry order."""
+    tasks = [task for task in TASKS if task.family == family]
+    if not tasks:
+        raise KeyError(f"unknown task family: {family!r}")
+    return tasks
+
+
+def _task_resources(task: Task) -> set[str]:
+    resources = set(task.objects)
+    if task.fixture is not None:
+        resources.add(task.fixture)
+    return resources
+
+
+_ALL_RESOURCES = frozenset(BLOCK_NAMES) | {"drawer", "switch", "button"}
 
 
 def sample_job(rng: np.random.Generator, length: int = 5) -> list[Task]:
-    """Sample a long-horizon job: ``length`` distinct consecutive tasks.
+    """Sample a long-horizon job: ``length`` consecutive tasks.
 
     Mirrors CALVIN's evaluation protocol where each job chains five tasks
     and the robot proceeds to the next task only after succeeding at the
-    current one.  Tasks within one job touch distinct objects so that an
-    earlier task cannot make a later one trivially succeed or fail.
+    current one.  Tasks within one job touch pairwise-distinct scene
+    resources -- the block(s) a task manipulates plus the fixture it
+    operates (the lightbulb rides the switch, the led rides the button,
+    place-in-drawer holds its block *and* the drawer) -- so an earlier task
+    can never make a later one trivially succeed or fail.  A draw whose
+    resources collide with an already-chosen task is rejected; a draw that
+    would leave fewer free resources than remaining job slots is also
+    rejected (every resource has a single-resource task, so accepted
+    prefixes always extend to a full job and the loop cannot deadlock).
     """
+    if length > len(_ALL_RESOURCES):
+        raise ValueError(
+            f"a job of {length} tasks needs {length} distinct scene resources; "
+            f"the scene has {len(_ALL_RESOURCES)}"
+        )
     chosen: list[Task] = []
-    used_keys: set[str] = set()
+    used: set[str] = set()
     while len(chosen) < length:
         task = TASKS[int(rng.integers(len(TASKS)))]
-        words = task.instruction.split()
-        # Key by family + object so e.g. two tasks on the red block or two
-        # drawer tasks cannot appear in the same job.
-        key = task.family + (words[2] if task.family in ("lift", "move", "rotate") else "")
-        if key in used_keys:
+        resources = _task_resources(task)
+        if used & resources:
             continue
-        used_keys.add(key)
+        remaining_slots = length - len(chosen) - 1
+        if len(_ALL_RESOURCES) - len(used) - len(resources) < remaining_slots:
+            continue
+        used |= resources
         chosen.append(task)
     return chosen

@@ -14,7 +14,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.sim.objects import BLOCK_NAMES, Block, Drawer, SceneState, Switch
+from repro.sim.objects import BLOCK_NAMES, Block, Button, Drawer, SceneState, Switch
 
 __all__ = ["WorkspaceLimits", "SceneLayout", "SEEN_LAYOUT", "UNSEEN_LAYOUT", "sample_scene"]
 
@@ -41,6 +41,7 @@ class SceneLayout:
     drawer_axis: np.ndarray
     switch_handle: np.ndarray
     switch_axis: np.ndarray
+    button_position: np.ndarray
     zone_left: np.ndarray
     zone_right: np.ndarray
     camera_shift: float  # response offset applied by the camera (domain shift)
@@ -56,6 +57,9 @@ SEEN_LAYOUT = SceneLayout(
     drawer_axis=np.array([0.0, -1.0, 0.0]),
     switch_handle=np.array([-0.28, 0.18, 0.10]),
     switch_axis=np.array([1.0, 0.0, 0.0]),
+    # Clear of the block spawn/push reach (|x| <= ~0.31, |y| <= 0.12), both
+    # zones and the drawer handle, so only deliberate presses fire the LED.
+    button_position=np.array([0.30, 0.24, 0.04]),
     zone_left=np.array([-0.24, 0.16, _TABLE_Z]),
     zone_right=np.array([0.24, 0.16, _TABLE_Z]),
     camera_shift=0.0,
@@ -69,6 +73,7 @@ UNSEEN_LAYOUT = SceneLayout(
     drawer_axis=np.array([0.0, -1.0, 0.0]),
     switch_handle=np.array([0.28, 0.18, 0.10]),
     switch_axis=np.array([-1.0, 0.0, 0.0]),
+    button_position=np.array([-0.30, 0.24, 0.04]),
     zone_left=np.array([-0.22, 0.18, _TABLE_Z]),
     zone_right=np.array([0.22, 0.18, _TABLE_Z]),
     camera_shift=0.35,
@@ -111,11 +116,15 @@ def sample_scene(layout: SceneLayout, rng: np.random.Generator) -> SceneState:
         axis=layout.switch_axis.copy(),
         level=float(rng.uniform(0.0, 0.15)),
     )
+    # The button draws no randomness (task ``prepare`` hooks set the LED), so
+    # block/drawer/switch draws keep their pre-button sequence for any seed.
+    button = Button(position=layout.button_position.copy())
     return SceneState(
         ee_pose=_HOME_POSE.copy(),
         gripper_open=True,
         blocks=blocks,
         drawer=drawer,
         switch=switch,
+        button=button,
         zones={"left": layout.zone_left.copy(), "right": layout.zone_right.copy()},
     )

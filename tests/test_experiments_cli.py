@@ -36,8 +36,8 @@ class TestExperimentRegistry:
     def test_all_artifacts_registered(self):
         expected = {
             "fig2", "fig9", "fig11", "fig12", "fig13", "fig14", "fig15",
-            "tbl1", "tbl2", "tbl3", "tbl4", "resources", "ablation",
-            "ablation-algo", "power",
+            "tbl1", "tbl2", "tbl3", "tbl4", "families", "resources",
+            "ablation", "ablation-algo", "power",
         }
         assert set(EXPERIMENTS) == expected
 

@@ -26,6 +26,7 @@ from repro.core import (
     run_job,
 )
 from repro.sim import (
+    BLOCK_NAMES,
     BatchedManipulationEnv,
     CameraModel,
     SEEN_LAYOUT,
@@ -219,19 +220,29 @@ class TestBatchedEnvFacade:
 
 
 class _ScalarReferenceEnv:
-    """The pre-vectorisation scalar environment, frozen as a test oracle.
+    """An object-at-a-time scalar environment, kept as a test oracle.
 
-    This is the object-at-a-time ``ManipulationEnv`` exactly as it stood
-    before the structure-of-arrays kernel landed: plain ``SceneState``
-    mutation, one Python-level step per frame.  The vectorised
-    ``step_many`` must reproduce it bit for bit, per lane, at any fleet
-    size -- the tentpole guarantee of the SoA refactor.
+    This is the ``ManipulationEnv`` semantics written as plain ``SceneState``
+    mutation, one Python-level step per frame -- originally frozen from the
+    pre-structure-of-arrays code, extended in lock-step when the task-suite
+    PR added shove/settle/button mechanics.  The vectorised ``step_many``
+    must reproduce it bit for bit, per lane, at any fleet size -- the
+    tentpole guarantee of the SoA refactor.
     """
 
     frame_dt = 1.0 / 30.0
     _BLOCK_GRASP_RADIUS = 0.05
     _BLOCK_GRASP_HEIGHT = 0.05
     _TABLE_BLOCK_Z = 0.02
+    _PUSH_RADIUS = 0.048
+    _PUSH_DEADZONE = 0.02
+    _PUSH_EE_HEIGHT = 0.06
+    _PUSH_BLOCK_MIN_Z = 0.015
+    _PUSH_BLOCK_MAX_Z = 0.03
+    _STACK_SNAP_RADIUS = 0.04
+    _BASIN_RADIUS = 0.06
+    _BASIN_MIN_OPENING = 0.10
+    _BASIN_FLOOR_Z = 0.005
 
     def __init__(self, layout, rng, actuation=TRACKING_100HZ, camera_noise_std=0.01):
         self.layout = layout
@@ -272,6 +283,8 @@ class _ScalarReferenceEnv:
         scene.ee_pose = new_pose
         self._update_gripper(gripper_open)
         self._drag_attached(delta_yaw)
+        self._push_blocks()
+        self._update_button()
         self.frame_count += 1
         return self.camera.render(self.scene, self.rng)
 
@@ -305,8 +318,60 @@ class _ScalarReferenceEnv:
     def _release(self):
         scene = self.scene
         if scene.attached in scene.blocks:
-            scene.blocks[scene.attached].position[2] = self._TABLE_BLOCK_Z
+            block = scene.blocks[scene.attached]
+            block.position[2] = self._settle_height(scene.attached)
         scene.attached = None
+
+    def _settle_height(self, name):
+        scene = self.scene
+        block = scene.blocks[name]
+        drawer = scene.drawer
+        if drawer.opening >= self._BASIN_MIN_OPENING:
+            basin = drawer.basin_position
+            if float(np.linalg.norm(block.position[:2] - basin[:2])) <= self._BASIN_RADIUS:
+                return self._BASIN_FLOOR_Z
+        best_height, best_distance = None, np.inf
+        for other_name, other in scene.blocks.items():
+            if other_name == name:
+                continue
+            planar = float(np.linalg.norm(other.position[:2] - block.position[:2]))
+            top = other.position[2] + other.half_extent
+            if (
+                planar <= self._STACK_SNAP_RADIUS
+                and planar < best_distance
+                and top <= block.position[2] + 1e-9
+            ):
+                best_height = top + block.half_extent
+                best_distance = planar
+        return self._TABLE_BLOCK_Z if best_height is None else float(best_height)
+
+    def _push_blocks(self):
+        scene = self.scene
+        ee = scene.ee_pose
+        if ee[2] > self._PUSH_EE_HEIGHT:
+            return
+        for name, block in scene.blocks.items():
+            if scene.attached == name:
+                continue
+            if not (self._PUSH_BLOCK_MIN_Z <= block.position[2] <= self._PUSH_BLOCK_MAX_Z):
+                continue
+            offset = block.position[:2] - ee[:2]
+            planar = float(np.sqrt(offset[0] * offset[0] + offset[1] * offset[1]))
+            if self._PUSH_DEADZONE < planar < self._PUSH_RADIUS:
+                shoved = ee[:2] + offset / planar * self._PUSH_RADIUS
+                block.position[0] = shoved[0]
+                block.position[1] = shoved[1]
+
+    def _update_button(self):
+        scene = self.scene
+        button = scene.button
+        ee = scene.ee_pose
+        offset = button.position[:2] - ee[:2]
+        planar = float(np.sqrt(offset[0] * offset[0] + offset[1] * offset[1]))
+        contact = planar <= button.press_radius and ee[2] <= button.press_height
+        if contact and not button.contact:
+            button.led_on = not button.led_on
+        button.contact = contact
 
     def _drag_attached(self, delta_yaw):
         scene = self.scene
@@ -333,6 +398,25 @@ class TestVectorizedKernelEquivalence:
     N = 6
     FRAMES = 60
 
+    @staticmethod
+    def _command(env, rng):
+        """One pseudo-random command: a free-space wander, or (one draw in
+        four) a low dive at a block or the button so the shove, settle and
+        button-press mechanics all fire during the equivalence drive."""
+        if rng.integers(0, 4) == 0:
+            pick = int(rng.integers(0, 4))
+            anchor = (
+                env.scene.blocks[BLOCK_NAMES[pick]].position
+                if pick < len(BLOCK_NAMES)
+                else env.scene.button.position
+            )
+            target = np.zeros(6)
+            target[:3] = anchor + rng.normal(0.0, 0.03, 3)
+            target[2] = 0.03 + abs(rng.normal(0.0, 0.02))
+            target[3:] = env.scene.ee_pose[3:] + rng.normal(0.0, 0.05, 3)
+            return target
+        return env.scene.ee_pose + rng.normal(0.0, 0.03, 6)
+
     def _drive(self, env_factory, step):
         """Roll N lanes with shared pseudo-random commands; returns frames."""
         envs = [env_factory(i) for i in range(self.N)]
@@ -345,10 +429,7 @@ class TestVectorizedKernelEquivalence:
         ]
         for _ in range(self.FRAMES):
             targets = np.stack(
-                [
-                    envs[i].scene.ee_pose + command_rngs[i].normal(0.0, 0.03, 6)
-                    for i in range(self.N)
-                ]
+                [self._command(envs[i], command_rngs[i]) for i in range(self.N)]
             )
             grippers = [bool(command_rngs[i].integers(0, 2)) for i in range(self.N)]
             stepped = step(envs, targets, grippers, models)
@@ -390,6 +471,8 @@ class TestVectorizedKernelEquivalence:
                 assert ref.blocks[name].yaw == new.blocks[name].yaw
             assert ref.drawer.opening == new.drawer.opening
             assert ref.switch.level == new.switch.level
+            assert ref.button.led_on == new.button.led_on
+            assert ref.button.contact == new.button.contact
             assert scalar_envs[i].succeeded == batched_envs[i].succeeded
 
     def test_standalone_step_is_the_batched_kernel(self):

@@ -142,23 +142,25 @@ class TestTaskRegistry:
         with pytest.raises(KeyError):
             task_by_instruction("fly to the moon")
 
-    def test_all_five_families_present(self):
+    def test_all_families_present(self):
         families = {task.family for task in TASKS}
-        assert families == {"lift", "move", "rotate", "drawer", "switch"}
+        assert families == {
+            "lift", "move", "rotate", "drawer", "switch",
+            "push", "lightbulb", "led", "place", "stack", "unstack",
+        }
 
-    def test_job_sampling_distinct_targets(self):
+    def test_job_sampling_distinct_resources(self):
+        from repro.sim.tasks import _task_resources
+
         rng = np.random.default_rng(0)
         for _ in range(20):
             job = sample_job(rng)
             assert len(job) == 5
-            keys = set()
+            used = set()
             for task in job:
-                words = task.instruction.split()
-                key = task.family + (
-                    words[2] if task.family in ("lift", "move", "rotate") else ""
-                )
-                assert key not in keys
-                keys.add(key)
+                resources = _task_resources(task)
+                assert not (used & resources)
+                used |= resources
 
     def test_prepare_makes_close_drawer_feasible(self):
         env = make_env()
