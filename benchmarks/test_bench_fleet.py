@@ -1,50 +1,60 @@
 """Benchmarks of the batched fleet-evaluation engine.
 
-PR 1 batched the inference half of the closed loop; this suite now also
-exercises the vectorised physics half: the structure-of-arrays environment
-kernel (``repro.sim.env.step_lanes``), batched trajectory evaluation and
-per-tick success masks.  Episodes/sec is reported for fleet sizes
-N in {1, 8, 32, 128} (the perf trajectory the ROADMAP asks for); results
-land in the session's fleet record so ``--fleet-json`` can emit the
-``BENCH_fleet.json`` artifact.
+PR 1 batched the inference half of the closed loop, PR 2 vectorised the
+physics half; this suite also exercises the multi-process sharded path
+(``repro.analysis.parallel``).  Episodes/sec is reported for fleet sizes
+N in {1, 8, 32, 128} plus a sharded smoke row (the perf trajectory the
+ROADMAP asks for); results land in the session's fleet record so
+``--fleet-json`` can emit the ``BENCH_fleet.json`` artifact.
 
-Two assertions pin the throughput floor, and both run even under
+Environment construction happens in per-round *setup* callbacks, outside
+the timed region: the clock measures the fleet run, not allocation noise.
+
+Three assertions pin the throughput floor, and all run even under
 ``--benchmark-disable`` (the CI smoke pass):
 
-* a 32-lane fleet beats 32 sequential single-episode runs by >= 3x; and
+* a 32-lane fleet beats 32 sequential single-episode runs by >= 3x;
 * N=32 throughput stays within 2x of the measurement committed in
-  ``artifacts/BENCH_fleet.json`` (the regression gate).
+  ``artifacts/BENCH_fleet.json`` (the regression gate); and
+* the workers=2 sharded run returns every lane (merge completeness).
 """
 
-import numpy as np
 import pytest
 
 from repro.analysis.fleet_bench import (
     BENCH_FRAMES,
     DEFAULT_BENCH_PATH,
+    corki_inputs,
     episodes_per_second,
     fleet_inputs,
     load_bench_json,
+    measure_sharded_throughput,
     recorded_throughput,
 )
 from repro.core import VARIATIONS, run_baseline_fleet, run_corki_fleet
 
 _FLEET_SIZES = (1, 8, 32, 128)
+_SMOKE_WORKERS = 2
+_SMOKE_LANES_PER_WORKER = 16
 
 
-def _measure_and_record(benchmark, records, policy, n, run):
+def _measure_and_record(benchmark, records, policy, n, run, setup):
     """One pedantic run; episodes/sec comes from its timings when enabled.
 
-    Under ``--benchmark-disable`` (the CI smoke pass) pedantic runs the
-    workload once untimed, so the record falls back to two perf_counter
-    rounds -- the artifact notes how many rounds produced each entry.
+    ``setup`` builds each round's inputs outside the timed region (episodes
+    mutate their environments, so rounds cannot share them).  Under
+    ``--benchmark-disable`` (the CI smoke pass) pedantic runs the workload
+    once untimed, so the record falls back to two perf_counter rounds -- the
+    artifact notes how many rounds produced each entry.
     """
-    traces = benchmark.pedantic(run, rounds=3, iterations=1)
+    traces = benchmark.pedantic(
+        run, setup=lambda: ((setup(),), {}), rounds=3, iterations=1
+    )
     benchmark.extra_info["episodes"] = n
     try:
         eps, rounds = n / benchmark.stats.stats.min, 3
     except (AttributeError, TypeError, ZeroDivisionError):
-        eps, rounds = episodes_per_second(run, n, rounds=2), 2
+        eps, rounds = episodes_per_second(run, n, rounds=2, setup=setup), 2
     records.append(
         {
             "policy": policy,
@@ -61,11 +71,13 @@ def test_fleet_baseline_episodes(benchmark, bench_policies, fleet_bench_records,
     """Baseline fleet throughput (inference on every frame, the worst case)."""
     baseline, _, _ = bench_policies
 
-    def run():
-        envs, tasks = fleet_inputs(n)
+    def run(inputs):
+        envs, tasks = inputs
         return run_baseline_fleet(envs, baseline, tasks, max_frames=BENCH_FRAMES)
 
-    traces = _measure_and_record(benchmark, fleet_bench_records, "baseline", n, run)
+    traces = _measure_and_record(
+        benchmark, fleet_bench_records, "baseline", n, run, lambda: fleet_inputs(n)
+    )
     assert len(traces) == n
 
 
@@ -74,15 +86,40 @@ def test_fleet_corki5_episodes(benchmark, bench_policies, fleet_bench_records, n
     """Corki-5 fleet throughput (inference only at trajectory boundaries)."""
     _, corki, _ = bench_policies
 
-    def run():
-        envs, tasks = fleet_inputs(n)
-        rngs = [np.random.default_rng(1000 + i) for i in range(n)]
+    def run(inputs):
+        envs, tasks, rngs = inputs
         return run_corki_fleet(
             envs, corki, tasks, VARIATIONS["corki-5"], rngs, max_frames=BENCH_FRAMES
         )
 
-    traces = _measure_and_record(benchmark, fleet_bench_records, "corki-5", n, run)
+    traces = _measure_and_record(
+        benchmark, fleet_bench_records, "corki-5", n, run, lambda: corki_inputs(n)
+    )
     assert len(traces) == n
+
+
+def test_fleet_sharded_smoke(bench_policies, fleet_bench_records):
+    """Sharded-path smoke (workers=2): rolls every lane across a warm pool.
+
+    Runs on every CI push (it ignores ``--benchmark-disable``), so the
+    multi-process dispatch/merge machinery is exercised per push and its
+    measurement rides into the uploaded ``BENCH_fleet.json`` artifact.  The
+    row count doubles as the merge-completeness assertion --
+    ``measure_sharded_throughput`` verifies one trace list per lane inside
+    its timed run.
+    """
+    rows = measure_sharded_throughput(
+        policies=bench_policies,
+        workers=(_SMOKE_WORKERS,),
+        lanes_per_worker=_SMOKE_LANES_PER_WORKER,
+        rounds=1,
+    )
+    assert len(rows) == 2  # baseline + corki-5
+    for row in rows:
+        assert row["workers"] == _SMOKE_WORKERS
+        assert row["total_episodes"] == _SMOKE_WORKERS * _SMOKE_LANES_PER_WORKER
+        assert row["episodes_per_second"] > 0
+        fleet_bench_records.append({**row, "rounds": 1})
 
 
 def test_fleet_speedup_over_single_episode_loop(bench_policies):
@@ -91,20 +128,24 @@ def test_fleet_speedup_over_single_episode_loop(bench_policies):
     baseline, _, _ = bench_policies
     n = 32
 
-    def fleet_run():
-        envs, tasks = fleet_inputs(n)
+    def fleet_run(inputs):
+        envs, tasks = inputs
         run_baseline_fleet(envs, baseline, tasks, max_frames=BENCH_FRAMES)
 
-    def sequential_run():
-        envs, tasks = fleet_inputs(n)
+    def sequential_run(inputs):
+        envs, tasks = inputs
         for env, task in zip(envs, tasks):
             run_baseline_fleet([env], baseline, [task], max_frames=BENCH_FRAMES)
 
     # Warm up BLAS/allocator paths once so neither side pays one-time costs.
     warm_envs, warm_tasks = fleet_inputs(2)
     run_baseline_fleet(warm_envs, baseline, warm_tasks, max_frames=2)
-    sequential_eps = episodes_per_second(sequential_run, n, rounds=1)
-    fleet_eps = episodes_per_second(fleet_run, n, rounds=1)
+    sequential_eps = episodes_per_second(
+        sequential_run, n, rounds=1, setup=lambda: fleet_inputs(n)
+    )
+    fleet_eps = episodes_per_second(
+        fleet_run, n, rounds=1, setup=lambda: fleet_inputs(n)
+    )
     speedup = fleet_eps / sequential_eps
     print(
         f"\nfleet N=32: {fleet_eps:.1f} eps/s, sequential: {sequential_eps:.1f} eps/s, "
@@ -118,10 +159,11 @@ def test_fleet_speedup_over_single_episode_loop(bench_policies):
 def test_fleet_throughput_regression_gate(bench_policies):
     """CI gate: N=32 throughput must stay within 2x of the committed record.
 
-    ``artifacts/BENCH_fleet.json`` holds the measurement committed with the
-    vectorisation PR; a fresh measurement falling below half of it means the
-    hot path regressed (or the machine is not comparable -- in which case
-    re-record the artifact deliberately).
+    ``artifacts/BENCH_fleet.json`` holds the committed measurement; a fresh
+    measurement falling below half of it means the hot path regressed (or
+    the machine is not comparable -- in which case re-record the artifact
+    deliberately).  The gate reads the in-process rows only
+    (``recorded_throughput`` with ``workers=None``).
     """
     if not DEFAULT_BENCH_PATH.exists():
         pytest.skip(f"no recorded baseline at {DEFAULT_BENCH_PATH}")
@@ -129,22 +171,25 @@ def test_fleet_throughput_regression_gate(bench_policies):
     baseline, corki, _ = bench_policies
     n = 32
 
-    def run_baseline():
-        envs, tasks = fleet_inputs(n)
+    def run_base(inputs):
+        envs, tasks = inputs
         run_baseline_fleet(envs, baseline, tasks, max_frames=BENCH_FRAMES)
 
-    def run_corki():
-        envs, tasks = fleet_inputs(n)
-        rngs = [np.random.default_rng(1000 + i) for i in range(n)]
+    def run_cork(inputs):
+        envs, tasks, rngs = inputs
         run_corki_fleet(
             envs, corki, tasks, VARIATIONS["corki-5"], rngs, max_frames=BENCH_FRAMES
         )
 
-    for policy, run in (("baseline", run_baseline), ("corki-5", run_corki)):
+    cases = (
+        ("baseline", run_base, lambda: fleet_inputs(n)),
+        ("corki-5", run_cork, lambda: corki_inputs(n)),
+    )
+    for policy, run, setup in cases:
         floor = recorded_throughput(recorded, policy, n)
         if floor is None:
             continue
-        measured = episodes_per_second(run, n, rounds=3)
+        measured = episodes_per_second(run, n, rounds=3, setup=setup)
         print(f"\n{policy} N={n}: {measured:.1f} eps/s (recorded {floor:.1f}, floor {floor / 2:.1f})")
         assert measured >= floor / 2.0, (
             f"{policy} fleet throughput regressed: {measured:.1f} eps/s is below half "

@@ -10,7 +10,9 @@ Jobs roll out through :class:`repro.core.fleet.FleetRunner`: each job is
 one fleet lane with its own environment and feedback generator (seeded from
 ``(seed, lane)`` so results stay paired across systems and deterministic
 across runs), and lanes advance in lock-step with batched policy inference.
-``fleet_size`` caps how many jobs fly at once.
+``fleet_size`` caps how many jobs fly at once, and ``workers`` shards the
+lanes across OS processes (:mod:`repro.analysis.parallel`) -- both knobs
+leave every byte of the result unchanged.
 """
 
 from __future__ import annotations
@@ -24,7 +26,7 @@ from repro.analysis.metrics import JobStatistics, TrajectoryMetrics, job_statist
 from repro.core.config import CorkiVariation, VARIATIONS
 from repro.core.fleet import FleetLane, FleetRunner
 from repro.core.policy import BaselinePolicy, CorkiPolicy
-from repro.core.runner import EpisodeTrace
+from repro.core.runner import MAX_EPISODE_FRAMES, EpisodeTrace
 from repro.core.training import TrainingConfig, train_baseline, train_corki
 from repro.nn.serialization import load_module, save_module
 from repro.sim.camera import OBSERVATION_DIM, RAW_FEATURE_DIM
@@ -45,10 +47,13 @@ __all__ = [
     "SystemEvaluation",
     "FamilyCell",
     "get_trained_policies",
+    "lane_generators",
+    "roll_lane_chunk",
     "evaluate_system",
     "evaluate_all_systems",
     "evaluate_system_families",
     "expert_oracle_families",
+    "oracle_episode_outcome",
 ]
 
 DEFAULT_FLEET_SIZE = 32
@@ -158,6 +163,92 @@ class SystemEvaluation:
         return trajectory_metrics(executed, reference)
 
 
+def lane_generators(
+    seed: int, lane_index: int
+) -> tuple[np.random.Generator, np.random.Generator]:
+    """The (env, feedback) generators for one evaluation lane.
+
+    Keyed ``[seed, 1, lane]`` / ``[seed, 2, lane]`` so the two streams of a
+    lane are distinct from each other *and* from every stream of every other
+    seed.  (The historical ``[seed + 1, lane]`` / ``[seed + 2, lane]`` keying
+    made seed ``S``'s feedback streams bit-identical to seed ``S + 1``'s env
+    streams, so adjacent evaluation seeds were not independent.)
+    """
+    return (
+        np.random.default_rng([seed, 1, lane_index]),
+        np.random.default_rng([seed, 2, lane_index]),
+    )
+
+
+def roll_lane_chunk(
+    policies: TrainedPolicies,
+    system: str,
+    layout: SceneLayout,
+    seed: int,
+    lane_jobs: list[list],
+    lane_start: int = 0,
+    fleet_size: int = DEFAULT_FLEET_SIZE,
+    max_frames: int = MAX_EPISODE_FRAMES,
+) -> list[list[EpisodeTrace]]:
+    """Roll a contiguous block of evaluation lanes; one trace list per lane.
+
+    ``lane_jobs[k]`` is the job (task list) of global lane ``lane_start + k``
+    and each lane's randomness comes from :func:`lane_generators` at its
+    *global* index, so a block's results do not depend on how the lane space
+    was split.  This is the unit of work both the in-process path and the
+    :mod:`repro.analysis.parallel` worker processes execute -- sharded and
+    sequential evaluation run literally the same code.
+    """
+    variation: CorkiVariation | None = None
+    if system != "roboflamingo":
+        variation = VARIATIONS[system]
+
+    envs = []
+    lanes = []
+    for offset, tasks in enumerate(lane_jobs):
+        env_rng, feedback_rng = lane_generators(seed, lane_start + offset)
+        envs.append(ManipulationEnv(layout, env_rng))
+        lanes.append(
+            FleetLane(
+                tasks=list(tasks),
+                variation=variation,
+                rng=feedback_rng,
+                actuation=TRACKING_30HZ if variation is None else TRACKING_100HZ,
+                max_frames=max_frames,
+            )
+        )
+
+    runner = FleetRunner(baseline=policies.baseline, corki=policies.corki)
+    per_lane: list[list[EpisodeTrace]] = []
+    chunk = max(1, fleet_size)
+    for start in range(0, len(lanes), chunk):
+        fleet = BatchedManipulationEnv(envs[start : start + chunk])
+        per_lane.extend(runner.run(fleet, lanes[start : start + chunk]))
+    return per_lane
+
+
+def _roll_lanes(
+    policies: TrainedPolicies,
+    system: str,
+    layout: SceneLayout,
+    seed: int,
+    lane_jobs: list[list],
+    fleet_size: int,
+    workers: int,
+) -> list[list[EpisodeTrace]]:
+    """Dispatch lanes in-process (``workers <= 1``) or across a worker pool."""
+    if workers <= 1:
+        return roll_lane_chunk(
+            policies, system, layout, seed, lane_jobs, fleet_size=fleet_size
+        )
+    from repro.analysis.parallel import run_sharded
+
+    return run_sharded(
+        policies, system, layout, seed, lane_jobs,
+        fleet_size=fleet_size, workers=workers,
+    )
+
+
 def evaluate_system(
     policies: TrainedPolicies,
     system: str,
@@ -165,45 +256,23 @@ def evaluate_system(
     jobs: int,
     seed: int = 1234,
     fleet_size: int = DEFAULT_FLEET_SIZE,
+    workers: int = 1,
 ) -> SystemEvaluation:
     """Roll out ``jobs`` five-task jobs for one system on one layout.
 
     ``system`` is ``"roboflamingo"`` or a Corki variation name.  Jobs run as
-    fleet lanes with batched inference, up to ``fleet_size`` at a time.
-    Every lane's scene and feedback randomness is seeded from
-    ``(seed, lane)``, so all systems see identical job sequences and scene
-    randomness for a given seed and comparisons are paired -- and the result
-    does not depend on ``fleet_size``.
+    fleet lanes with batched inference, up to ``fleet_size`` at a time, and
+    ``workers > 1`` shards the lanes across OS processes.  Every lane's scene
+    and feedback randomness is seeded from ``(seed, lane)``, so all systems
+    see identical job sequences and scene randomness for a given seed and
+    comparisons are paired -- and the result depends on neither
+    ``fleet_size`` nor ``workers``.
     """
     job_rng = np.random.default_rng(seed)  # drives job/task sampling only
-
-    variation: CorkiVariation | None = None
-    if system != "roboflamingo":
-        variation = VARIATIONS[system]
-
-    envs = []
-    lanes = []
-    for lane_index in range(jobs):
-        tasks = sample_job(job_rng, JOB_LENGTH)
-        envs.append(ManipulationEnv(layout, np.random.default_rng([seed + 1, lane_index])))
-        lanes.append(
-            FleetLane(
-                tasks=tasks,
-                variation=variation,
-                rng=np.random.default_rng([seed + 2, lane_index]),
-                actuation=TRACKING_30HZ if variation is None else TRACKING_100HZ,
-            )
-        )
-
-    runner = FleetRunner(baseline=policies.baseline, corki=policies.corki)
-    completed = []
-    traces: list[EpisodeTrace] = []
-    for start in range(0, jobs, max(1, fleet_size)):
-        stop = start + max(1, fleet_size)
-        fleet = BatchedManipulationEnv(envs[start:stop])
-        for job_traces in runner.run(fleet, lanes[start:stop]):
-            traces.extend(job_traces)
-            completed.append(sum(trace.success for trace in job_traces))
+    lane_jobs = [sample_job(job_rng, JOB_LENGTH) for _ in range(jobs)]
+    per_lane = _roll_lanes(policies, system, layout, seed, lane_jobs, fleet_size, workers)
+    completed = [sum(trace.success for trace in job_traces) for job_traces in per_lane]
+    traces = [trace for job_traces in per_lane for trace in job_traces]
     return SystemEvaluation(
         name=system,
         job_stats=job_statistics(completed, JOB_LENGTH),
@@ -219,24 +288,29 @@ def evaluate_all_systems(
     seed: int = 1234,
     systems: list[str] | None = None,
     fleet_size: int = DEFAULT_FLEET_SIZE,
+    workers: int = 1,
 ) -> dict[str, SystemEvaluation]:
     """Evaluate the baseline and every Corki variation on one layout.
 
     Corki-SW shares Corki-5's episodes (the paper: accuracy is identical
-    because only the control substrate differs), so it is aliased rather
-    than re-rolled.
+    because only the control substrate differs), so its rollout is reused
+    rather than re-rolled.  It gets its *own* trace and count lists -- the
+    underlying traces are shared read-only, but a caller mutating one
+    system's lists must not silently corrupt the other's.
     """
     names = systems or ["roboflamingo", "corki-1", "corki-3", "corki-5", "corki-7", "corki-9", "corki-adap"]
     results: dict[str, SystemEvaluation] = {}
     for name in names:
-        results[name] = evaluate_system(policies, name, layout, jobs, seed, fleet_size=fleet_size)
+        results[name] = evaluate_system(
+            policies, name, layout, jobs, seed, fleet_size=fleet_size, workers=workers
+        )
     if systems is None:
         corki5 = results["corki-5"]
         results["corki-sw"] = SystemEvaluation(
             name="corki-sw",
             job_stats=corki5.job_stats,
-            traces=corki5.traces,
-            completed_counts=corki5.completed_counts,
+            traces=list(corki5.traces),
+            completed_counts=list(corki5.completed_counts),
         )
     return results
 
@@ -289,74 +363,80 @@ def evaluate_system_families(
     episodes_per_task: int = 2,
     seed: int = 4321,
     fleet_size: int = DEFAULT_FLEET_SIZE,
+    workers: int = 1,
 ) -> dict[str, FamilyCell]:
     """Per-family success matrix row for one system (the Tbl. 2-style view).
 
     Every registry task runs ``episodes_per_task`` single-task episodes as
-    fleet lanes tagged with their family (``FleetLane.label``), rolled
-    through :class:`FleetRunner` in ``fleet_size`` chunks.  Lane seeding
+    fleet lanes, rolled through :class:`FleetRunner` in ``fleet_size``
+    chunks (sharded across processes when ``workers > 1``).  Lane seeding
     follows :func:`evaluate_system` -- ``(seed, lane)`` derived generators --
-    so the matrix is deterministic and fleet-size invariant.
+    so the matrix is deterministic, fleet-size invariant and worker-count
+    invariant.
     """
-    variation: CorkiVariation | None = None
-    if system != "roboflamingo":
-        variation = VARIATIONS[system]
-
     specs = [task for task in TASKS for _ in range(episodes_per_task)]
-    runner = FleetRunner(baseline=policies.baseline, corki=policies.corki)
-    outcomes: list[tuple[str, str, bool]] = []
-    chunk = max(1, fleet_size)
-    for start in range(0, len(specs), chunk):
-        tasks = specs[start : start + chunk]
-        envs = []
-        lanes = []
-        for offset, task in enumerate(tasks):
-            lane_index = start + offset
-            envs.append(ManipulationEnv(layout, np.random.default_rng([seed + 1, lane_index])))
-            lanes.append(
-                FleetLane(
-                    tasks=[task],
-                    variation=variation,
-                    rng=np.random.default_rng([seed + 2, lane_index]),
-                    actuation=TRACKING_30HZ if variation is None else TRACKING_100HZ,
-                    label=task.family,
-                )
-            )
-        fleet = BatchedManipulationEnv(envs)
-        for lane, lane_traces in zip(lanes, runner.run(fleet, lanes)):
-            outcomes.append(
-                (lane.label, lane.tasks[0].instruction, bool(lane_traces[0].success))
-            )
+    lane_jobs = [[task] for task in specs]
+    per_lane = _roll_lanes(policies, system, layout, seed, lane_jobs, fleet_size, workers)
+    outcomes = [
+        (task.family, task.instruction, bool(lane_traces[0].success))
+        for task, lane_traces in zip(specs, per_lane)
+    ]
     return _aggregate_families(outcomes)
+
+
+def oracle_episode_outcome(
+    layout: SceneLayout, index: int, episode: int, seed: int = 0
+) -> tuple[str, str, bool]:
+    """One jitter-free scripted-expert episode of registry task ``index``.
+
+    Seeded ``[seed, index, episode]`` -- keyed on the episode's identity, not
+    on any draw order -- so any subset of the oracle sweep (e.g. one worker's
+    shard) reproduces exactly the episodes the full sweep would run.
+    """
+    task = TASKS[index]
+    env = ManipulationEnv(
+        layout,
+        np.random.default_rng([seed, index, episode]),
+        actuation=PERFECT_ACTUATION,
+        camera_noise_std=0.0,
+    )
+    env.reset(task)
+    assert env.scene is not None
+    trajectory = render_keyframes(
+        env.scene.ee_pose, task.expert(env.scene), env.frame_dt
+    )
+    for t in range(1, len(trajectory)):
+        env.step(trajectory.poses[t], bool(trajectory.gripper_open[t]))
+    return (task.family, task.instruction, env.succeeded)
 
 
 def expert_oracle_families(
     layout: SceneLayout,
     episodes_per_task: int = 2,
     seed: int = 0,
+    workers: int = 1,
 ) -> dict[str, FamilyCell]:
     """Scripted-expert (jitter-free) success per family: the oracle matrix.
 
     Every registry task must score 1.0 here by construction -- its expert
     keyframes are supposed to achieve its own ``success`` predicate from any
     sampled scene.  A lower rate means a predicate, expert script or scene
-    mechanic drifted; the CI task-suite smoke job gates on exactly this.
+    mechanic drifted; the CI task-suite smoke job gates on exactly this
+    (sharded across ``workers`` processes there, which cannot change the
+    matrix: episode seeding is keyed on task index and episode number).
     """
-    outcomes: list[tuple[str, str, bool]] = []
-    for index, task in enumerate(TASKS):
-        for episode in range(episodes_per_task):
-            env = ManipulationEnv(
-                layout,
-                np.random.default_rng([seed, index, episode]),
-                actuation=PERFECT_ACTUATION,
-                camera_noise_std=0.0,
-            )
-            env.reset(task)
-            assert env.scene is not None
-            trajectory = render_keyframes(
-                env.scene.ee_pose, task.expert(env.scene), env.frame_dt
-            )
-            for t in range(1, len(trajectory)):
-                env.step(trajectory.poses[t], bool(trajectory.gripper_open[t]))
-            outcomes.append((task.family, task.instruction, env.succeeded))
+    pairs = [
+        (index, episode)
+        for index in range(len(TASKS))
+        for episode in range(episodes_per_task)
+    ]
+    if workers <= 1:
+        outcomes = [
+            oracle_episode_outcome(layout, index, episode, seed)
+            for index, episode in pairs
+        ]
+    else:
+        from repro.analysis.parallel import run_oracle_sharded
+
+        outcomes = run_oracle_sharded(layout, pairs, seed, workers)
     return _aggregate_families(outcomes)

@@ -1,0 +1,388 @@
+"""Multi-process sharded fleet evaluation: the scale-out path.
+
+:mod:`repro.analysis.evaluation` rolls jobs as fleet lanes in sequential
+``fleet_size`` chunks.  This module lifts that loop across OS processes: the
+lane space is split into contiguous shards, each shard ships to a worker as
+a :class:`LaneChunk`, and the workers execute *the same*
+:func:`repro.analysis.evaluation.roll_lane_chunk` the in-process path runs.
+Because every lane's randomness is keyed on its global index
+(``lane_generators`` -- ``[seed, 1, lane]`` / ``[seed, 2, lane]``) and fleet
+results are fleet-size invariant, the merged output is byte-identical to a
+single-process run for any worker count; ``tests/test_parallel.py`` asserts
+this for Tbl. 1 and the per-family matrix.
+
+Design notes:
+
+* **Spawn, not fork.**  Workers start from a fresh interpreter, so they
+  never inherit BLAS thread pools, open file handles or module state from
+  the parent -- the only inputs a worker sees are its initializer payload
+  and its chunks, which keeps the determinism contract auditable.
+* **Policies ship once.**  Trained policies serialize to npz bytes (the
+  ``nn/serialization.py`` state-dict format) in a :class:`PolicyArchive`
+  passed to the pool initializer; each worker reconstructs them a single
+  time, not per chunk.  npz round-trips float64 exactly, so worker-side
+  inference is bitwise equal to the parent's.
+* **Tasks travel as instruction strings.**  ``Task`` objects close over
+  lambdas and cannot pickle; workers look the instructions back up in their
+  own registry (``task_by_instruction``).
+* **Failures surface.**  A chunk that raises in a worker propagates the
+  exception through ``Pool.map`` -- lanes are never silently dropped -- and
+  the merge re-checks that exactly one trace list came back per lane.
+
+The pool is cached per (policies, worker count) so a sweep that evaluates
+many systems with the same trained policies (Tbl. 1's seven rollouts) pays
+the spawn cost once.
+"""
+
+from __future__ import annotations
+
+import atexit
+import io
+import multiprocessing
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.runner import MAX_EPISODE_FRAMES, EpisodeTrace
+from repro.nn.serialization import load_state_dict, state_dict
+from repro.sim.world import SceneLayout
+
+__all__ = [
+    "PolicyArchive",
+    "LaneChunk",
+    "OracleChunk",
+    "EvaluationPool",
+    "archive_policies",
+    "restore_policies",
+    "shard_lanes",
+    "run_sharded",
+    "run_oracle_sharded",
+    "shutdown_pools",
+]
+
+
+# -- policy shipment -----------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PolicyArchive:
+    """Trained policies serialized once for shipment to every worker."""
+
+    baseline_npz: bytes
+    corki_npz: bytes
+    normalizer_scale: bytes
+    token_dim: int
+    hidden_dim: int
+    demos_per_task: int
+    epochs: int
+
+
+def _module_npz(module) -> bytes:
+    buffer = io.BytesIO()
+    np.savez(buffer, **state_dict(module))
+    return buffer.getvalue()
+
+
+def _load_module_npz(module, payload: bytes) -> None:
+    with np.load(io.BytesIO(payload)) as archive:
+        load_state_dict(module, dict(archive.items()))
+
+
+def archive_policies(policies) -> PolicyArchive:
+    """Serialize a :class:`TrainedPolicies` pair to one picklable payload."""
+    scale = io.BytesIO()
+    np.save(scale, policies.baseline.normalizer.scale)
+    return PolicyArchive(
+        baseline_npz=_module_npz(policies.baseline),
+        corki_npz=_module_npz(policies.corki),
+        normalizer_scale=scale.getvalue(),
+        token_dim=policies.baseline.token_dim,
+        hidden_dim=policies.baseline.hidden_dim,
+        demos_per_task=policies.demos_per_task,
+        epochs=policies.epochs,
+    )
+
+
+def restore_policies(archive: PolicyArchive):
+    """Reconstruct the trained policies from an archive (worker side)."""
+    from repro.analysis.evaluation import TrainedPolicies
+    from repro.core.policy import BaselinePolicy, CorkiPolicy
+    from repro.sim.camera import OBSERVATION_DIM
+    from repro.sim.dataset import ActionNormalizer
+    from repro.sim.tasks import TASKS
+
+    # The init weights are irrelevant -- load_state_dict overwrites every
+    # parameter, and it raises on any missing/mis-shaped entry.
+    rng = np.random.default_rng(0)
+    baseline = BaselinePolicy(
+        OBSERVATION_DIM, len(TASKS), rng,
+        token_dim=archive.token_dim, hidden_dim=archive.hidden_dim,
+    )
+    corki = CorkiPolicy(
+        OBSERVATION_DIM, len(TASKS), rng,
+        token_dim=archive.token_dim, hidden_dim=archive.hidden_dim,
+    )
+    _load_module_npz(baseline, archive.baseline_npz)
+    _load_module_npz(corki, archive.corki_npz)
+    scale = np.load(io.BytesIO(archive.normalizer_scale))
+    baseline.set_normalizer(ActionNormalizer(scale))
+    corki.set_normalizer(ActionNormalizer(scale))
+    return TrainedPolicies(baseline, corki, archive.demos_per_task, archive.epochs)
+
+
+# -- chunk specifications ------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class LaneChunk:
+    """One worker's contiguous slice of an evaluation's lane space.
+
+    ``instructions[k]`` holds the instruction strings of the job on global
+    lane ``lane_start + k``; the worker resolves them against its own task
+    registry and rolls the block with ``roll_lane_chunk``.
+    """
+
+    system: str
+    layout: SceneLayout
+    seed: int
+    lane_start: int
+    instructions: tuple[tuple[str, ...], ...]
+    fleet_size: int
+    max_frames: int = MAX_EPISODE_FRAMES
+
+
+@dataclass(frozen=True)
+class OracleChunk:
+    """A shard of the expert-oracle sweep: (task index, episode) pairs."""
+
+    layout: SceneLayout
+    seed: int
+    pairs: tuple[tuple[int, int], ...]
+
+
+# -- worker side ---------------------------------------------------------------
+
+_WORKER_POLICIES = None
+
+
+def _init_worker(archive: PolicyArchive | None) -> None:
+    """Pool initializer: restore the shipped policies exactly once."""
+    global _WORKER_POLICIES
+    _WORKER_POLICIES = None if archive is None else restore_policies(archive)
+
+
+def _warm_up(_: int) -> bool:
+    """Near-no-op task that forces a worker through import + initializer.
+
+    The brief hold keeps an already-warm worker from draining the whole
+    warm-up queue before its slower siblings finish spawning (pool tasks
+    are pulled from one shared queue, so per-worker delivery is otherwise
+    not guaranteed).
+    """
+    import time
+
+    time.sleep(0.05)
+    return True
+
+
+def _run_lane_chunk(chunk: LaneChunk) -> list[list[EpisodeTrace]]:
+    from repro.analysis.evaluation import roll_lane_chunk
+    from repro.sim.tasks import task_by_instruction
+
+    if _WORKER_POLICIES is None:
+        raise RuntimeError("worker pool was started without a policy archive")
+    lane_jobs = [
+        [task_by_instruction(instruction) for instruction in job]
+        for job in chunk.instructions
+    ]
+    return roll_lane_chunk(
+        _WORKER_POLICIES,
+        chunk.system,
+        chunk.layout,
+        chunk.seed,
+        lane_jobs,
+        lane_start=chunk.lane_start,
+        fleet_size=chunk.fleet_size,
+        max_frames=chunk.max_frames,
+    )
+
+
+def _run_oracle_chunk(chunk: OracleChunk) -> list[tuple[str, str, bool]]:
+    from repro.analysis.evaluation import oracle_episode_outcome
+
+    return [
+        oracle_episode_outcome(chunk.layout, index, episode, chunk.seed)
+        for index, episode in chunk.pairs
+    ]
+
+
+# -- parent side ---------------------------------------------------------------
+
+
+class EvaluationPool:
+    """A warm spawn-context worker pool bound to one set of policies.
+
+    Workers restore the archived policies in their initializer, so
+    dispatching a chunk costs only the chunk's own pickling.  Use as a
+    context manager, or rely on the module-level cache (:func:`run_sharded`)
+    which keeps one pool alive per (policies, worker count).
+    """
+
+    def __init__(self, archive: PolicyArchive | None, workers: int):
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.workers = workers
+        context = multiprocessing.get_context("spawn")
+        self._pool = context.Pool(
+            processes=workers, initializer=_init_worker, initargs=(archive,)
+        )
+
+    def warm_up(self) -> None:
+        """Best-effort warm-up: push every worker through import + restore.
+
+        Dispatches two brief hold tasks per worker slot; because each task
+        occupies its worker for a moment, the queue drains across all ready
+        workers instead of being swallowed by the first one.  Benchmarks
+        call this (plus a small real rollout per worker) so the timed
+        region measures chunk execution, not interpreter start-up; best-of
+        rounds absorb whatever cold start slips through.
+        """
+        self._pool.map(_warm_up, range(2 * self.workers), chunksize=1)
+
+    def run_chunks(self, chunks: Sequence[LaneChunk]) -> list[list[list[EpisodeTrace]]]:
+        """Execute lane chunks; a chunk that fails raises, never drops lanes."""
+        return self._pool.map(_run_lane_chunk, list(chunks), chunksize=1)
+
+    def run_oracle_chunks(
+        self, chunks: Sequence[OracleChunk]
+    ) -> list[list[tuple[str, str, bool]]]:
+        return self._pool.map(_run_oracle_chunk, list(chunks), chunksize=1)
+
+    def close(self) -> None:
+        self._pool.terminate()
+        self._pool.join()
+
+    def __enter__(self) -> "EvaluationPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+# Cache value keeps a strong reference to the policies: the key uses their
+# id(), which stays unambiguous only while the object is alive.
+_POOL_CACHE: dict[tuple[int, int], tuple[object, EvaluationPool]] = {}
+
+
+def _cached_pool(policies, workers: int) -> EvaluationPool:
+    """One pool per (policies identity, worker count).
+
+    Policies are frozen after training in this codebase, so identity is a
+    sound cache key; a sweep evaluating seven systems with the same weights
+    spawns its workers once.  Pools are torn down atexit (or explicitly via
+    :func:`shutdown_pools`).
+    """
+    key = (0 if policies is None else id(policies), workers)
+    entry = _POOL_CACHE.get(key)
+    if entry is None:
+        if not _POOL_CACHE:
+            atexit.register(shutdown_pools)
+        archive = None if policies is None else archive_policies(policies)
+        entry = (policies, EvaluationPool(archive, workers))
+        _POOL_CACHE[key] = entry
+    return entry[1]
+
+
+def shutdown_pools() -> None:
+    """Terminate every cached worker pool (idempotent)."""
+    while _POOL_CACHE:
+        _, (_, pool) = _POOL_CACHE.popitem()
+        pool.close()
+
+
+def shard_lanes(total: int, workers: int) -> list[tuple[int, int]]:
+    """Contiguous, near-equal ``[start, stop)`` lane ranges, one per worker.
+
+    Never returns an empty range: with fewer lanes than workers the surplus
+    workers simply receive no chunk.  Splitting is pure bookkeeping -- lane
+    randomness is keyed on global lane index, so *any* partition merges back
+    to the identical result.
+    """
+    workers = max(1, min(workers, total))
+    base, extra = divmod(total, workers)
+    ranges: list[tuple[int, int]] = []
+    start = 0
+    for worker in range(workers):
+        size = base + (1 if worker < extra else 0)
+        if size:
+            ranges.append((start, start + size))
+            start += size
+    return ranges
+
+
+def run_sharded(
+    policies,
+    system: str,
+    layout: SceneLayout,
+    seed: int,
+    lane_jobs: list[list],
+    fleet_size: int,
+    workers: int,
+    max_frames: int = MAX_EPISODE_FRAMES,
+) -> list[list[EpisodeTrace]]:
+    """Roll ``lane_jobs`` across a worker pool; traces merge in lane order.
+
+    Byte-identical to the in-process
+    :func:`repro.analysis.evaluation.roll_lane_chunk` over the same lanes.
+    """
+    chunks = [
+        LaneChunk(
+            system=system,
+            layout=layout,
+            seed=seed,
+            lane_start=start,
+            instructions=tuple(
+                tuple(task.instruction for task in job)
+                for job in lane_jobs[start:stop]
+            ),
+            fleet_size=fleet_size,
+            max_frames=max_frames,
+        )
+        for start, stop in shard_lanes(len(lane_jobs), workers)
+    ]
+    if not chunks:  # zero lanes: same empty result the in-process path yields
+        return []
+    # Fewer lanes than workers -> fewer chunks; don't spawn (and archive-
+    # restore into) workers that could never receive one.
+    results = _cached_pool(policies, min(workers, len(chunks))).run_chunks(chunks)
+    merged = [lane_traces for chunk_result in results for lane_traces in chunk_result]
+    if len(merged) != len(lane_jobs):
+        raise RuntimeError(
+            f"sharded evaluation returned {len(merged)} lanes for "
+            f"{len(lane_jobs)} jobs; a worker dropped lanes"
+        )
+    return merged
+
+
+def run_oracle_sharded(
+    layout: SceneLayout,
+    pairs: Sequence[tuple[int, int]],
+    seed: int,
+    workers: int,
+) -> list[tuple[str, str, bool]]:
+    """Shard the expert-oracle sweep; outcomes merge in sweep order."""
+    chunks = [
+        OracleChunk(layout=layout, seed=seed, pairs=tuple(pairs[start:stop]))
+        for start, stop in shard_lanes(len(pairs), workers)
+    ]
+    if not chunks:
+        return []
+    results = _cached_pool(None, min(workers, len(chunks))).run_oracle_chunks(chunks)
+    merged = [outcome for chunk_result in results for outcome in chunk_result]
+    if len(merged) != len(pairs):
+        raise RuntimeError(
+            f"sharded oracle sweep returned {len(merged)} outcomes for "
+            f"{len(pairs)} episodes; a worker dropped episodes"
+        )
+    return merged

@@ -6,10 +6,11 @@ Usage::
     repro-experiments tbl1 fig13     # a subset
     repro-experiments --list
     repro-experiments --fleet-size 64 tbl1   # wider evaluation fleets
+    repro-experiments --workers 4 tbl1       # shard fleets across 4 processes
     repro-experiments bench                  # fleet throughput measurement
     repro-experiments bench --json artifacts/BENCH_fleet.json
     repro-experiments suite                  # expert-oracle task-suite health gate
-    repro-experiments suite --episodes 1 --layout seen
+    repro-experiments suite --episodes 1 --layout seen --workers 2
     REPRO_PROFILE=full repro-experiments tbl1
 """
 
@@ -53,6 +54,13 @@ def main(argv: list[str] | None = None) -> int:
              "(default: the profile's fleet_size; 1 disables batching)",
     )
     parser.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="shard each evaluation's fleet lanes across N OS processes; "
+             "results are byte-identical to --workers 1 (default: the "
+             "profile's workers; for 'bench', measures the sharded axis at "
+             "exactly N workers)",
+    )
+    parser.add_argument(
         "--json", default=None, metavar="PATH",
         help="('bench' only) also write the measurement as a machine-readable "
              "JSON artifact (the BENCH_fleet.json schema the CI gate reads)",
@@ -71,6 +79,10 @@ def main(argv: list[str] | None = None) -> int:
         print("available experiments:", ", ".join(_ORDER), "(plus: bench, suite)")
         return 0
 
+    if args.workers is not None and args.workers < 1:
+        print("--workers must be >= 1", file=sys.stderr)
+        return 2
+
     if "bench" in args.experiments:
         if len(args.experiments) > 1:
             print(
@@ -78,7 +90,7 @@ def main(argv: list[str] | None = None) -> int:
                 file=sys.stderr,
             )
             return 2
-        return _run_bench(args.json)
+        return _run_bench(args.json, args.workers)
 
     if "suite" in args.experiments:
         if len(args.experiments) > 1:
@@ -87,7 +99,12 @@ def main(argv: list[str] | None = None) -> int:
                 file=sys.stderr,
             )
             return 2
-        return _run_suite(args.episodes, args.layout)
+        suite_workers = (
+            args.workers
+            if args.workers is not None
+            else get_profile(args.profile).workers
+        )
+        return _run_suite(args.episodes, args.layout, suite_workers)
 
     requested = _ORDER if args.experiments == ["all"] else args.experiments
     unknown = [name for name in requested if name not in EXPERIMENTS]
@@ -102,6 +119,8 @@ def main(argv: list[str] | None = None) -> int:
             print("--fleet-size must be >= 1", file=sys.stderr)
             return 2
         profile = dataclasses.replace(profile, fleet_size=args.fleet_size)
+    if args.workers is not None:
+        profile = dataclasses.replace(profile, workers=args.workers)
     for name in requested:
         started = time.perf_counter()
         print(f"=== {name} (profile: {profile.name}) ===")
@@ -116,13 +135,16 @@ def main(argv: list[str] | None = None) -> int:
     return 0
 
 
-def _run_suite(episodes: int, layout_choice: str) -> int:
+def _run_suite(episodes: int, layout_choice: str, workers: int = 1) -> int:
     """Expert-oracle task-suite health gate (the CI smoke job's entry point).
 
     Rolls the jitter-free scripted expert over every registry task and fails
     (exit 1) if any family's success rate drops below 1.0 -- the cheap,
     training-free way to catch a predicate, expert script or scene mechanic
-    drifting apart.
+    drifting apart.  ``workers > 1`` shards the sweep across processes (CI
+    runs it that way so the sharded path is exercised on every push);
+    episode seeding is keyed on (task, episode), so the matrix is identical
+    for any worker count.
     """
     from repro.analysis.evaluation import expert_oracle_families
     from repro.analysis.reporting import format_table
@@ -142,7 +164,9 @@ def _run_suite(episodes: int, layout_choice: str) -> int:
     print("=== suite (expert-oracle task-suite gate) ===")
     failures: list[str] = []
     for layout in layouts:
-        cells = expert_oracle_families(layout, episodes_per_task=episodes)
+        cells = expert_oracle_families(
+            layout, episodes_per_task=episodes, workers=workers
+        )
         rows = [
             [
                 family,
@@ -174,9 +198,11 @@ def _run_suite(episodes: int, layout_choice: str) -> int:
     return 0
 
 
-def _run_bench(json_path: str | None) -> int:
-    """Measure fleet throughput (episodes/sec across fleet sizes)."""
+def _run_bench(json_path: str | None, workers: int | None = None) -> int:
+    """Measure fleet throughput: episodes/sec across fleet sizes plus the
+    sharded workers axis (``--workers N`` narrows the axis to exactly N)."""
     from repro.analysis.fleet_bench import (
+        SHARDED_WORKERS,
         format_report,
         measure_fleet_throughput,
         write_bench_json,
@@ -184,7 +210,8 @@ def _run_bench(json_path: str | None) -> int:
 
     started = time.perf_counter()
     print("=== bench (fleet throughput) ===")
-    report = measure_fleet_throughput()
+    axis = SHARDED_WORKERS if workers is None else (workers,)
+    report = measure_fleet_throughput(workers=axis)
     print(format_report(report))
     if json_path:
         path = write_bench_json(json_path, report)

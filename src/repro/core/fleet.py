@@ -76,9 +76,6 @@ class FleetLane:
     actuation: ActuationModel | None = None
     max_frames: int = MAX_EPISODE_FRAMES
     chained_start: bool = False
-    label: str | None = None
-    """Free-form grouping tag (the per-family report tags lanes with their
-    task family); the runner itself never reads it."""
 
     def __post_init__(self) -> None:
         if not self.tasks:

@@ -48,6 +48,7 @@ class ExperimentContext:
                 jobs=self.profile.jobs,
                 seed=self.profile.eval_seed,
                 fleet_size=self.profile.fleet_size,
+                workers=self.profile.workers,
             )
         return self._evaluations[scenario]
 

@@ -29,7 +29,11 @@ def family_table(scenario: str, profile: Profile | None = None) -> str:
     context = shared_context(profile)
     resolved = context.profile
     layout = SEEN_LAYOUT if scenario == "seen" else UNSEEN_LAYOUT
-    oracle = expert_oracle_families(layout, episodes_per_task=resolved.family_episodes)
+    oracle = expert_oracle_families(
+        layout,
+        episodes_per_task=resolved.family_episodes,
+        workers=resolved.workers,
+    )
     systems = {
         name: evaluate_system_families(
             context.policies(),
@@ -38,6 +42,7 @@ def family_table(scenario: str, profile: Profile | None = None) -> str:
             episodes_per_task=resolved.family_episodes,
             seed=resolved.eval_seed,
             fleet_size=resolved.fleet_size,
+            workers=resolved.workers,
         )
         for name in _SYSTEMS
     }

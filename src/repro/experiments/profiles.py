@@ -29,6 +29,7 @@ class Profile:
     eval_seed: int = 1234
     fleet_size: int = 32  # jobs rolled out in lock-step per evaluation fleet
     family_episodes: int = 2  # episodes per task in the per-family matrix
+    workers: int = 1  # OS processes sharding each evaluation (1 = in-process)
 
 
 QUICK = Profile(

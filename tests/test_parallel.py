@@ -1,0 +1,250 @@
+"""Tests for multi-process sharded fleet evaluation (`repro.analysis.parallel`).
+
+The headline property: sharding an evaluation across OS processes changes
+*no byte* of its output -- per-lane randomness is keyed on the global lane
+index, policies round-trip through npz exactly, and traces merge in lane
+order.  Asserted here at three levels: raw traces, the per-family matrix,
+and the formatted Tbl. 1 report the CLI prints.
+
+Also covers the satellite bugfixes that share this seam: the re-keyed
+``(seed, lane)`` RNG streams (adjacent seeds used to collide bit-for-bit)
+and Corki-SW's list aliasing in ``evaluate_all_systems``.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+import repro.analysis.evaluation as evaluation
+from repro.analysis.evaluation import (
+    SystemEvaluation,
+    TrainedPolicies,
+    evaluate_all_systems,
+    evaluate_system,
+    evaluate_system_families,
+    expert_oracle_families,
+    lane_generators,
+)
+from repro.analysis.metrics import job_statistics
+from repro.analysis.parallel import (
+    archive_policies,
+    restore_policies,
+    run_sharded,
+    shard_lanes,
+    shutdown_pools,
+)
+from repro.sim.tasks import TASK_FAMILIES, Task
+from repro.sim.world import SEEN_LAYOUT
+
+
+@pytest.fixture(scope="module")
+def trained(tiny_policies):
+    """One TrainedPolicies object per module, so the worker-pool cache
+    (keyed on policy identity) spawns each pool exactly once."""
+    baseline, corki, _ = tiny_policies
+    return TrainedPolicies(baseline, corki, demos_per_task=3, epochs=1)
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _teardown_pools():
+    yield
+    shutdown_pools()
+
+
+def assert_traces_equal(a, b):
+    assert a.success == b.success
+    assert a.frames == b.frames
+    assert a.executed_steps == b.executed_steps
+    assert np.array_equal(a.ee_path, b.ee_path)
+    assert np.array_equal(a.reference_path, b.reference_path)
+    assert np.array_equal(a.gripper_path, b.gripper_path)
+
+
+class TestShardLanes:
+    def test_partition_covers_lane_space(self):
+        ranges = shard_lanes(10, 4)
+        assert ranges == [(0, 3), (3, 6), (6, 8), (8, 10)]
+
+    def test_more_workers_than_lanes_drops_empty_ranges(self):
+        assert shard_lanes(2, 4) == [(0, 1), (1, 2)]
+
+    def test_single_worker(self):
+        assert shard_lanes(5, 1) == [(0, 5)]
+
+
+class TestPolicyArchive:
+    def test_roundtrip_is_bitwise(self, trained):
+        restored = restore_policies(archive_policies(trained))
+        observation = np.linspace(-1.0, 1.0, trained.baseline.observation_dim)
+        original = trained.corki.encode_frame_token(observation, 3)
+        roundtripped = restored.corki.encode_frame_token(observation, 3)
+        assert np.array_equal(original, roundtripped)
+        assert np.array_equal(
+            trained.baseline.normalizer.scale, restored.baseline.normalizer.scale
+        )
+        assert restored.demos_per_task == trained.demos_per_task
+
+
+class TestShardedEvaluation:
+    def test_traces_byte_identical_across_workers(self, trained):
+        sequential = evaluate_system(
+            trained, "corki-5", SEEN_LAYOUT, jobs=5, seed=11, workers=1
+        )
+        sharded = evaluate_system(
+            trained, "corki-5", SEEN_LAYOUT, jobs=5, seed=11, workers=2
+        )
+        assert sharded.completed_counts == sequential.completed_counts
+        assert np.array_equal(
+            sharded.job_stats.success_at, sequential.job_stats.success_at
+        )
+        assert sharded.job_stats.average_length == sequential.job_stats.average_length
+        assert len(sharded.traces) == len(sequential.traces)
+        for a, b in zip(sequential.traces, sharded.traces):
+            assert_traces_equal(a, b)
+
+    def test_more_workers_than_lanes(self, trained):
+        sequential = evaluate_system(
+            trained, "roboflamingo", SEEN_LAYOUT, jobs=2, seed=5, workers=1
+        )
+        sharded = evaluate_system(
+            trained, "roboflamingo", SEEN_LAYOUT, jobs=2, seed=5, workers=4
+        )
+        assert sharded.completed_counts == sequential.completed_counts
+        for a, b in zip(sequential.traces, sharded.traces):
+            assert_traces_equal(a, b)
+
+    def test_family_matrix_identical_across_workers(self, trained):
+        sequential = evaluate_system_families(
+            trained, "roboflamingo", SEEN_LAYOUT, episodes_per_task=1, workers=1
+        )
+        sharded = evaluate_system_families(
+            trained, "roboflamingo", SEEN_LAYOUT, episodes_per_task=1, workers=2
+        )
+        assert set(sharded) == set(TASK_FAMILIES)
+        assert sharded == sequential
+
+    @staticmethod
+    def _crash_sharded(trained):
+        """Dispatch a chunk whose instruction cannot resolve in a worker."""
+        ghost = Task(
+            instruction="summon a task nobody registered",
+            family="ghost",
+            prepare=lambda scene, rng: None,
+            success=lambda before, after: False,
+            expert=lambda scene: [],
+        )
+        run_sharded(
+            trained, "roboflamingo", SEEN_LAYOUT, seed=1,
+            lane_jobs=[[ghost], [ghost]], fleet_size=32, workers=2,
+        )
+
+    def test_worker_crash_surfaces_an_error(self, trained):
+        """A chunk whose instruction cannot resolve raises instead of
+        silently dropping its lanes."""
+        with pytest.raises(KeyError, match="unknown instruction"):
+            self._crash_sharded(trained)
+
+    def test_zero_lanes_yields_empty_result_without_spawning(self, trained):
+        """Matches the in-process path: no lanes -> no traces, no pool."""
+        assert run_sharded(
+            trained, "roboflamingo", SEEN_LAYOUT, seed=1,
+            lane_jobs=[], fleet_size=32, workers=2,
+        ) == []
+
+    def test_pool_survives_a_failed_chunk(self, trained):
+        """After a chunk failure the cached pool still serves good chunks."""
+        with pytest.raises(KeyError):
+            self._crash_sharded(trained)
+        sequential = evaluate_system(
+            trained, "roboflamingo", SEEN_LAYOUT, jobs=2, seed=5, workers=1
+        )
+        sharded = evaluate_system(
+            trained, "roboflamingo", SEEN_LAYOUT, jobs=2, seed=5, workers=2
+        )
+        assert sharded.completed_counts == sequential.completed_counts
+
+
+class TestShardedOracle:
+    def test_oracle_matrix_identical_across_workers(self):
+        sequential = expert_oracle_families(
+            SEEN_LAYOUT, episodes_per_task=1, workers=1
+        )
+        sharded = expert_oracle_families(SEEN_LAYOUT, episodes_per_task=1, workers=2)
+        assert sharded == sequential
+        for cell in sharded.values():
+            assert cell.success_rate == 1.0
+
+
+class TestTbl1ByteIdentity:
+    def test_report_byte_identical_across_workers(self, trained, monkeypatch):
+        """The acceptance criterion: `--workers 4 tbl1` == `--workers 1`.
+
+        Exercised at reduced scale through the same code path the CLI runs
+        (shared context -> evaluate_all_systems -> formatted table), with
+        the profile's trained policies swapped for the tiny test pair.
+        """
+        from repro.experiments.accuracy_tables import accuracy_table
+        from repro.experiments.context import ExperimentContext
+        from repro.experiments.profiles import QUICK
+
+        monkeypatch.setattr(ExperimentContext, "policies", lambda self: trained)
+        base = dataclasses.replace(QUICK, jobs=3)
+        report_1 = accuracy_table("seen", dataclasses.replace(base, workers=1))
+        report_4 = accuracy_table("seen", dataclasses.replace(base, workers=4))
+        assert report_1 == report_4
+
+
+class TestSeedStreamKeying:
+    def test_lane_streams_disjoint_within_a_seed(self):
+        env_rng, feedback_rng = lane_generators(1234, 7)
+        assert not np.array_equal(
+            env_rng.random(16), feedback_rng.random(16)
+        )
+
+    def test_adjacent_seeds_do_not_share_streams(self):
+        """Regression: `[seed + 1, lane]` / `[seed + 2, lane]` keying made
+        seed S's feedback stream identical to seed S+1's env stream."""
+        for seed in (0, 1234, 9999):
+            for lane in (0, 3):
+                _, feedback_here = lane_generators(seed, lane)
+                env_next, _ = lane_generators(seed + 1, lane)
+                assert not np.array_equal(
+                    feedback_here.random(16), env_next.random(16)
+                )
+
+    def test_adjacent_seeds_produce_distinct_episodes(self, trained):
+        """Behavioral form of the regression: evaluations one seed apart
+        must not share scene randomness."""
+        here = evaluate_system(trained, "roboflamingo", SEEN_LAYOUT, jobs=2, seed=21)
+        there = evaluate_system(trained, "roboflamingo", SEEN_LAYOUT, jobs=2, seed=22)
+        assert any(
+            a.ee_path.shape != b.ee_path.shape or not np.array_equal(a.ee_path, b.ee_path)
+            for a, b in zip(here.traces, there.traces)
+        )
+
+
+class TestCorkiSwCopies:
+    def test_corki_sw_lists_are_independent(self, monkeypatch):
+        """Regression: corki-sw aliased corki-5's trace/count *list objects*,
+        so mutating one silently corrupted the other."""
+
+        def fake_evaluate_system(policies, system, layout, jobs, seed=1234, **kwargs):
+            return SystemEvaluation(
+                name=system,
+                job_stats=job_statistics([2], 5),
+                traces=[f"trace-of-{system}"],
+                completed_counts=[2],
+            )
+
+        monkeypatch.setattr(evaluation, "evaluate_system", fake_evaluate_system)
+        results = evaluate_all_systems(None, SEEN_LAYOUT, jobs=1)
+        corki5, corki_sw = results["corki-5"], results["corki-sw"]
+        assert corki_sw.traces == corki5.traces
+        assert corki_sw.completed_counts == corki5.completed_counts
+        assert corki_sw.traces is not corki5.traces
+        assert corki_sw.completed_counts is not corki5.completed_counts
+        corki_sw.traces.append("mutation")
+        corki_sw.completed_counts.append(0)
+        assert corki5.traces == ["trace-of-corki-5"]
+        assert corki5.completed_counts == [2]
