@@ -28,6 +28,7 @@ from repro.analysis.fleet_bench import (
     episodes_per_second,
     fleet_inputs,
     load_bench_json,
+    measure_serving_throughput,
     measure_sharded_throughput,
     recorded_throughput,
 )
@@ -36,6 +37,8 @@ from repro.core import VARIATIONS, run_baseline_fleet, run_corki_fleet
 _FLEET_SIZES = (1, 8, 32, 128)
 _SMOKE_WORKERS = 2
 _SMOKE_LANES_PER_WORKER = 16
+_SMOKE_SERVE_SLOTS = 8
+_SMOKE_SERVE_REQUESTS = 16
 
 
 def _measure_and_record(benchmark, records, policy, n, run, setup):
@@ -119,6 +122,30 @@ def test_fleet_sharded_smoke(bench_policies, fleet_bench_records):
         assert row["workers"] == _SMOKE_WORKERS
         assert row["total_episodes"] == _SMOKE_WORKERS * _SMOKE_LANES_PER_WORKER
         assert row["episodes_per_second"] > 0
+        fleet_bench_records.append({**row, "rounds": 1})
+
+
+def test_fleet_serving_smoke(bench_policies, fleet_bench_records):
+    """Serving-path smoke: requests through the continuous-batching service.
+
+    Runs on every CI push (ignores ``--benchmark-disable``), so request
+    intake, continuous slot refill, cache fill and the cache-hit path are
+    exercised per push, and the serve-axis rows ride into the uploaded
+    ``BENCH_fleet.json`` artifact.  The cached mode must beat the cold mode
+    -- a cache hit that rolls anything is a bug.
+    """
+    rows = measure_serving_throughput(
+        policies=bench_policies,
+        slots=(_SMOKE_SERVE_SLOTS,),
+        requests=_SMOKE_SERVE_REQUESTS,
+        rounds=1,
+    )
+    assert len(rows) == 4  # (baseline, corki-5) x (serve, serve-cached)
+    by_mode = {(row["policy"], row["mode"]): row["episodes_per_second"] for row in rows}
+    for policy in ("baseline", "corki-5"):
+        assert by_mode[(policy, "serve")] > 0
+        assert by_mode[(policy, "serve-cached")] > by_mode[(policy, "serve")]
+    for row in rows:
         fleet_bench_records.append({**row, "rounds": 1})
 
 

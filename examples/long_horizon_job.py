@@ -5,7 +5,12 @@ metric requires, and reports per-task outcomes for the baseline and Corki-5
 along with the inference cost each incurred.
 
 Run:  python examples/long_horizon_job.py
+
+``REPRO_EXAMPLE_SCALE=smoke`` runs the same walkthrough in a few seconds
+(fewer demos/epochs, small heads) for the examples smoke test.
 """
+
+import os
 
 import numpy as np
 
@@ -30,13 +35,17 @@ from repro.sim import (
 )
 
 
+SMOKE = os.environ.get("REPRO_EXAMPLE_SCALE") == "smoke"
+
+
 def main() -> None:
     rng = np.random.default_rng(0)
     print("training policies ...")
-    demos = collect_demonstrations(SEEN_LAYOUT, rng, per_task=6)
-    baseline = BaselinePolicy(OBSERVATION_DIM, len(TASKS), rng)
-    corki = CorkiPolicy(OBSERVATION_DIM, len(TASKS), rng)
-    config = TrainingConfig(epochs=3)
+    demos = collect_demonstrations(SEEN_LAYOUT, rng, per_task=1 if SMOKE else 6)
+    dims = {"token_dim": 16, "hidden_dim": 32} if SMOKE else {}
+    baseline = BaselinePolicy(OBSERVATION_DIM, len(TASKS), rng, **dims)
+    corki = CorkiPolicy(OBSERVATION_DIM, len(TASKS), rng, **dims)
+    config = TrainingConfig(epochs=1 if SMOKE else 3)
     train_baseline(baseline, demos, config)
     train_corki(corki, demos, config)
 

@@ -9,8 +9,13 @@ This walks the full public API in about a minute:
 5. compose the system-level latency/energy model for both pipelines.
 
 Run:  PYTHONPATH=src python examples/quickstart.py
+
+Set ``REPRO_EXAMPLE_SCALE=smoke`` to run the same walkthrough at a few
+seconds' scale (fewer demos/epochs, smaller heads) -- what
+``tests/test_examples.py`` runs so this script cannot rot.
 """
 
+import os
 import time
 
 import numpy as np
@@ -36,17 +41,26 @@ from repro.sim import (
 )
 
 
+# The smoke scale trades fidelity for seconds; it exists so the examples
+# smoke test exercises every code path here on every tier-1 run.
+SMOKE = os.environ.get("REPRO_EXAMPLE_SCALE") == "smoke"
+PER_TASK = 1 if SMOKE else 6
+EPOCHS = 1 if SMOKE else 3
+TOKEN_DIM, HIDDEN_DIM = (16, 32) if SMOKE else (32, 64)
+FLEET_N = 4 if SMOKE else 8
+
+
 def main() -> None:
     rng = np.random.default_rng(0)
 
     print("collecting demonstrations ...")
-    demos = collect_demonstrations(SEEN_LAYOUT, rng, per_task=6)
+    demos = collect_demonstrations(SEEN_LAYOUT, rng, per_task=PER_TASK)
     print(f"  {len(demos)} demonstrations across {len(TASKS)} instructions")
 
     print("training policies (small configuration) ...")
-    baseline = BaselinePolicy(OBSERVATION_DIM, len(TASKS), rng, token_dim=32, hidden_dim=64)
-    corki = CorkiPolicy(OBSERVATION_DIM, len(TASKS), rng, token_dim=32, hidden_dim=64)
-    config = TrainingConfig(epochs=3)
+    baseline = BaselinePolicy(OBSERVATION_DIM, len(TASKS), rng, token_dim=TOKEN_DIM, hidden_dim=HIDDEN_DIM)
+    corki = CorkiPolicy(OBSERVATION_DIM, len(TASKS), rng, token_dim=TOKEN_DIM, hidden_dim=HIDDEN_DIM)
+    config = TrainingConfig(epochs=EPOCHS)
     print(f"  baseline loss: {[round(x, 3) for x in train_baseline(baseline, demos, config)]}")
     print(f"  corki loss:    {[round(x, 3) for x in train_corki(corki, demos, config)]}")
 
@@ -63,7 +77,7 @@ def main() -> None:
     print(f"  corki-5:  success={corki_trace.success}  "
           f"frames={corki_trace.frames}  inferences={corki_trace.inference_count}")
 
-    fleet_n = 8
+    fleet_n = FLEET_N
     print(f"\nbatched fleet evaluation ({fleet_n} Corki-5 lanes in lock-step):")
     envs = [ManipulationEnv(SEEN_LAYOUT, np.random.default_rng(42 + i)) for i in range(fleet_n)]
     rngs = [np.random.default_rng(7 + i) for i in range(fleet_n)]

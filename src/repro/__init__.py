@@ -16,6 +16,8 @@ Subpackages:
     pipeline:    discrete-event latency/energy model of the full system.
     analysis:    metrics, evaluation drivers and report formatting.
     experiments: one driver per paper table/figure.
+    serving:     the evaluation service -- continuous-batching request
+                 admission and the content-addressed result cache.
 """
 
 __version__ = "1.0.0"

@@ -189,24 +189,31 @@ def roll_lane_chunk(
     lane_start: int = 0,
     fleet_size: int = DEFAULT_FLEET_SIZE,
     max_frames: int = MAX_EPISODE_FRAMES,
+    lane_indices: list[int] | None = None,
 ) -> list[list[EpisodeTrace]]:
-    """Roll a contiguous block of evaluation lanes; one trace list per lane.
+    """Roll a block of evaluation lanes; one trace list per lane.
 
     ``lane_jobs[k]`` is the job (task list) of global lane ``lane_start + k``
-    and each lane's randomness comes from :func:`lane_generators` at its
-    *global* index, so a block's results do not depend on how the lane space
-    was split.  This is the unit of work both the in-process path and the
-    :mod:`repro.analysis.parallel` worker processes execute -- sharded and
-    sequential evaluation run literally the same code.
+    -- or of lane ``lane_indices[k]`` when explicit (not necessarily
+    contiguous) indices are given, which is how the result cache re-rolls
+    only the lanes that missed.  Each lane's randomness comes from
+    :func:`lane_generators` at its *global* index, so a block's results do
+    not depend on how the lane space was split.  This is the unit of work
+    both the in-process path and the :mod:`repro.analysis.parallel` worker
+    processes execute -- sharded and sequential evaluation run literally the
+    same code.
     """
     variation: CorkiVariation | None = None
     if system != "roboflamingo":
         variation = VARIATIONS[system]
+    if lane_indices is not None and len(lane_indices) != len(lane_jobs):
+        raise ValueError("lane_indices must map one global index per job")
 
     envs = []
     lanes = []
     for offset, tasks in enumerate(lane_jobs):
-        env_rng, feedback_rng = lane_generators(seed, lane_start + offset)
+        index = lane_start + offset if lane_indices is None else lane_indices[offset]
+        env_rng, feedback_rng = lane_generators(seed, index)
         envs.append(ManipulationEnv(layout, env_rng))
         lanes.append(
             FleetLane(
@@ -235,18 +242,62 @@ def _roll_lanes(
     lane_jobs: list[list],
     fleet_size: int,
     workers: int,
+    lane_indices: list[int] | None = None,
 ) -> list[list[EpisodeTrace]]:
     """Dispatch lanes in-process (``workers <= 1``) or across a worker pool."""
     if workers <= 1:
         return roll_lane_chunk(
-            policies, system, layout, seed, lane_jobs, fleet_size=fleet_size
+            policies, system, layout, seed, lane_jobs,
+            fleet_size=fleet_size, lane_indices=lane_indices,
         )
     from repro.analysis.parallel import run_sharded
 
     return run_sharded(
         policies, system, layout, seed, lane_jobs,
-        fleet_size=fleet_size, workers=workers,
+        fleet_size=fleet_size, workers=workers, lane_indices=lane_indices,
     )
+
+
+def _roll_lanes_cached(
+    policies: TrainedPolicies,
+    system: str,
+    layout: SceneLayout,
+    seed: int,
+    lane_jobs: list[list],
+    fleet_size: int,
+    workers: int,
+    cache,
+) -> list[list[EpisodeTrace]]:
+    """:func:`_roll_lanes` behind a content-addressed result cache.
+
+    Each lane is looked up under its full identity -- policy-weight digest,
+    system, layout, seed, *global lane index*, job instructions -- and only
+    the misses are rolled (at their original global indices, so their
+    :func:`lane_generators` streams, and therefore their bytes, match what a
+    cache-less run would produce).  Fresh results are stored back, so a
+    repeated evaluation (``tbl1`` reruns, repeated service requests) is
+    served without re-rolling anything.
+    """
+    if cache is None:
+        return _roll_lanes(
+            policies, system, layout, seed, lane_jobs, fleet_size, workers
+        )
+    keys = [
+        cache.lane_key(policies, system, layout, seed, index, job)
+        for index, job in enumerate(lane_jobs)
+    ]
+    per_lane: list[list[EpisodeTrace] | None] = [cache.get(key) for key in keys]
+    miss_indices = [index for index, hit in enumerate(per_lane) if hit is None]
+    if miss_indices:
+        rolled = _roll_lanes(
+            policies, system, layout, seed,
+            [lane_jobs[index] for index in miss_indices],
+            fleet_size, workers, lane_indices=miss_indices,
+        )
+        for index, traces in zip(miss_indices, rolled):
+            cache.put(keys[index], traces)
+            per_lane[index] = traces
+    return per_lane
 
 
 def evaluate_system(
@@ -257,6 +308,7 @@ def evaluate_system(
     seed: int = 1234,
     fleet_size: int = DEFAULT_FLEET_SIZE,
     workers: int = 1,
+    cache=None,
 ) -> SystemEvaluation:
     """Roll out ``jobs`` five-task jobs for one system on one layout.
 
@@ -266,11 +318,16 @@ def evaluate_system(
     and feedback randomness is seeded from ``(seed, lane)``, so all systems
     see identical job sequences and scene randomness for a given seed and
     comparisons are paired -- and the result depends on neither
-    ``fleet_size`` nor ``workers``.
+    ``fleet_size`` nor ``workers``.  ``cache`` (a
+    :class:`repro.serving.cache.ResultCache`) serves repeated lanes from
+    their content-addressed entries instead of re-rolling; cached results
+    are byte-identical to fresh ones, so the statistics cannot drift.
     """
     job_rng = np.random.default_rng(seed)  # drives job/task sampling only
     lane_jobs = [sample_job(job_rng, JOB_LENGTH) for _ in range(jobs)]
-    per_lane = _roll_lanes(policies, system, layout, seed, lane_jobs, fleet_size, workers)
+    per_lane = _roll_lanes_cached(
+        policies, system, layout, seed, lane_jobs, fleet_size, workers, cache
+    )
     completed = [sum(trace.success for trace in job_traces) for job_traces in per_lane]
     traces = [trace for job_traces in per_lane for trace in job_traces]
     return SystemEvaluation(
@@ -289,6 +346,7 @@ def evaluate_all_systems(
     systems: list[str] | None = None,
     fleet_size: int = DEFAULT_FLEET_SIZE,
     workers: int = 1,
+    cache=None,
 ) -> dict[str, SystemEvaluation]:
     """Evaluate the baseline and every Corki variation on one layout.
 
@@ -296,13 +354,16 @@ def evaluate_all_systems(
     because only the control substrate differs), so its rollout is reused
     rather than re-rolled.  It gets its *own* trace and count lists -- the
     underlying traces are shared read-only, but a caller mutating one
-    system's lists must not silently corrupt the other's.
+    system's lists must not silently corrupt the other's.  ``cache``
+    (see :func:`evaluate_system`) makes reruns of the whole sweep cache
+    hits.
     """
     names = systems or ["roboflamingo", "corki-1", "corki-3", "corki-5", "corki-7", "corki-9", "corki-adap"]
     results: dict[str, SystemEvaluation] = {}
     for name in names:
         results[name] = evaluate_system(
-            policies, name, layout, jobs, seed, fleet_size=fleet_size, workers=workers
+            policies, name, layout, jobs, seed,
+            fleet_size=fleet_size, workers=workers, cache=cache,
         )
     if systems is None:
         corki5 = results["corki-5"]

@@ -24,6 +24,13 @@ Two measurement rules keep the numbers honest:
   with the worker count.  Pool spawn, policy shipment and warm-up are
   setup; chunk dispatch, worker-side env construction, rollout and trace
   merge are the timed region (that *is* the cost of serving a chunk).
+* **The serve axis measures requests, not fleets.**  Rows with
+  ``"mode": "serve"`` push single-episode requests through the evaluation
+  service (:mod:`repro.serving`) with continuous batching at ``fleet_size``
+  slots, caching off: request intake, per-request lane construction,
+  rolling and result assembly are *all* on the clock, because that is what
+  serving a request costs.  ``"mode": "serve-cached"`` repeats the same
+  request set against a warm result cache -- the cache-hit ceiling.
 """
 
 from __future__ import annotations
@@ -36,11 +43,13 @@ from typing import Sequence
 
 import numpy as np
 
-BENCH_SCHEMA = "repro-fleet-bench/2"
+BENCH_SCHEMA = "repro-fleet-bench/3"
 FLEET_SIZES = (1, 8, 32, 128)
 BENCH_FRAMES = 20
 SHARDED_WORKERS = (1, 2, 4)
 SHARDED_LANES_PER_WORKER = 128
+SERVE_SLOTS = (8, 32)
+SERVE_REQUESTS = 64
 DEFAULT_BENCH_PATH = Path(__file__).resolve().parents[3] / "artifacts" / "BENCH_fleet.json"
 
 
@@ -126,13 +135,15 @@ def measure_fleet_throughput(
     frames: int = BENCH_FRAMES,
     rounds: int = 3,
     workers: Sequence[int] | None = SHARDED_WORKERS,
+    serve: Sequence[int] | None = SERVE_SLOTS,
 ) -> dict:
     """Measure baseline and Corki-5 fleet throughput across fleet sizes.
 
     Environments and generators are rebuilt per round outside the timed
     region (see :func:`episodes_per_second`); the timed region is the fleet
     run alone.  ``workers`` appends the sharded multi-process axis
-    (:func:`measure_sharded_throughput`); pass ``None`` to skip it.
+    (:func:`measure_sharded_throughput`) and ``serve`` the request-serving
+    axis (:func:`measure_serving_throughput`); pass ``None`` to skip either.
     Returns the artifact dict (see :data:`BENCH_SCHEMA`); pass it to
     :func:`write_bench_json` to persist.
     """
@@ -183,7 +194,100 @@ def measure_fleet_throughput(
                 rounds=rounds,
             )
         )
+    if serve:
+        results.extend(
+            measure_serving_throughput(
+                policies=(baseline, corki, None),
+                slots=serve,
+                frames=frames,
+                rounds=rounds,
+            )
+        )
     return bench_envelope(results, frames=frames, rounds=rounds)
+
+
+def measure_serving_throughput(
+    policies=None,
+    slots: Sequence[int] = SERVE_SLOTS,
+    requests: int = SERVE_REQUESTS,
+    frames: int = BENCH_FRAMES,
+    rounds: int = 3,
+    seed: int = 211,
+) -> list[dict]:
+    """Sustained requests/second through the evaluation service.
+
+    The workload is ``requests`` single-episode requests cycling the task
+    registry (one request per lane index, so every request has its own
+    random streams), served by an in-process :class:`~repro.serving.service.
+    EvaluationService` with continuous batching at each slot count.  Two
+    rows per (policy, slot count):
+
+    * ``"mode": "serve"`` -- caching disabled; the clock covers the whole
+      request path (intake, lane construction, rolling, result assembly).
+      Since each request is one episode, requests/sec here is episodes/sec
+      on the serving path, directly comparable to the in-process fleet rows.
+    * ``"mode": "serve-cached"`` -- the same requests against a warm
+      content-addressed cache (filled off the clock): the hit-path ceiling.
+    """
+    from repro.analysis.evaluation import TrainedPolicies
+    from repro.serving.service import EpisodeRequest, EvaluationService
+    from repro.sim import TASKS
+
+    baseline, corki, _ = policies if policies is not None else train_bench_policies()
+    trained = TrainedPolicies(baseline, corki, 0, 0)
+    request_sets = {
+        "roboflamingo": [
+            EpisodeRequest(
+                system="roboflamingo",
+                instructions=(TASKS[k % len(TASKS)].instruction,),
+                seed=seed,
+                lane=k,
+                max_frames=frames,
+            )
+            for k in range(requests)
+        ],
+        "corki-5": [
+            EpisodeRequest(
+                system="corki-5",
+                instructions=(TASKS[k % len(TASKS)].instruction,),
+                seed=seed,
+                lane=k,
+                max_frames=frames,
+            )
+            for k in range(requests)
+        ],
+    }
+    rows = []
+    for n in slots:
+        for system, policy_name in (("roboflamingo", "baseline"), ("corki-5", "corki-5")):
+            batch = request_sets[system]
+            cold = EvaluationService(trained, workers=1, slots=n, use_cache=False)
+            cold.serve(batch[:2])  # engine warm-up, off the clock
+            rows.append(
+                {
+                    "policy": policy_name,
+                    "mode": "serve",
+                    "fleet_size": n,
+                    "requests": requests,
+                    "episodes_per_second": round(
+                        episodes_per_second(lambda: cold.serve(batch), requests, rounds), 1
+                    ),
+                }
+            )
+            warm = EvaluationService(trained, workers=1, slots=n)
+            warm.serve(batch)  # fill the cache, off the clock
+            rows.append(
+                {
+                    "policy": policy_name,
+                    "mode": "serve-cached",
+                    "fleet_size": n,
+                    "requests": requests,
+                    "episodes_per_second": round(
+                        episodes_per_second(lambda: warm.serve(batch), requests, rounds), 1
+                    ),
+                }
+            )
+    return rows
 
 
 def measure_sharded_throughput(
@@ -282,19 +386,25 @@ def load_bench_json(path: str | Path) -> dict:
 
 
 def recorded_throughput(
-    report: dict, policy: str, fleet_size: int, workers: int | None = None
+    report: dict,
+    policy: str,
+    fleet_size: int,
+    workers: int | None = None,
+    mode: str | None = None,
 ) -> float | None:
     """Episodes/sec recorded for one (policy, fleet size) cell, if present.
 
-    ``workers=None`` (the default, and what the CI regression gate reads)
-    matches only in-process rows; pass a worker count to read a cell of the
-    sharded axis.
+    ``workers=None, mode=None`` (the defaults, and what the CI regression
+    gate reads) matches only plain in-process rows; pass a worker count to
+    read the sharded axis, or ``mode="serve"`` / ``"serve-cached"`` to read
+    the request-serving axis.
     """
     for entry in report.get("results", []):
         if (
             entry.get("policy") == policy
             and entry.get("fleet_size") == fleet_size
             and entry.get("workers") == workers
+            and entry.get("mode") == mode
         ):
             return float(entry["episodes_per_second"])
     return None
@@ -307,8 +417,12 @@ def format_report(report: dict) -> str:
         f"best of {report['rounds']} rounds)",
         f"{'fleet size':>10}  {'baseline':>10}  {'corki-5':>10}",
     ]
-    in_process = [entry for entry in report["results"] if entry.get("workers") is None]
+    in_process = [
+        entry for entry in report["results"]
+        if entry.get("workers") is None and entry.get("mode") is None
+    ]
     sharded = [entry for entry in report["results"] if entry.get("workers") is not None]
+    served = [entry for entry in report["results"] if entry.get("mode") is not None]
     for n in sorted({entry["fleet_size"] for entry in in_process}):
         base = recorded_throughput(report, "baseline", n)
         cork = recorded_throughput(report, "corki-5", n)
@@ -333,6 +447,24 @@ def format_report(report: dict) -> str:
             cork = recorded_throughput(report, "corki-5", lanes, workers=count)
             lines.append(
                 f"{count:>10}  {lanes:>10}  "
+                f"{'-' if base is None else format(base, '.1f'):>10}  "
+                f"{'-' if cork is None else format(cork, '.1f'):>10}"
+            )
+    if served:
+        lines.append("")
+        lines.append(
+            "Evaluation service (requests/sec; single-episode requests, "
+            "continuous batching)"
+        )
+        lines.append(
+            f"{'slots':>10}  {'mode':>12}  {'baseline':>10}  {'corki-5':>10}"
+        )
+        cells = sorted({(entry["fleet_size"], entry["mode"]) for entry in served})
+        for n, mode in cells:
+            base = recorded_throughput(report, "baseline", n, mode=mode)
+            cork = recorded_throughput(report, "corki-5", n, mode=mode)
+            lines.append(
+                f"{n:>10}  {mode:>12}  "
                 f"{'-' if base is None else format(base, '.1f'):>10}  "
                 f"{'-' if cork is None else format(cork, '.1f'):>10}"
             )

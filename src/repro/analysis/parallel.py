@@ -31,7 +31,20 @@ Design notes:
 
 The pool is cached per (policies, worker count) so a sweep that evaluates
 many systems with the same trained policies (Tbl. 1's seven rollouts) pays
-the spawn cost once.
+the spawn cost once; :func:`lease_pool` hands the same warm pool to
+long-lived callers (the :mod:`repro.serving` evaluation service keeps one
+leased between requests, dispatching chunks asynchronously via
+:meth:`EvaluationPool.submit_chunk` so workers stay saturated while new
+requests arrive).
+
+Determinism guarantees of this module: worker-side rollouts are bitwise
+equal to parent-side rollouts (spawned interpreters, npz-exact policy
+round-trips, the same ``roll_lane_chunk`` code object), lane randomness is
+a pure function of ``(seed, global lane index)`` whether the index comes
+from a contiguous ``lane_start`` range or an explicit ``lane_indices``
+tuple, and merges preserve lane order -- so *any* partition of the lane
+space across *any* number of workers reproduces the single-process result
+byte for byte.
 """
 
 from __future__ import annotations
@@ -55,6 +68,7 @@ __all__ = [
     "EvaluationPool",
     "archive_policies",
     "restore_policies",
+    "lease_pool",
     "shard_lanes",
     "run_sharded",
     "run_oracle_sharded",
@@ -67,7 +81,21 @@ __all__ = [
 
 @dataclass(frozen=True)
 class PolicyArchive:
-    """Trained policies serialized once for shipment to every worker."""
+    """Trained policies serialized once for shipment to every worker.
+
+    ``baseline_npz`` / ``corki_npz`` hold each policy's full state dict as
+    npz bytes (the :mod:`repro.nn.serialization` format -- float64
+    round-trips exactly, which is what makes worker-side inference bitwise
+    equal to the parent's).  ``normalizer_scale`` is the shared
+    :class:`~repro.sim.dataset.ActionNormalizer` scale vector as npy bytes.
+    ``token_dim`` / ``hidden_dim`` let :func:`restore_policies` rebuild
+    modules of the right shape before loading, and ``demos_per_task`` /
+    ``epochs`` carry the training metadata through so a restored
+    :class:`~repro.analysis.evaluation.TrainedPolicies` is indistinguishable
+    from the original.  The archive bytes are also the content the serving
+    layer's cache keys hash (:func:`repro.serving.cache.policy_digest`):
+    any weight change changes the digest.
+    """
 
     baseline_npz: bytes
     corki_npz: bytes
@@ -136,11 +164,15 @@ def restore_policies(archive: PolicyArchive):
 
 @dataclass(frozen=True)
 class LaneChunk:
-    """One worker's contiguous slice of an evaluation's lane space.
+    """One worker's slice of an evaluation's lane space.
 
     ``instructions[k]`` holds the instruction strings of the job on global
-    lane ``lane_start + k``; the worker resolves them against its own task
-    registry and rolls the block with ``roll_lane_chunk``.
+    lane ``lane_start + k`` (or on lane ``lane_indices[k]`` when the chunk
+    carries explicit indices -- the result-cache path rolls only the lanes
+    that missed, which are rarely contiguous); the worker resolves them
+    against its own task registry and rolls the block with
+    ``roll_lane_chunk``.  Lane randomness keys on the *global* index either
+    way, so how the lane space is sliced never changes a lane's bytes.
     """
 
     system: str
@@ -150,6 +182,7 @@ class LaneChunk:
     instructions: tuple[tuple[str, ...], ...]
     fleet_size: int
     max_frames: int = MAX_EPISODE_FRAMES
+    lane_indices: tuple[int, ...] | None = None
 
 
 @dataclass(frozen=True)
@@ -205,6 +238,7 @@ def _run_lane_chunk(chunk: LaneChunk) -> list[list[EpisodeTrace]]:
         lane_start=chunk.lane_start,
         fleet_size=chunk.fleet_size,
         max_frames=chunk.max_frames,
+        lane_indices=chunk.lane_indices,
     )
 
 
@@ -254,6 +288,16 @@ class EvaluationPool:
         """Execute lane chunks; a chunk that fails raises, never drops lanes."""
         return self._pool.map(_run_lane_chunk, list(chunks), chunksize=1)
 
+    def submit_chunk(self, chunk: LaneChunk):
+        """Dispatch one chunk without blocking; returns the ``AsyncResult``.
+
+        This is the continuous-service entry point: the evaluation service
+        queues every pending request's chunk at once and collects results as
+        workers finish, so a slow chunk never idles the rest of the pool.
+        A worker-side failure surfaces from the returned handle's ``get()``.
+        """
+        return self._pool.apply_async(_run_lane_chunk, (chunk,))
+
     def run_oracle_chunks(
         self, chunks: Sequence[OracleChunk]
     ) -> list[list[tuple[str, str, bool]]]:
@@ -301,13 +345,31 @@ def shutdown_pools() -> None:
         pool.close()
 
 
+def lease_pool(policies, workers: int) -> EvaluationPool:
+    """Lease the warm cached pool for ``policies`` at ``workers`` processes.
+
+    The lease is shared, not exclusive: the module-level cache owns the pool
+    and keeps it alive between requests (this is what lets the evaluation
+    service answer a request seconds after the last one without re-spawning
+    interpreters or re-shipping weights).  Do **not** ``close()`` a leased
+    pool -- drop the reference and let :func:`shutdown_pools` (registered
+    atexit) tear it down, or call it explicitly at process shutdown.
+    """
+    return _cached_pool(policies, workers)
+
+
 def shard_lanes(total: int, workers: int) -> list[tuple[int, int]]:
     """Contiguous, near-equal ``[start, stop)`` lane ranges, one per worker.
 
-    Never returns an empty range: with fewer lanes than workers the surplus
-    workers simply receive no chunk.  Splitting is pure bookkeeping -- lane
-    randomness is keyed on global lane index, so *any* partition merges back
-    to the identical result.
+    ``shard_lanes(10, 4)`` -> ``[(0, 3), (3, 6), (6, 8), (8, 10)]``: the
+    first ``total % workers`` ranges carry one extra lane, so sizes differ
+    by at most one.  Never returns an empty range: with fewer lanes than
+    workers the surplus workers simply receive no chunk (callers size their
+    pools by ``len(shard_lanes(...))``, not by ``workers``).  Splitting is
+    pure bookkeeping -- lane randomness is keyed on global lane index, so
+    *any* partition merges back to the identical result; the evaluation
+    service reuses the same splitter over request lists whose global
+    indices it carries separately (``LaneChunk.lane_indices``).
     """
     workers = max(1, min(workers, total))
     base, extra = divmod(total, workers)
@@ -330,12 +392,17 @@ def run_sharded(
     fleet_size: int,
     workers: int,
     max_frames: int = MAX_EPISODE_FRAMES,
+    lane_indices: Sequence[int] | None = None,
 ) -> list[list[EpisodeTrace]]:
     """Roll ``lane_jobs`` across a worker pool; traces merge in lane order.
 
-    Byte-identical to the in-process
+    ``lane_jobs[k]`` rolls on global lane ``k``, or on lane
+    ``lane_indices[k]`` when given (the result-cache path re-rolls only the
+    lanes that missed).  Byte-identical to the in-process
     :func:`repro.analysis.evaluation.roll_lane_chunk` over the same lanes.
     """
+    if lane_indices is not None and len(lane_indices) != len(lane_jobs):
+        raise ValueError("lane_indices must map one global index per job")
     chunks = [
         LaneChunk(
             system=system,
@@ -348,6 +415,9 @@ def run_sharded(
             ),
             fleet_size=fleet_size,
             max_frames=max_frames,
+            lane_indices=(
+                None if lane_indices is None else tuple(lane_indices[start:stop])
+            ),
         )
         for start, stop in shard_lanes(len(lane_jobs), workers)
     ]

@@ -7,10 +7,12 @@ Usage::
     repro-experiments --list
     repro-experiments --fleet-size 64 tbl1   # wider evaluation fleets
     repro-experiments --workers 4 tbl1       # shard fleets across 4 processes
-    repro-experiments bench                  # fleet throughput measurement
+    repro-experiments bench                  # fleet + serving throughput measurement
     repro-experiments bench --json artifacts/BENCH_fleet.json
     repro-experiments suite                  # expert-oracle task-suite health gate
     repro-experiments suite --episodes 1 --layout seen --workers 2
+    repro-experiments serve --workers 2      # JSONL evaluation service on stdin
+    repro-experiments --result-cache tbl1    # rerun served from the result cache
     REPRO_PROFILE=full repro-experiments tbl1
 """
 
@@ -66,6 +68,18 @@ def main(argv: list[str] | None = None) -> int:
              "JSON artifact (the BENCH_fleet.json schema the CI gate reads)",
     )
     parser.add_argument(
+        "--result-cache", action="store_true",
+        help="serve repeated evaluation lanes from a content-addressed result "
+             "cache persisted under artifacts/result-cache; cached lanes are "
+             "byte-identical to fresh rolls, so reports are unchanged -- "
+             "reruns just skip the rolling.  For 'serve', enables the "
+             "service's on-disk cache",
+    )
+    parser.add_argument(
+        "--result-cache-dir", default=None, metavar="DIR",
+        help="like --result-cache, but persist the cache under DIR",
+    )
+    parser.add_argument(
         "--episodes", type=int, default=2, metavar="N",
         help="('suite' only) expert-oracle episodes per registry task",
     )
@@ -76,12 +90,21 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
 
     if args.list or not args.experiments:
-        print("available experiments:", ", ".join(_ORDER), "(plus: bench, suite)")
+        print("available experiments:", ", ".join(_ORDER), "(plus: bench, suite, serve)")
         return 0
 
     if args.workers is not None and args.workers < 1:
         print("--workers must be >= 1", file=sys.stderr)
         return 2
+
+    if "serve" in args.experiments:
+        if len(args.experiments) > 1:
+            print(
+                "'serve' runs alone; invoke other experiments in a separate call",
+                file=sys.stderr,
+            )
+            return 2
+        return _run_serve(args)
 
     if "bench" in args.experiments:
         if len(args.experiments) > 1:
@@ -121,6 +144,11 @@ def main(argv: list[str] | None = None) -> int:
         profile = dataclasses.replace(profile, fleet_size=args.fleet_size)
     if args.workers is not None:
         profile = dataclasses.replace(profile, workers=args.workers)
+    cache_dir = args.result_cache_dir or (
+        "artifacts/result-cache" if args.result_cache else None
+    )
+    if cache_dir is not None:
+        profile = dataclasses.replace(profile, result_cache_dir=cache_dir)
     for name in requested:
         started = time.perf_counter()
         print(f"=== {name} (profile: {profile.name}) ===")
@@ -133,6 +161,33 @@ def main(argv: list[str] | None = None) -> int:
             print(f"[saved {path}]")
         print(f"--- {name} done in {time.perf_counter() - started:.1f}s ---\n")
     return 0
+
+
+def _run_serve(args) -> int:
+    """``repro-experiments serve``: the JSONL evaluation service on stdin.
+
+    Thin forwarding shim over ``python -m repro.serving`` (the two spellings
+    serve identically): ``--workers`` sets the warm pool width,
+    ``--fleet-size`` the in-process continuous-batching slot count, and
+    ``--result-cache`` / ``--result-cache-dir DIR`` persist the
+    content-addressed result cache on disk.
+    """
+    from repro.serving.__main__ import main as serve_main
+
+    forwarded: list[str] = []
+    if args.workers is not None:
+        forwarded += ["--workers", str(args.workers)]
+    if args.fleet_size is not None:
+        if args.fleet_size < 1:
+            print("--fleet-size must be >= 1", file=sys.stderr)
+            return 2
+        forwarded += ["--slots", str(args.fleet_size)]
+    cache_dir = args.result_cache_dir or (
+        "artifacts/result-cache" if args.result_cache else None
+    )
+    if cache_dir is not None:
+        forwarded += ["--cache-dir", cache_dir]
+    return serve_main(forwarded)
 
 
 def _run_suite(episodes: int, layout_choice: str, workers: int = 1) -> int:

@@ -25,11 +25,21 @@ runner would produce from the same seeds -- ``tests/test_fleet.py`` asserts
 this for every policy kind, including job chaining.  Episodes in a batch
 progress independently: a lane that finishes a task chains into the next
 task of its job (or retires) without stalling its neighbours.
+
+Determinism contract: the runner owns no randomness and keeps no state
+across lanes, so a lane's traces are a pure function of its environment
+generator, its :class:`FleetLane` specification and the policy weights --
+never of fleet size, admission order or which other lanes run beside it.
+That invariance is what makes both batch mode (:meth:`FleetRunner.run`) and
+continuous batching (:meth:`FleetRunner.run_continuous`, where a finished
+lane's slot is refilled from an open-ended stream at the next inference
+boundary) interchangeable with single-episode rollouts, byte for byte.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Callable, Iterable, Iterator
 
 import numpy as np
 
@@ -285,24 +295,23 @@ class FleetRunner:
         self.baseline = baseline
         self.corki = corki
 
+    def _make_state(self, index: int, env: ManipulationEnv, lane: FleetLane) -> _LaneState:
+        """Admit one lane into slot ``index``: reset its env, build its state."""
+        if lane.variation is None:
+            if self.baseline is None:
+                raise ValueError("fleet has baseline lanes but no baseline policy")
+            return _BaselineLaneState(index, env, lane, self.baseline)
+        if self.corki is None:
+            raise ValueError("fleet has Corki lanes but no Corki policy")
+        return _CorkiLaneState(index, env, lane, self.corki)
+
     def _build_states(
         self, fleet: BatchedManipulationEnv, lanes: list[FleetLane]
     ) -> list[_LaneState]:
-        states: list[_LaneState] = []
-        for index, lane in enumerate(lanes):
-            if lane.variation is None:
-                if self.baseline is None:
-                    raise ValueError("fleet has baseline lanes but no baseline policy")
-                states.append(
-                    _BaselineLaneState(index, fleet.envs[index], lane, self.baseline)
-                )
-            else:
-                if self.corki is None:
-                    raise ValueError("fleet has Corki lanes but no Corki policy")
-                states.append(
-                    _CorkiLaneState(index, fleet.envs[index], lane, self.corki)
-                )
-        return states
+        return [
+            self._make_state(index, fleet.envs[index], lane)
+            for index, lane in enumerate(lanes)
+        ]
 
     def run(
         self,
@@ -333,6 +342,66 @@ class FleetRunner:
             self._step_lanes(active, fleet)
             active = [state for state in states if not state.done]
         return [state.traces for state in states]
+
+    def run_continuous(
+        self,
+        source: Iterable[tuple[ManipulationEnv, FleetLane]],
+        slots: int,
+        on_complete: Callable[[FleetLane, list[EpisodeTrace]], None],
+    ) -> int:
+        """Serve an open-ended stream of lanes with **continuous batching**.
+
+        ``source`` yields ``(environment, lane)`` admissions; up to ``slots``
+        of them fly at once.  Unlike :meth:`run` -- which admits a fixed
+        fleet and waits for the whole fleet to drain -- a lane that finishes
+        its job here *retires immediately*: its traces are handed to
+        ``on_complete(lane, traces)`` and its slot is refilled from
+        ``source`` at the next inference boundary, so the batched forward
+        passes stay saturated while requests keep arriving.  This is the
+        admission discipline a request-serving layer needs
+        (:mod:`repro.serving`), and the reason it is safe is the module's
+        determinism contract: lane randomness is lane-private and numerics
+        are fleet-size invariant, so a lane admitted into a half-drained
+        fleet produces byte-identical traces to one rolled in a fresh batch.
+
+        Returns the number of lanes served.  Completion callbacks fire in
+        retirement order, which depends on episode lengths -- callers that
+        need request order must key results off the ``lane`` object.
+        """
+        if slots < 1:
+            raise ValueError(f"slots must be >= 1, got {slots}")
+        stream: Iterator[tuple[ManipulationEnv, FleetLane]] = iter(source)
+        admitted = []
+        for env, lane in stream:
+            admitted.append((env, lane))
+            if len(admitted) == slots:
+                break
+        if not admitted:
+            return 0
+        fleet = BatchedManipulationEnv([env for env, _ in admitted])
+        states: list[_LaneState | None] = [
+            self._make_state(index, fleet.envs[index], lane)
+            for index, (_, lane) in enumerate(admitted)
+        ]
+        served = 0
+        live = [state for state in states if state is not None and not state.done]
+        while live:
+            self._plan_corki_lanes(live, fleet.frame_dt)
+            self._infer_baseline_lanes(live)
+            self._step_lanes(live, fleet)
+            for slot, state in enumerate(states):
+                if state is None or not state.done:
+                    continue
+                on_complete(state.lane, state.traces)
+                served += 1
+                states[slot] = None
+                refill = next(stream, None)
+                if refill is not None:
+                    env, lane = refill
+                    fleet.adopt_lane(slot, env)
+                    states[slot] = self._make_state(slot, env, lane)
+            live = [state for state in states if state is not None and not state.done]
+        return served
 
     def _plan_corki_lanes(self, active: list[_LaneState], frame_dt: float) -> None:
         """One batched encode + trajectory prediction for every lane at a
@@ -445,7 +514,13 @@ def run_baseline_fleet(
     actuation: ActuationModel = TRACKING_30HZ,
     max_frames: int = MAX_EPISODE_FRAMES,
 ) -> list[EpisodeTrace]:
-    """Run one baseline episode per lane (task ``i`` on environment ``i``)."""
+    """Run one baseline episode per lane (task ``i`` on environment ``i``).
+
+    Convenience wrapper for homogeneous single-task fleets (benchmarks, the
+    quickstart); evaluation drivers build :class:`FleetLane` lists directly.
+    Each lane's episode equals ``run_baseline_episode`` on the same
+    environment and task, element for element.
+    """
     lanes = [
         FleetLane(tasks=[task], actuation=actuation, max_frames=max_frames)
         for task in tasks
@@ -462,7 +537,13 @@ def run_corki_fleet(
     actuation: ActuationModel = TRACKING_100HZ,
     max_frames: int = MAX_EPISODE_FRAMES,
 ) -> list[EpisodeTrace]:
-    """Run one Corki episode per lane with lane-private feedback rngs."""
+    """Run one Corki episode per lane with lane-private feedback rngs.
+
+    ``rngs[i]`` drives only lane ``i``'s closed-loop feedback schedule
+    (``FleetLane.rng``); scene randomness lives in each environment's own
+    generator.  Each lane's episode equals ``run_corki_episode`` with the
+    same seeds, element for element, for every variation including ADAP.
+    """
     lanes = [
         FleetLane(
             tasks=[task],

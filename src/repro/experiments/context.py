@@ -29,6 +29,7 @@ class ExperimentContext:
     profile: Profile = field(default_factory=get_profile)
     _policies: TrainedPolicies | None = None
     _evaluations: dict = field(default_factory=dict)
+    _result_cache: object = None
 
     def policies(self) -> TrainedPolicies:
         if self._policies is None:
@@ -37,6 +38,14 @@ class ExperimentContext:
                 epochs=self.profile.epochs,
             )
         return self._policies
+
+    def result_cache(self):
+        """The profile's content-addressed result cache, or ``None``."""
+        if self._result_cache is None and self.profile.result_cache_dir:
+            from repro.serving.cache import ResultCache
+
+            self._result_cache = ResultCache(directory=self.profile.result_cache_dir)
+        return self._result_cache
 
     def evaluations(self, scenario: str) -> dict[str, SystemEvaluation]:
         """All systems evaluated on ``scenario`` ("seen" or "unseen")."""
@@ -49,6 +58,7 @@ class ExperimentContext:
                 seed=self.profile.eval_seed,
                 fleet_size=self.profile.fleet_size,
                 workers=self.profile.workers,
+                cache=self.result_cache(),
             )
         return self._evaluations[scenario]
 

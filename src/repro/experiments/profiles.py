@@ -30,6 +30,11 @@ class Profile:
     fleet_size: int = 32  # jobs rolled out in lock-step per evaluation fleet
     family_episodes: int = 2  # episodes per task in the per-family matrix
     workers: int = 1  # OS processes sharding each evaluation (1 = in-process)
+    # Directory of the content-addressed result cache (repro.serving.cache);
+    # None evaluates without one.  With a cache, re-running an experiment
+    # against unchanged policy weights re-rolls nothing -- cached lanes are
+    # byte-identical to fresh ones, so reports cannot drift.
+    result_cache_dir: str | None = None
 
 
 QUICK = Profile(

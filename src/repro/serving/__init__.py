@@ -1,0 +1,34 @@
+"""Request serving for evaluation episodes: continuous batching + caching.
+
+The batch experiment drivers answer "roll N jobs"; this package answers
+"keep answering episode requests, fast" -- the request-serving shape the
+ROADMAP's production north star implies.  Three pieces:
+
+* :mod:`repro.serving.service` -- :class:`EvaluationService`, the
+  programmatic API: queue :class:`EpisodeRequest` objects, drain them
+  through a persistently warm fleet (continuous batching: finished lanes'
+  slots refill at inference boundaries) or the warm multi-process pool.
+* :mod:`repro.serving.cache` -- :class:`ResultCache`, content-addressed on
+  policy-weight digest + environment schema + request identity; a hit is
+  byte-identical to a fresh roll.
+* :mod:`repro.serving.jsonl` -- the stdin/stdout JSONL protocol behind
+  ``repro-serve`` (``python -m repro.serving``, or ``repro-experiments
+  serve``).
+
+See ``docs/serving.md`` for the request lifecycle, cache-key anatomy and
+measured throughput, and ``examples/serving_client.py`` for a walkthrough.
+"""
+
+from repro.serving.cache import ResultCache, policy_digest, result_key
+from repro.serving.jsonl import serve_jsonl
+from repro.serving.service import EpisodeRequest, EvaluationService, ServedResult
+
+__all__ = [
+    "EpisodeRequest",
+    "EvaluationService",
+    "ResultCache",
+    "ServedResult",
+    "policy_digest",
+    "result_key",
+    "serve_jsonl",
+]

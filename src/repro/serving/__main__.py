@@ -1,0 +1,85 @@
+"""``repro-serve``: the JSONL evaluation service on stdin/stdout.
+
+Usage::
+
+    PYTHONPATH=src python -m repro.serving [--workers N] [--slots N]
+        [--cache-dir PATH] [--no-cache] [--max-entries N]
+        [--demos N] [--epochs N]
+
+Requests are JSON objects, one per line; a blank line flushes the batch
+(see :mod:`repro.serving.jsonl` for the protocol).  ``repro-experiments
+serve`` forwards here, so both spellings serve identically.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+__all__ = ["main"]
+
+
+def main(argv: list[str] | None = None, policies=None, stdin=None, stdout=None) -> int:
+    """Entry point; ``policies``/``stdin``/``stdout`` are injectable for tests."""
+    parser = argparse.ArgumentParser(
+        prog="repro-serve",
+        description="Serve episode-evaluation requests over stdin/stdout JSONL.",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="shard cache-miss requests across N warm worker processes "
+             "(1 = in-process continuous batching)",
+    )
+    parser.add_argument(
+        "--slots", type=int, default=32, metavar="N",
+        help="in-flight lanes for the in-process continuous-batching path",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None, metavar="PATH",
+        help="persist the result cache on disk (default: in-memory only)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true", help="disable the result cache entirely"
+    )
+    parser.add_argument(
+        "--max-entries", type=int, default=None, metavar="N",
+        help="LRU-bound the result cache to N entries",
+    )
+    parser.add_argument(
+        "--demos", type=int, default=24, metavar="N",
+        help="demonstrations per task when training/loading the policies",
+    )
+    parser.add_argument(
+        "--epochs", type=int, default=12, metavar="N",
+        help="training epochs when training/loading the policies",
+    )
+    args = parser.parse_args(argv)
+    if args.workers < 1:
+        print("--workers must be >= 1", file=sys.stderr)
+        return 2
+
+    from repro.serving.cache import ResultCache
+    from repro.serving.jsonl import serve_jsonl
+    from repro.serving.service import EvaluationService
+
+    if policies is None:
+        from repro.analysis.evaluation import get_trained_policies
+
+        policies = get_trained_policies(demos_per_task=args.demos, epochs=args.epochs)
+    cache = None
+    if not args.no_cache:
+        cache = ResultCache(directory=args.cache_dir, max_entries=args.max_entries)
+    service = EvaluationService(
+        policies,
+        workers=args.workers,
+        slots=args.slots,
+        cache=cache,
+        use_cache=not args.no_cache,
+    )
+    served = serve_jsonl(service, stdin or sys.stdin, stdout or sys.stdout)
+    print(f"[served {served} requests]", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,121 @@
+"""stdin/stdout JSONL front-end for the evaluation service (``repro-serve``).
+
+One request per line::
+
+    {"id": "r1", "system": "corki-5", "instructions": ["lift the red block"], "seed": 3}
+    {"id": "r2", "system": "roboflamingo", "instruction": "push the blue block left", "seed": 3, "lane": 1}
+
+A **blank line** (or end of input) flushes the accumulated batch through
+:meth:`~repro.serving.service.EvaluationService.drain` -- requests between
+flushes are served together, so clients that stream several lines before a
+blank line get full continuous-batching throughput.  Each request yields one
+response line, in request order::
+
+    {"id": "r1", "cached": false, "successes": [true], "frames": [41], "executed_steps": [[5, 5, ...]]}
+
+Operations: ``{"op": "stats"}`` flushes, then reports service/cache
+counters.  A malformed line yields ``{"error": ...}`` (with the request's
+``id`` when one parsed) without disturbing the rest of the batch.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO
+
+from repro.serving.service import EpisodeRequest, EvaluationService
+
+__all__ = ["request_from_json", "response_to_json", "serve_jsonl"]
+
+
+def request_from_json(obj: dict) -> EpisodeRequest:
+    """Build a validated :class:`EpisodeRequest` from one decoded line.
+
+    Instructions are resolved against the task registry *here*, so a typo'd
+    instruction yields a per-request error response instead of surfacing as
+    an exception mid-drain (possibly from a worker process) and killing the
+    whole batch.
+    """
+    from repro.sim.tasks import task_by_instruction
+
+    if "instructions" in obj:
+        instructions = tuple(obj["instructions"])
+    elif "instruction" in obj:
+        instructions = (obj["instruction"],)
+    else:
+        raise ValueError("a request needs 'instructions' (list) or 'instruction'")
+    for text in instructions:
+        task_by_instruction(text)  # raises KeyError naming the instruction
+    kwargs = {}
+    for key in ("lane", "layout", "max_frames"):
+        if key in obj:
+            kwargs[key] = obj[key] if key == "layout" else int(obj[key])
+    return EpisodeRequest(
+        system=obj["system"],
+        instructions=instructions,
+        seed=int(obj["seed"]),
+        **kwargs,
+    )
+
+
+def response_to_json(result, request_id=None) -> dict:
+    """One response object for one :class:`ServedResult`."""
+    response = {
+        "cached": result.cached,
+        "successes": result.successes,
+        "frames": [trace.frames for trace in result.traces],
+        "executed_steps": [list(trace.executed_steps) for trace in result.traces],
+    }
+    if request_id is not None:
+        response = {"id": request_id, **response}
+    return response
+
+
+def serve_jsonl(service: EvaluationService, stdin: IO[str], stdout: IO[str]) -> int:
+    """Run the request loop until ``stdin`` closes; returns requests served.
+
+    The loop batches lines until a blank line / ``stats`` op / EOF, drains
+    the service once per batch, and writes one response line per request in
+    request order, flushing ``stdout`` after every batch so an interactive
+    client sees its answers immediately.
+    """
+    batch: list[tuple[object, EpisodeRequest]] = []
+    served = 0
+
+    def emit(obj: dict) -> None:
+        stdout.write(json.dumps(obj) + "\n")
+
+    def flush() -> None:
+        nonlocal served
+        if batch:
+            results = service.serve([request for _, request in batch])
+            for (request_id, _), result in zip(batch, results):
+                emit(response_to_json(result, request_id))
+            served += len(batch)
+            batch.clear()
+        stdout.flush()
+
+    for line in stdin:
+        line = line.strip()
+        if not line:
+            flush()
+            continue
+        request_id = None
+        try:
+            obj = json.loads(line)
+            request_id = obj.get("id")
+            if obj.get("op") == "stats":
+                flush()
+                emit({"stats": service.stats()})
+                stdout.flush()
+                continue
+            batch.append((request_id, request_from_json(obj)))
+        except Exception as error:
+            flush()  # keep response order aligned with request order
+            payload = {"error": str(error) or type(error).__name__}
+            if request_id is not None:
+                payload = {"id": request_id, **payload}
+            emit(payload)
+            stdout.flush()
+    flush()
+    return served

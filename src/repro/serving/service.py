@@ -1,0 +1,309 @@
+"""The long-lived evaluation service: continuous batching over warm engines.
+
+Batch CLI runs (``repro-experiments tbl1``) plan every lane up front, roll
+the whole fleet, and tear everything down.  A serving layer cannot: requests
+arrive one at a time, and throughput depends on never letting the batched
+inference (or the worker pool) go cold between them.  This module keeps both
+engines warm:
+
+* **In-process** (``workers <= 1``): one persistent
+  :class:`~repro.core.fleet.FleetRunner` serves every drain through
+  :meth:`~repro.core.fleet.FleetRunner.run_continuous` -- a finished lane's
+  slot is refilled from the request queue at the next inference boundary
+  instead of waiting for the fleet to drain, which is exactly the property
+  Corki's trajectory-level execution exposes (inference happens at
+  boundaries, so boundaries are where admission is free).
+* **Multi-process** (``workers >= 2``): the service leases the warm
+  spawn-context pool (:func:`repro.analysis.parallel.lease_pool` -- spawned
+  once, policies shipped once) and dispatches every pending request's chunk
+  asynchronously, collecting results as workers finish so a slow request
+  never idles the rest of the pool.
+
+Results flow through the content-addressed :class:`~repro.serving.cache.
+ResultCache`: a repeated request (same weights, task, seed, lane, config)
+is served from the cache without re-rolling, and because lane randomness is
+keyed ``(seed, lane)`` the cached bytes equal a fresh roll's bytes exactly.
+
+Determinism contract: for any mix of admission order, slot count, worker
+count and cache temperature, a request's traces are byte-identical to the
+same lane rolled by ``evaluate_system(..., workers=1)``.
+``tests/test_serving.py`` asserts this cold and warm, in-process and
+pooled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.config import VARIATIONS
+from repro.core.fleet import FleetLane, FleetRunner
+from repro.core.runner import MAX_EPISODE_FRAMES, EpisodeTrace
+from repro.serving.cache import ResultCache
+
+__all__ = ["EpisodeRequest", "ServedResult", "EvaluationService"]
+
+
+@dataclass(frozen=True)
+class EpisodeRequest:
+    """One episode-evaluation request: instruction(s) + system + seed.
+
+    ``instructions`` is the job -- one instruction for a single episode,
+    several for a long-horizon chain.  ``(seed, lane)`` addresses the
+    request's random streams exactly as a batch evaluation lane would be
+    addressed (:func:`repro.analysis.evaluation.lane_generators`), so a
+    service request can reproduce -- and cache-share with -- any lane of any
+    batch run.  ``layout`` is ``"seen"`` or ``"unseen"``.
+    """
+
+    system: str
+    instructions: tuple[str, ...]
+    seed: int
+    lane: int = 0
+    layout: str = "seen"
+    max_frames: int = MAX_EPISODE_FRAMES
+
+    def __post_init__(self) -> None:
+        if not self.instructions:
+            raise ValueError("a request needs at least one instruction")
+        if self.system != "roboflamingo" and self.system not in VARIATIONS:
+            known = ", ".join(["roboflamingo", *VARIATIONS])
+            raise ValueError(f"unknown system {self.system!r} (expected one of: {known})")
+        if self.layout not in ("seen", "unseen"):
+            raise ValueError(f"layout must be 'seen' or 'unseen', got {self.layout!r}")
+        # Reject everything the rng keying cannot represent *here*, so one
+        # malformed request yields a per-request error instead of blowing up
+        # mid-drain (possibly inside a pool worker) and dropping the batch.
+        if self.seed < 0 or self.lane < 0:
+            raise ValueError(f"seed and lane must be >= 0, got {self.seed}/{self.lane}")
+        if self.max_frames < 1:
+            raise ValueError(f"max_frames must be >= 1, got {self.max_frames}")
+
+
+@dataclass
+class ServedResult:
+    """A request's traces plus whether the cache served them."""
+
+    request: EpisodeRequest
+    traces: list[EpisodeTrace] = field(repr=False)
+    cached: bool = False
+
+    @property
+    def successes(self) -> list[bool]:
+        return [bool(trace.success) for trace in self.traces]
+
+
+def _resolve_layout(name: str):
+    from repro.sim.world import SEEN_LAYOUT, UNSEEN_LAYOUT
+
+    return SEEN_LAYOUT if name == "seen" else UNSEEN_LAYOUT
+
+
+class EvaluationService:
+    """Accept episode requests, serve them from warm engines and the cache.
+
+    ::
+
+        service = EvaluationService(policies, workers=2)
+        service.submit(EpisodeRequest("corki-5", ("lift the red block",), seed=3))
+        [result] = service.drain()          # rolls; byte-identical to batch
+        [again] = service.serve([result.request])   # cache hit, no rolling
+
+    ``submit`` only queues; ``drain`` serves everything queued and returns
+    results in submission order.  ``serve`` is submit-all + drain.  The
+    service is single-threaded by design -- continuous batching happens
+    *inside* a drain (slot refill / async chunk collection), which keeps the
+    determinism story auditable; a network front-end would own the socket
+    loop and feed batches here (``python -m repro.serving`` does exactly
+    that over stdin/stdout JSONL).
+
+    ``cache=None`` disables caching (the bench harness measures pure roll
+    throughput that way).  ``slots`` bounds in-flight lanes for the
+    in-process path; ``fleet_size`` plays that role inside pool workers.
+    """
+
+    def __init__(
+        self,
+        policies,
+        workers: int = 1,
+        slots: int = 32,
+        fleet_size: int = 32,
+        cache: ResultCache | None = None,
+        use_cache: bool = True,
+    ):
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if slots < 1:
+            raise ValueError(f"slots must be >= 1, got {slots}")
+        self.policies = policies
+        self.workers = workers
+        self.slots = slots
+        self.fleet_size = fleet_size
+        # use_cache=False turns caching off entirely; otherwise an in-memory
+        # unbounded cache is the default and ``cache`` overrides it.  (An
+        # explicit identity check: an *empty* ResultCache is len()-falsy.)
+        self.cache = (cache if cache is not None else ResultCache()) if use_cache else None
+        self._queue: list[EpisodeRequest] = []
+        self._runner = FleetRunner(
+            baseline=policies.baseline, corki=policies.corki
+        )
+        self._pool = None
+        if workers > 1:
+            from repro.analysis.parallel import lease_pool
+
+            # Lease (and thereby spawn + warm) the pool up front, so the
+            # first request pays serving cost only, not interpreter start-up.
+            self._pool = lease_pool(policies, workers)
+        self.requests_served = 0
+
+    # -- request intake --------------------------------------------------------
+
+    def submit(self, request: EpisodeRequest) -> None:
+        """Queue one request for the next :meth:`drain`."""
+        self._queue.append(request)
+
+    def serve(self, requests) -> list[ServedResult]:
+        """Submit every request, drain, return results in request order."""
+        for request in requests:
+            self.submit(request)
+        return self.drain()
+
+    def drain(self) -> list[ServedResult]:
+        """Serve everything queued; results come back in submission order.
+
+        Duplicate requests within one drain (same cache key) roll once:
+        later copies are filled from the first roll's result and flagged
+        ``cached`` -- they were served without rolling, which is what the
+        flag reports.  With caching off every request rolls (the bench
+        relies on that to measure pure serving throughput).
+        """
+        requests, self._queue = self._queue, []
+        if not requests:
+            return []
+        results: dict[int, ServedResult] = {}
+        misses: list[tuple[int, EpisodeRequest, str | None]] = []
+        primary_by_key: dict[str, int] = {}
+        duplicates: list[tuple[int, EpisodeRequest, int]] = []
+        for index, request in enumerate(requests):
+            key = self._key(request)
+            hit = None if key is None else self.cache.get(key)
+            if hit is not None:
+                results[index] = ServedResult(request, hit, cached=True)
+            elif key is not None and key in primary_by_key:
+                duplicates.append((index, request, primary_by_key[key]))
+            else:
+                if key is not None:
+                    primary_by_key[key] = index
+                misses.append((index, request, key))
+        if misses:
+            if self.workers <= 1:
+                self._roll_continuous(misses, results)
+            else:
+                self._roll_pooled(misses, results)
+        for index, request, primary in duplicates:
+            results[index] = ServedResult(
+                request, list(results[primary].traces), cached=True
+            )
+        self.requests_served += len(requests)
+        return [results[index] for index in range(len(requests))]
+
+    def stats(self) -> dict[str, int]:
+        """Service counters plus the cache's (zeros when caching is off)."""
+        cache_stats = self.cache.stats() if self.cache is not None else {}
+        return {"requests_served": self.requests_served, "workers": self.workers, **cache_stats}
+
+    # -- rolling ---------------------------------------------------------------
+
+    def _key(self, request: EpisodeRequest) -> str | None:
+        if self.cache is None:
+            return None
+        return self.cache.lane_key(
+            self.policies,
+            request.system,
+            _resolve_layout(request.layout),
+            request.seed,
+            request.lane,
+            request.instructions,
+            max_frames=request.max_frames,
+        )
+
+    def _lane_for(self, request: EpisodeRequest):
+        """Build the (environment, FleetLane) admission for one request.
+
+        Identical construction to :func:`repro.analysis.evaluation.
+        roll_lane_chunk` for the lane at ``request.lane``; that construction
+        *is* the byte-identity guarantee.
+        """
+        from repro.analysis.evaluation import lane_generators
+        from repro.sim.env import TRACKING_30HZ, TRACKING_100HZ, ManipulationEnv
+        from repro.sim.tasks import task_by_instruction
+
+        variation = None if request.system == "roboflamingo" else VARIATIONS[request.system]
+        env_rng, feedback_rng = lane_generators(request.seed, request.lane)
+        env = ManipulationEnv(_resolve_layout(request.layout), env_rng)
+        lane = FleetLane(
+            tasks=[task_by_instruction(text) for text in request.instructions],
+            variation=variation,
+            rng=feedback_rng,
+            actuation=TRACKING_30HZ if variation is None else TRACKING_100HZ,
+            max_frames=request.max_frames,
+        )
+        return env, lane
+
+    def _finish(self, index: int, request: EpisodeRequest, key: str | None,
+                traces: list[EpisodeTrace], results: dict[int, ServedResult]) -> None:
+        if key is not None:
+            self.cache.put(key, traces)
+        results[index] = ServedResult(request, traces, cached=False)
+
+    def _roll_continuous(self, misses, results) -> None:
+        """In-process path: continuous admission into the warm runner."""
+        pending: dict[int, tuple[int, EpisodeRequest, str | None]] = {}
+
+        def admissions():
+            for index, request, key in misses:
+                env, lane = self._lane_for(request)
+                pending[id(lane)] = (index, request, key)
+                yield env, lane
+
+        def on_complete(lane: FleetLane, traces: list[EpisodeTrace]) -> None:
+            index, request, key = pending.pop(id(lane))
+            self._finish(index, request, key, traces, results)
+
+        self._runner.run_continuous(admissions(), self.slots, on_complete)
+
+    def _roll_pooled(self, misses, results) -> None:
+        """Multi-process path: every chunk in flight on the leased pool.
+
+        Misses group by everything a :class:`~repro.analysis.parallel.
+        LaneChunk` fixes per chunk (system, layout, seed, frame budget);
+        each group shards across the workers by explicit lane indices, and
+        *all* chunks from *all* groups dispatch asynchronously before any
+        result is collected -- the pool's queue keeps every worker busy for
+        the whole drain.
+        """
+        from repro.analysis.parallel import LaneChunk, shard_lanes
+
+        groups: dict[tuple, list[tuple[int, EpisodeRequest, str | None]]] = {}
+        for miss in misses:
+            _, request, _ = miss
+            group = (request.system, request.layout, request.seed, request.max_frames)
+            groups.setdefault(group, []).append(miss)
+
+        in_flight = []
+        for (system, layout_name, seed, max_frames), members in groups.items():
+            for start, stop in shard_lanes(len(members), self.workers):
+                shard = members[start:stop]
+                chunk = LaneChunk(
+                    system=system,
+                    layout=_resolve_layout(layout_name),
+                    seed=seed,
+                    lane_start=0,
+                    instructions=tuple(request.instructions for _, request, _ in shard),
+                    fleet_size=self.fleet_size,
+                    max_frames=max_frames,
+                    lane_indices=tuple(request.lane for _, request, _ in shard),
+                )
+                in_flight.append((shard, self._pool.submit_chunk(chunk)))
+        for shard, handle in in_flight:
+            for (index, request, key), traces in zip(shard, handle.get()):
+                self._finish(index, request, key, traces, results)

@@ -542,6 +542,25 @@ class BatchedManipulationEnv:
             resolved,
         )
 
+    def adopt_lane(self, lane: int, env: ManipulationEnv) -> None:
+        """Retire the environment in slot ``lane`` and re-home ``env`` there.
+
+        This is the slot-refill primitive behind continuous batching
+        (:meth:`repro.core.fleet.FleetRunner.run_continuous`): when a lane's
+        job finishes, its slot is handed to a fresh environment instead of
+        idling until the whole fleet drains.  The outgoing environment is
+        re-homed onto a private singleton store first, so its final scene
+        stays readable after the slot's stacked arrays are overwritten; it
+        must not be stepped inside this fleet again.
+        """
+        if not 0 <= lane < len(self.envs):
+            raise IndexError(f"lane {lane} out of range for a {len(self.envs)}-lane fleet")
+        if env.frame_dt != self.frame_dt:
+            raise ValueError("an adopted lane must share the fleet's camera frame_dt")
+        self.envs[lane]._rehome(SceneArrays(1), 0)
+        self.envs[lane] = env
+        env._rehome(self._arrays, lane)
+
     def succeeded_mask(self, indices: Sequence[int] | None = None) -> np.ndarray:
         """Boolean success flags for the selected lanes' current tasks."""
         return np.array([self.envs[i].succeeded for i in self._select(indices)], dtype=bool)

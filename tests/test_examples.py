@@ -1,0 +1,46 @@
+"""Smoke tests for `examples/`: docs-adjacent code must not rot.
+
+Every example script runs end to end in a subprocess at
+``REPRO_EXAMPLE_SCALE=smoke`` (the scripts' few-seconds scale: fewer
+demos/epochs, small heads).  A non-zero exit -- an import drifting from the
+public API, an assertion inside a walkthrough failing -- fails the suite.
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parents[1]
+EXAMPLES = sorted((REPO / "examples").glob("*.py"))
+
+
+def test_every_example_is_covered():
+    assert EXAMPLES, "examples/ directory is missing or empty"
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs_clean(script):
+    env = {
+        **os.environ,
+        "REPRO_EXAMPLE_SCALE": "smoke",
+        "PYTHONPATH": str(REPO / "src"),
+        "OMP_NUM_THREADS": "1",
+        "OPENBLAS_NUM_THREADS": "1",
+    }
+    result = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+        env=env,
+        cwd=REPO,
+    )
+    assert result.returncode == 0, (
+        f"{script.name} exited {result.returncode}\n"
+        f"--- stdout ---\n{result.stdout[-2000:]}\n"
+        f"--- stderr ---\n{result.stderr[-2000:]}"
+    )
+    assert result.stdout.strip(), f"{script.name} printed nothing"
