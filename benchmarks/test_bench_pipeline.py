@@ -32,6 +32,45 @@ def test_fleet_traces_drive_pipeline_model(benchmark, bench_policies):
     assert len(pipeline_trace.frames) > 0
 
 
+@pytest.mark.parametrize("n", (1, 8, 32, 128))
+def test_pipeline_lane_batch(benchmark, fleet_bench_records, n):
+    """[fig13 batched] ``simulate_lanes`` throughput across the fleet axis.
+
+    One Corki-5 pipeline trace per lane, every lane on its own keyed jitter
+    stream -- the shape ``FleetEstimator`` prices a fleet with.  Lanes/sec
+    lands in the session fleet record (policy ``pipeline-lanes``), so
+    ``BENCH_fleet.json`` carries the pipeline-model axis next to the
+    closed-loop episode axes.
+    """
+    from repro.analysis.fleet_bench import episodes_per_second
+    from repro.pipeline import PipelineLane, lane_jitter_rng, simulate_lanes
+
+    def make_lanes():
+        return [
+            PipelineLane(f"lane-{i}", executed_steps=(5,) * 12, rng=lane_jitter_rng(7, i))
+            for i in range(n)
+        ]
+
+    def run(lanes):
+        return simulate_lanes(lanes)
+
+    arrays = benchmark.pedantic(run, setup=lambda: ((make_lanes(),), {}), rounds=3, iterations=1)
+    assert len(arrays) == n
+    benchmark.extra_info["lanes"] = n
+    try:
+        eps, rounds = n / benchmark.stats.stats.min, 3
+    except (AttributeError, TypeError, ZeroDivisionError):
+        eps, rounds = episodes_per_second(run, n, rounds=2, setup=make_lanes), 2
+    fleet_bench_records.append(
+        {
+            "policy": "pipeline-lanes",
+            "fleet_size": n,
+            "episodes_per_second": round(eps, 1),
+            "rounds": rounds,
+        }
+    )
+
+
 def test_fig2_baseline_breakdown(benchmark):
     """[fig2] 300-frame baseline trace with per-stage breakdown."""
     def run():

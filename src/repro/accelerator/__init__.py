@@ -16,18 +16,23 @@ from repro.accelerator.approx import (
 )
 from repro.accelerator.datapath import ALL_UNITS, CLOCK_MHZ, CUSTOM_UNITS, DATAFLOW_UNITS, UnitSpec
 from repro.accelerator.fifo import BufferOverflow, BufferUnderflow, Fifo, LineBuffer, Scratchpad
+from repro.accelerator.lanes import AcceleratorLanes, LaneTickResult
 from repro.accelerator.microcontroller import Instruction, MicroController, Opcode, TrajectoryRun
 from repro.accelerator.resources import ZC706, ResourceReport, resource_report
 from repro.accelerator.scheduler import (
     ScheduleReport,
     ablation,
     baseline_cycles,
+    baseline_cycles_lanes,
     pipelined_cycles,
+    pipelined_cycles_lanes,
     reuse_cycles,
+    reuse_cycles_lanes,
 )
 
 __all__ = [
     "ALL_UNITS",
+    "AcceleratorLanes",
     "AceUnit",
     "BufferOverflow",
     "BufferUnderflow",
@@ -42,6 +47,7 @@ __all__ = [
     "Fifo",
     "Instruction",
     "JointImpactModel",
+    "LaneTickResult",
     "LineBuffer",
     "MicroController",
     "Opcode",
@@ -54,9 +60,12 @@ __all__ = [
     "ZC706",
     "ablation",
     "baseline_cycles",
+    "baseline_cycles_lanes",
     "jacobian_joint_sensitivity",
     "mass_matrix_joint_sensitivity",
     "pipelined_cycles",
+    "pipelined_cycles_lanes",
     "resource_report",
     "reuse_cycles",
+    "reuse_cycles_lanes",
 ]

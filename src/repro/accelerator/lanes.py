@@ -1,0 +1,173 @@
+"""Lane-batched accelerator timing model: one fleet, one tick, one call.
+
+:class:`AcceleratorLanes` drives N :class:`CorkiAccelerator` instances in
+lockstep.  Every per-lane piece of architectural state -- the ACE unit, the
+scratchpad, the FIFO/line-buffer occupancy checks, the cycle log -- still
+lives on the individual accelerators, so after a batched tick each lane's
+observable state is bitwise what the scalar :meth:`CorkiAccelerator.control_tick`
+would have produced.  The heavy matrix refreshes, however, run once per
+refresh subset through the lane kernels in :mod:`repro.robot.batched`
+(stacked ``(N, 6, 6)`` spatial algebra), and the torque law runs once for the
+whole fleet through
+:meth:`repro.robot.control.TaskSpaceComputedTorqueController.torque_lanes`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.accelerator.accelerator import CorkiAccelerator
+from repro.accelerator.datapath import CLOCK_MHZ
+from repro.robot.batched import (
+    bias_forces_lanes,
+    geometric_jacobian_lanes,
+    jacobian_dot_qd_lanes,
+    mass_matrix_lanes,
+    task_space_bias_force_lanes,
+    task_space_mass_matrix_lanes,
+)
+
+__all__ = ["LaneTickResult", "AcceleratorLanes"]
+
+
+@dataclass
+class LaneTickResult:
+    """Outcome of one batched control cycle across the fleet."""
+
+    torques: np.ndarray  # (lanes, dof)
+    cycles: np.ndarray  # (lanes,) integer exposed-cycle counts
+    updated: list[dict[str, bool]]  # per-lane ACE decisions
+
+    @property
+    def microseconds(self) -> np.ndarray:
+        return self.cycles / CLOCK_MHZ
+
+
+class AcceleratorLanes:
+    """Tick a fleet of accelerators through the batched kernels.
+
+    All lanes must share one robot model and identical control gains --
+    that is what makes a single stacked kernel call valid for the whole
+    fleet.  Lanes whose ACE units decide differently are simply gathered
+    into per-group refresh subsets; a subset of size one degenerates to the
+    scalar computation (the batched kernels are exact for any N).
+    """
+
+    def __init__(self, accelerators: Sequence[CorkiAccelerator]):
+        accelerators = list(accelerators)
+        if not accelerators:
+            raise ValueError("AcceleratorLanes needs at least one accelerator")
+        model = accelerators[0].model
+        gains = accelerators[0].controller.gains
+        for accelerator in accelerators[1:]:
+            if accelerator.model is not model:
+                raise ValueError("all lanes must share one robot model")
+            other = accelerator.controller.gains
+            if (
+                not np.array_equal(other.kp, gains.kp)
+                or not np.array_equal(other.kv, gains.kv)
+                or other.nullspace_damping != gains.nullspace_damping
+            ):
+                raise ValueError("all lanes must share identical control gains")
+        self.model = model
+        self.accelerators = accelerators
+
+    def __len__(self) -> int:
+        return len(self.accelerators)
+
+    def control_tick_lanes(
+        self,
+        reference_poses: np.ndarray,
+        reference_velocities: np.ndarray,
+        reference_accelerations: np.ndarray,
+        q: np.ndarray,
+        qd: np.ndarray,
+    ) -> LaneTickResult:
+        """One hardware control cycle for every lane at once.
+
+        Inputs carry a leading lane axis.  Per lane this performs exactly
+        the scalar tick: ACE decision, conditional jacobian/mass/bias
+        refresh against the lane's scratchpad (including the stale-jacobian
+        coupling the scalar tick has), the TS-CTC torque law, buffer
+        exercise, and the exposed-cycle accounting.
+        """
+        q = np.asarray(q, dtype=float)
+        qd = np.asarray(qd, dtype=float)
+        lanes = len(self.accelerators)
+        updated = [
+            accelerator.ace.decide(q[lane])
+            for lane, accelerator in enumerate(self.accelerators)
+        ]
+
+        rows = [lane for lane in range(lanes) if updated[lane]["jacobian"]]
+        if rows:
+            fresh = geometric_jacobian_lanes(self.model, q[rows])
+            for i, lane in enumerate(rows):
+                scratchpad = self.accelerators[lane]._scratchpad
+                scratchpad.store("jacobian", 42, fresh[i])
+                scratchpad.store("jacobian-T", 42, scratchpad.load("jacobian").T)
+        jacobian = np.stack(
+            [accelerator._scratchpad.load("jacobian") for accelerator in self.accelerators]
+        )
+
+        rows = [lane for lane in range(lanes) if updated[lane]["mass"]]
+        if rows:
+            mass = mass_matrix_lanes(self.model, q[rows])
+            # The scalar tick pairs the fresh mass matrix with the *currently
+            # loaded* (possibly stale) jacobian; mirror that coupling.
+            lambda_fresh = task_space_mass_matrix_lanes(mass, jacobian[rows])
+            for i, lane in enumerate(rows):
+                scratchpad = self.accelerators[lane]._scratchpad
+                scratchpad.store("mass", 49, mass[i])
+                scratchpad.store("lambda", 36, lambda_fresh[i])
+        lambda_x = np.stack(
+            [accelerator._scratchpad.load("lambda") for accelerator in self.accelerators]
+        )
+
+        rows = [lane for lane in range(lanes) if updated[lane]["bias"]]
+        if rows:
+            mass = np.stack(
+                [self.accelerators[lane]._scratchpad.load("mass") for lane in rows]
+            )
+            h = bias_forces_lanes(self.model, q[rows], qd[rows])
+            jdot_qd = jacobian_dot_qd_lanes(self.model, q[rows], qd[rows])
+            h_x_fresh = task_space_bias_force_lanes(
+                mass, jacobian[rows], h, jdot_qd, lambda_x[rows]
+            )
+            for i, lane in enumerate(rows):
+                self.accelerators[lane]._scratchpad.store("h_x", 6, h_x_fresh[i])
+        h_x = np.stack(
+            [accelerator._scratchpad.load("h_x") for accelerator in self.accelerators]
+        )
+
+        quantities = {
+            "jacobian": jacobian,
+            "mass_matrix": np.stack(
+                [accelerator._scratchpad.load("mass") for accelerator in self.accelerators]
+            ),
+            "lambda_x": lambda_x,
+            "h_x": h_x,
+        }
+        torques = self.accelerators[0].controller.torque_lanes(
+            reference_poses,
+            reference_velocities,
+            reference_accelerations,
+            q,
+            qd,
+            quantities=quantities,
+        )
+
+        cycles = np.zeros(lanes, dtype=np.int64)
+        for lane, accelerator in enumerate(self.accelerators):
+            accelerator._exercise_buffers()
+            accelerator._last_qd = qd[lane]
+            count = accelerator._exposed["base"]
+            for group in ("jacobian", "mass", "bias"):
+                if updated[lane][group]:
+                    count += accelerator._exposed[group]
+            accelerator.cycle_log.append(count)
+            cycles[lane] = count
+        return LaneTickResult(torques=torques, cycles=cycles, updated=updated)

@@ -15,7 +15,9 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.accelerator.accelerator import CorkiAccelerator
+from repro.accelerator.lanes import AcceleratorLanes
 from repro.core.trajectory import CubicTrajectory, fit_cubic
+from repro.robot.batched import pose_error_lanes, semi_implicit_euler_step_lanes
 from repro.robot.control import TaskSpaceComputedTorqueController, TaskSpaceReference
 from repro.robot.integrators import JointState, semi_implicit_euler_step
 from repro.robot.kinematics import end_effector_pose
@@ -25,6 +27,7 @@ __all__ = [
     "TrackingReport",
     "sample_trajectory",
     "track_trajectory",
+    "track_trajectories_lanes",
     "ThresholdPoint",
     "threshold_sweep",
 ]
@@ -133,6 +136,119 @@ def track_trajectory(
     )
 
 
+def track_trajectories_lanes(
+    model: RobotModel,
+    trajectories: list[CubicTrajectory],
+    control_hz: float = 100.0,
+    physics_hz: float = 500.0,
+    accelerators: list[CorkiAccelerator] | None = None,
+    noise_seed: int = 0,
+) -> list[TrackingReport]:
+    """:func:`track_trajectory` for a whole fleet of lanes in lockstep.
+
+    Lane ``i`` tracks ``trajectories[i]`` (through ``accelerators[i]`` when
+    accelerators are supplied, otherwise through the software controller),
+    and every report -- plus every accelerator's ACE state and cycle log --
+    is bitwise what the scalar function would have produced for that lane.
+    Each lane draws its noise from its own ``default_rng(noise_seed)`` in
+    the scalar draw order, so lane streams are independent of fleet size.
+    All lanes must share the physics step count (equal-duration
+    trajectories); physics, control, and error evaluation then run as
+    stacked ``(lanes, ...)`` kernels.
+    """
+    lanes = len(trajectories)
+    if lanes == 0:
+        return []
+    if accelerators is not None and len(accelerators) != lanes:
+        raise ValueError("need exactly one accelerator per trajectory lane")
+    dt = 1.0 / physics_hz
+    control_interval = max(1, int(round(physics_hz / control_hz)))
+    step_counts = {int(trajectory.duration * physics_hz) for trajectory in trajectories}
+    if len(step_counts) != 1:
+        raise ValueError("lockstep lanes need trajectories of equal duration")
+    steps = step_counts.pop()
+
+    controller = TaskSpaceComputedTorqueController(model)
+    bank = None if accelerators is None else AcceleratorLanes(accelerators)
+    noises = [np.random.default_rng(noise_seed) for _ in range(lanes)]
+    q = np.tile(model.q_home.copy(), (lanes, 1))
+    qd = np.zeros((lanes, model.dof))
+
+    tau = np.zeros((lanes, model.dof))
+    reference_poses = np.zeros((lanes, 6))
+    reference_velocities = np.zeros((lanes, 6))
+    reference_accelerations = np.zeros((lanes, 6))
+    errors: list[list[float]] = [[] for _ in range(lanes)]
+    for k in range(steps):
+        t = k * dt
+        for lane, trajectory in enumerate(trajectories):
+            reference_poses[lane] = trajectory.pose(t)
+            reference_velocities[lane] = trajectory.velocity(t)
+            reference_accelerations[lane] = trajectory.acceleration(t)
+        if k % control_interval == 0:
+            q_measured = np.stack(
+                [
+                    q[lane] + noises[lane].normal(0.0, MEASUREMENT_NOISE_Q, model.dof)
+                    for lane in range(lanes)
+                ]
+            )
+            qd_measured = np.stack(
+                [
+                    qd[lane] + noises[lane].normal(0.0, MEASUREMENT_NOISE_QD, model.dof)
+                    for lane in range(lanes)
+                ]
+            )
+            if bank is None:
+                tau = controller.torque_lanes(
+                    reference_poses,
+                    reference_velocities,
+                    reference_accelerations,
+                    q_measured,
+                    qd_measured,
+                )
+            else:
+                tau = bank.control_tick_lanes(
+                    reference_poses,
+                    reference_velocities,
+                    reference_accelerations,
+                    q_measured,
+                    qd_measured,
+                ).torques
+        disturbance = np.stack(
+            [
+                noises[lane].normal(0.0, TORQUE_DISTURBANCE_NM, model.dof)
+                for lane in range(lanes)
+            ]
+        )
+        q, qd = semi_implicit_euler_step_lanes(model, q, qd, tau + disturbance, dt)
+        error = pose_error_lanes(model, q, reference_poses)
+        for lane in range(lanes):
+            errors[lane].append(float(np.linalg.norm(error[lane, :3])))
+
+    reports = []
+    for lane, trajectory in enumerate(trajectories):
+        lane_errors = np.asarray(errors[lane])
+        final_pose = end_effector_pose(model, q[lane])
+        commanded = trajectory.pose(trajectory.duration)[:3] - trajectory.origin[:3]
+        realised = final_pose[:3] - trajectory.origin[:3]
+        denominator = float(np.linalg.norm(commanded))
+        gain = (
+            float(np.dot(realised, commanded) / denominator**2)
+            if denominator > 1e-9
+            else 1.0
+        )
+        reports.append(
+            TrackingReport(
+                control_hz=control_hz,
+                rmse_m=float(np.sqrt(np.mean(lane_errors**2))),
+                max_error_m=float(lane_errors.max()),
+                per_frame_gain=gain,
+                skip_rate=None if accelerators is None else accelerators[lane].skip_rate,
+            )
+        )
+    return reports
+
+
 @dataclass(frozen=True)
 class ThresholdPoint:
     """One point of the Fig. 15 sweep."""
@@ -149,12 +265,19 @@ def threshold_sweep(
     seed: int = 3,
     control_hz: float = 100.0,
     physics_hz: float = 500.0,
+    batched: bool = True,
 ) -> list[ThresholdPoint]:
     """Sweep the ACE threshold: speedup and trajectory error (paper Fig. 15).
 
     Speedup is the mean control-tick cycle count at threshold zero divided
     by the mean at the swept threshold; trajectory error is the RMSE of
     TS-CTC tracking with the approximating accelerator in the loop.
+
+    With ``batched`` (the default) each threshold tracks all sampled
+    trajectories as one lockstep fleet through the lane kernels;
+    ``batched=False`` runs the scalar reference loop.  The outputs are
+    bitwise identical either way -- the differential test harness pins
+    that down.
     """
     thresholds = thresholds if thresholds is not None else [0.0, 0.2, 0.4, 0.6, 0.8]
     model = panda()
@@ -167,15 +290,28 @@ def threshold_sweep(
         cycle_counts: list[int] = []
         errors = []
         skip_rates = []
-        for trajectory in samples:
-            accelerator = CorkiAccelerator(model, threshold=threshold)
-            report = track_trajectory(
-                model, trajectory, control_hz=control_hz, physics_hz=physics_hz,
-                accelerator=accelerator,
+        if batched:
+            accelerators = [
+                CorkiAccelerator(model, threshold=threshold) for _ in samples
+            ]
+            reports = track_trajectories_lanes(
+                model, samples, control_hz=control_hz, physics_hz=physics_hz,
+                accelerators=accelerators,
             )
-            cycle_counts.extend(accelerator.cycle_log)
-            errors.append(report.rmse_m)
-            skip_rates.append(accelerator.skip_rate)
+            for accelerator, report in zip(accelerators, reports):
+                cycle_counts.extend(accelerator.cycle_log)
+                errors.append(report.rmse_m)
+                skip_rates.append(accelerator.skip_rate)
+        else:
+            for trajectory in samples:
+                accelerator = CorkiAccelerator(model, threshold=threshold)
+                report = track_trajectory(
+                    model, trajectory, control_hz=control_hz, physics_hz=physics_hz,
+                    accelerator=accelerator,
+                )
+                cycle_counts.extend(accelerator.cycle_log)
+                errors.append(report.rmse_m)
+                skip_rates.append(accelerator.skip_rate)
         mean_cycles = float(np.mean(cycle_counts))
         if reference_cycles is None:
             reference_cycles = mean_cycles

@@ -24,6 +24,7 @@ import numpy as np
 
 from repro.analysis.metrics import JobStatistics, TrajectoryMetrics, job_statistics, trajectory_metrics
 from repro.core.config import CorkiVariation, VARIATIONS
+from repro.pipeline.estimate import PipelineEstimate, estimate_lanes
 from repro.core.fleet import FleetLane, FleetRunner
 from repro.core.policy import BaselinePolicy, CorkiPolicy
 from repro.core.runner import MAX_EPISODE_FRAMES, EpisodeTrace
@@ -47,6 +48,7 @@ __all__ = [
     "SystemEvaluation",
     "FamilyCell",
     "get_trained_policies",
+    "lane_estimates",
     "lane_generators",
     "roll_lane_chunk",
     "evaluate_system",
@@ -143,6 +145,22 @@ class SystemEvaluation:
     job_stats: JobStatistics
     traces: list[EpisodeTrace] = field(repr=False)
     completed_counts: list[int] = field(default_factory=list)
+    estimates: list[PipelineEstimate] = field(default_factory=list)
+    lane_steps: list[list[int]] = field(default_factory=list, repr=False)
+
+    @property
+    def mean_estimated_latency_ms(self) -> float:
+        """Mean per-frame latency estimate across lanes (0.0 if none)."""
+        if not self.estimates:
+            return 0.0
+        return float(np.mean([estimate.mean_latency_ms for estimate in self.estimates]))
+
+    @property
+    def mean_estimated_energy_j(self) -> float:
+        """Mean per-frame energy estimate across lanes (0.0 if none)."""
+        if not self.estimates:
+            return 0.0
+        return float(np.mean([estimate.mean_energy_j for estimate in self.estimates]))
 
     @property
     def executed_steps(self) -> list[int]:
@@ -330,11 +348,41 @@ def evaluate_system(
     )
     completed = [sum(trace.success for trace in job_traces) for job_traces in per_lane]
     traces = [trace for job_traces in per_lane for trace in job_traces]
+    lane_steps = [
+        [step for trace in job_traces for step in trace.executed_steps]
+        for job_traces in per_lane
+    ]
     return SystemEvaluation(
         name=system,
         job_stats=job_statistics(completed, JOB_LENGTH),
         traces=traces,
         completed_counts=completed,
+        estimates=lane_estimates(system, lane_steps, seed),
+        lane_steps=lane_steps,
+    )
+
+
+def lane_estimates(
+    system: str,
+    lane_steps: list[list[int]],
+    seed: int,
+    lane_indices: list[int] | None = None,
+) -> list[PipelineEstimate]:
+    """Latency/energy estimates for rolled lanes, one batched kernel call.
+
+    ``lane_steps[k]`` is lane ``k``'s concatenated ``executed_steps`` record;
+    jitter is keyed ``(seed, global lane index)``, so an estimate depends
+    only on the lane's own identity -- the same fleet-size/worker-count
+    invariance the rollout itself guarantees.  Lanes that executed nothing
+    are skipped.
+    """
+    if lane_indices is None:
+        lane_indices = list(range(len(lane_steps)))
+    kept = [(index, steps) for index, steps in zip(lane_indices, lane_steps) if steps]
+    if not kept:
+        return []
+    return estimate_lanes(
+        system, [steps for _, steps in kept], seed, [index for index, _ in kept]
     )
 
 
@@ -367,11 +415,15 @@ def evaluate_all_systems(
         )
     if systems is None:
         corki5 = results["corki-5"]
+        # Same episodes, different substrate: corki-sw's *estimates* are
+        # re-priced under its CPU-control stage model, not copied.
         results["corki-sw"] = SystemEvaluation(
             name="corki-sw",
             job_stats=corki5.job_stats,
             traces=list(corki5.traces),
             completed_counts=list(corki5.completed_counts),
+            estimates=lane_estimates("corki-sw", corki5.lane_steps, seed),
+            lane_steps=[list(steps) for steps in corki5.lane_steps],
         )
     return results
 
@@ -425,7 +477,8 @@ def evaluate_system_families(
     seed: int = 4321,
     fleet_size: int = DEFAULT_FLEET_SIZE,
     workers: int = 1,
-) -> dict[str, FamilyCell]:
+    return_estimates: bool = False,
+) -> dict[str, FamilyCell] | tuple[dict[str, FamilyCell], list[PipelineEstimate]]:
     """Per-family success matrix row for one system (the Tbl. 2-style view).
 
     Every registry task runs ``episodes_per_task`` single-task episodes as
@@ -433,7 +486,8 @@ def evaluate_system_families(
     chunks (sharded across processes when ``workers > 1``).  Lane seeding
     follows :func:`evaluate_system` -- ``(seed, lane)`` derived generators --
     so the matrix is deterministic, fleet-size invariant and worker-count
-    invariant.
+    invariant.  With ``return_estimates`` the per-lane latency/energy
+    estimates (:func:`lane_estimates`) ride along as a second return value.
     """
     specs = [task for task in TASKS for _ in range(episodes_per_task)]
     lane_jobs = [[task] for task in specs]
@@ -442,7 +496,14 @@ def evaluate_system_families(
         (task.family, task.instruction, bool(lane_traces[0].success))
         for task, lane_traces in zip(specs, per_lane)
     ]
-    return _aggregate_families(outcomes)
+    cells = _aggregate_families(outcomes)
+    if not return_estimates:
+        return cells
+    lane_steps = [
+        [step for trace in lane_traces for step in trace.executed_steps]
+        for lane_traces in per_lane
+    ]
+    return cells, lane_estimates(system, lane_steps, seed)
 
 
 def oracle_episode_outcome(

@@ -291,9 +291,15 @@ class FleetRunner:
         self,
         baseline: BaselinePolicy | None = None,
         corki: CorkiPolicy | None = None,
+        estimator=None,
     ):
         self.baseline = baseline
         self.corki = corki
+        #: optional :class:`repro.pipeline.estimate.FleetEstimator`; when
+        #: set, every tick hands it the lanes that advanced a camera frame
+        #: so per-lane latency/energy estimates accumulate alongside the
+        #: rollout (no effect on episode numerics).
+        self.estimator = estimator
 
     def _make_state(self, index: int, env: ManipulationEnv, lane: FleetLane) -> _LaneState:
         """Admit one lane into slot ``index``: reset its env, build its state."""
@@ -495,6 +501,8 @@ class FleetRunner:
             for state, observation, success in zip(active, observations, succeeded)
             if state.after_step(observation, bool(success))
         ]
+        if self.estimator is not None:
+            self.estimator.observe(active)
         if not feedback:
             return
         assert self.corki is not None

@@ -34,8 +34,10 @@ def family_table(scenario: str, profile: Profile | None = None) -> str:
         episodes_per_task=resolved.family_episodes,
         workers=resolved.workers,
     )
-    systems = {
-        name: evaluate_system_families(
+    systems = {}
+    estimates = {}
+    for name in _SYSTEMS:
+        systems[name], estimates[name] = evaluate_system_families(
             context.policies(),
             name,
             layout,
@@ -43,9 +45,8 @@ def family_table(scenario: str, profile: Profile | None = None) -> str:
             seed=resolved.eval_seed,
             fleet_size=resolved.fleet_size,
             workers=resolved.workers,
+            return_estimates=True,
         )
-        for name in _SYSTEMS
-    }
     rows = []
     for family in TASK_FAMILIES:
         count = len(tasks_by_family(family))
@@ -55,7 +56,7 @@ def family_table(scenario: str, profile: Profile | None = None) -> str:
         )
     headers = ["family", "tasks", "expert oracle", *_SYSTEMS]
     episodes = resolved.family_episodes
-    return format_table(
+    table = format_table(
         headers,
         rows,
         title=(
@@ -63,6 +64,17 @@ def family_table(scenario: str, profile: Profile | None = None) -> str:
             f"({len(TASKS)} instructions, {episodes} episodes/task)"
         ),
     )
+    footer = ["estimated pipeline cost per frame (lane-batched latency/energy model):"]
+    for name in _SYSTEMS:
+        lanes = estimates[name]
+        if not lanes:
+            continue
+        latency = sum(e.mean_latency_ms for e in lanes) / len(lanes)
+        energy = sum(e.mean_energy_j for e in lanes) / len(lanes)
+        footer.append(
+            f"  {name}: {latency:.1f} ms ({1000.0 / latency:.1f} Hz), {energy:.2f} J"
+        )
+    return table + "\n" + "\n".join(footer)
 
 
 def run(profile: Profile | None = None) -> str:

@@ -3,18 +3,33 @@
 Fixed-step variations execute exactly T steps per inference; Corki-ADAP's
 execution lengths come from its measured accuracy rollouts, which is how the
 paper couples the two evaluations.
+
+Every system's jitter stream is keyed ``(seed, system name)`` through
+:func:`repro.pipeline.system_jitter_rng` -- the figure's systems used to
+share one sequential ``default_rng(3)`` stream, so adding or removing a
+system silently shifted every later system's numbers.  With keyed streams
+the figure evaluates all systems as one :func:`repro.pipeline.simulate_lanes`
+batch, byte-identical to simulating each system alone through the scalar
+reference (the differential harness asserts both properties).
 """
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro.analysis.reporting import format_table
 from repro.experiments.context import shared_context
 from repro.experiments.profiles import Profile
-from repro.pipeline import SystemStages, simulate_baseline, simulate_corki
+from repro.pipeline import (
+    PipelineLane,
+    SystemStages,
+    simulate_baseline,
+    simulate_corki,
+    simulate_lanes,
+    system_jitter_rng,
+)
 
-__all__ = ["run", "system_traces"]
+__all__ = ["run", "system_lanes", "system_traces"]
+
+_JITTER_SEED = 3
 
 _PAPER_SPEEDUP = {
     "corki-1": "1.2x", "corki-3": "~3x", "corki-5": "(26.9 Hz)", "corki-7": "~7x",
@@ -22,27 +37,75 @@ _PAPER_SPEEDUP = {
 }
 
 
-def system_traces(profile: Profile | None = None):
-    """Pipeline traces for the baseline and every Corki variation."""
+def system_lanes(frames: int, adap_steps: list[int]) -> list[PipelineLane]:
+    """The figure's lane specifications, pure in ``(frames, adap_steps)``.
+
+    One lane per system, each with its own ``(seed, name)``-keyed jitter
+    generator, so any subset of the systems simulates to the same bytes.
+    """
+    lanes = [
+        PipelineLane(
+            "roboflamingo",
+            frames=frames,
+            rng=system_jitter_rng(_JITTER_SEED, "roboflamingo"),
+        )
+    ]
+    for steps_taken in (1, 3, 5, 7, 9):
+        name = f"corki-{steps_taken}"
+        lanes.append(
+            PipelineLane(
+                name,
+                executed_steps=tuple([steps_taken] * max(1, frames // steps_taken)),
+                rng=system_jitter_rng(_JITTER_SEED, name),
+            )
+        )
+    lanes.append(
+        PipelineLane(
+            "corki-adap",
+            executed_steps=tuple(adap_steps),
+            rng=system_jitter_rng(_JITTER_SEED, "corki-adap"),
+        )
+    )
+    lanes.append(
+        PipelineLane(
+            "corki-sw",
+            executed_steps=tuple([5] * max(1, frames // 5)),
+            stages=SystemStages.corki(control="cpu"),
+            rng=system_jitter_rng(_JITTER_SEED, "corki-sw"),
+        )
+    )
+    return lanes
+
+
+def system_traces(profile: Profile | None = None, batched: bool = True):
+    """Pipeline traces for the baseline and every Corki variation.
+
+    ``batched`` evaluates all systems in one :func:`simulate_lanes` call
+    (returning per-system :class:`~repro.pipeline.TraceView` lanes);
+    ``batched=False`` runs the scalar reference executors.  Both paths key
+    jitter per system, so the bytes are identical either way.
+    """
     context = shared_context(profile)
     frames = context.profile.pipeline_frames
-    rng = np.random.default_rng(3)
-    traces = {"roboflamingo": simulate_baseline(frames, rng=rng)}
-
-    for steps_taken in (1, 3, 5, 7, 9):
-        trajectories = [steps_taken] * max(1, frames // steps_taken)
-        traces[f"corki-{steps_taken}"] = simulate_corki(
-            trajectories, rng=rng, name=f"corki-{steps_taken}"
-        )
-
     adap_steps = context.evaluations("seen")["corki-adap"].executed_steps
     if not adap_steps:
         adap_steps = [5]
-    traces["corki-adap"] = simulate_corki(adap_steps, rng=rng, name="corki-adap")
-    traces["corki-sw"] = simulate_corki(
-        [5] * max(1, frames // 5), stages=SystemStages.corki(control="cpu"),
-        rng=rng, name="corki-sw",
-    )
+    lanes = system_lanes(frames, adap_steps)
+    if batched:
+        return {view.name: view for view in simulate_lanes(lanes)}
+    traces = {}
+    for lane in lanes:
+        if lane.frames is not None:
+            traces[lane.name] = simulate_baseline(
+                lane.frames, stages=lane.stages, rng=lane.rng, name=lane.name
+            )
+        else:
+            traces[lane.name] = simulate_corki(
+                list(lane.executed_steps),
+                stages=lane.stages,
+                rng=lane.rng,
+                name=lane.name,
+            )
     return traces
 
 

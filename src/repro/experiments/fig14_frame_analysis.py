@@ -6,6 +6,10 @@ Corki-ADAP.  Corki's series shows the paper's crest/trough structure
 latencies exposes Corki's heavier tail relative to its mean, quantified by
 the coefficient-of-variation comparison the paper reports (the baseline's
 relative variation is 56.0% lower than Corki's).
+
+Like Fig. 13, jitter streams are keyed ``(seed, system name)`` (the three
+systems used to share one sequential generator) and the three sequences
+evaluate as one :func:`repro.pipeline.simulate_lanes` batch.
 """
 
 from __future__ import annotations
@@ -15,30 +19,69 @@ import numpy as np
 from repro.analysis.reporting import format_series
 from repro.experiments.context import shared_context
 from repro.experiments.profiles import Profile
-from repro.pipeline import simulate_baseline, simulate_corki
+from repro.pipeline import (
+    PipelineLane,
+    simulate_baseline,
+    simulate_corki,
+    simulate_lanes,
+    system_jitter_rng,
+)
 
-__all__ = ["run", "frame_traces"]
+__all__ = ["run", "frame_lanes", "frame_traces"]
 
 _SEQUENCE_FRAMES = 100
+_JITTER_SEED = 14
 
 
-def frame_traces(profile: Profile | None = None):
-    """Per-frame traces for one sequence: baseline, Corki-5, Corki-ADAP."""
-    context = shared_context(profile)
-    rng = np.random.default_rng(14)
-    baseline = simulate_baseline(_SEQUENCE_FRAMES, rng=rng)
-    corki5 = simulate_corki([5] * (_SEQUENCE_FRAMES // 5), rng=rng, name="corki-5")
-
-    adap_eval = context.evaluations("seen")["corki-adap"]
+def frame_lanes(adap_steps: list[int]) -> list[PipelineLane]:
+    """The figure's lane specifications: baseline, Corki-5, Corki-ADAP."""
     steps: list[int] = []
-    for value in adap_eval.executed_steps:
+    for value in adap_steps:
         steps.append(value)
         if sum(steps) >= _SEQUENCE_FRAMES:
             break
     if not steps:
         steps = [5] * (_SEQUENCE_FRAMES // 5)
-    adap = simulate_corki(steps, rng=rng, name="corki-adap")
-    return {"roboflamingo": baseline, "corki-5": corki5, "corki-adap": adap}
+    return [
+        PipelineLane(
+            "roboflamingo",
+            frames=_SEQUENCE_FRAMES,
+            rng=system_jitter_rng(_JITTER_SEED, "roboflamingo"),
+        ),
+        PipelineLane(
+            "corki-5",
+            executed_steps=tuple([5] * (_SEQUENCE_FRAMES // 5)),
+            rng=system_jitter_rng(_JITTER_SEED, "corki-5"),
+        ),
+        PipelineLane(
+            "corki-adap",
+            executed_steps=tuple(steps),
+            rng=system_jitter_rng(_JITTER_SEED, "corki-adap"),
+        ),
+    ]
+
+
+def frame_traces(profile: Profile | None = None, batched: bool = True):
+    """Per-frame traces for one sequence: baseline, Corki-5, Corki-ADAP."""
+    context = shared_context(profile)
+    adap_eval = context.evaluations("seen")["corki-adap"]
+    lanes = frame_lanes(list(adap_eval.executed_steps))
+    if batched:
+        return {view.name: view for view in simulate_lanes(lanes)}
+    traces = {}
+    for lane in lanes:
+        if lane.frames is not None:
+            traces[lane.name] = simulate_baseline(
+                lane.frames, stages=lane.stages, rng=lane.rng, name=lane.name
+            )
+        else:
+            traces[lane.name] = simulate_corki(
+                list(lane.executed_steps),
+                stages=lane.stages,
+                rng=lane.rng,
+                name=lane.name,
+            )
+    return traces
 
 
 def run(profile: Profile | None = None) -> str:

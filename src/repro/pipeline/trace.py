@@ -4,6 +4,25 @@ The executor produces one :class:`FrameRecord` per camera frame; this module
 aggregates them into the quantities the paper's figures report: mean frame
 latency and energy (Fig. 13), per-stage breakdowns (Fig. 2), frame-by-frame
 series and sorted long-tail curves (Fig. 14), and speedups between systems.
+
+Two storage layouts share one statistics implementation
+(:class:`TraceStatistics`):
+
+* :class:`PipelineTrace` -- the scalar layout, a list of
+  :class:`FrameRecord` objects, produced by the frame-by-frame executor
+  functions and consumed by everything written before the fleet path.
+* :class:`TraceArrays` -- the lane-batched layout, six stacked ``(lane,
+  frame)`` arrays with per-lane frame counts, produced by
+  :func:`repro.pipeline.executor.simulate_lanes`.  A :class:`TraceView` is
+  one lane's window into the stacked store -- the same idiom as
+  ``SceneArrays`` / ``SceneView`` in :mod:`repro.sim.objects` -- and
+  computes every statistic from the stacked rows directly, without
+  materialising records.
+
+Because both layouts feed the *same* reductions over the *same* float64
+values, a view's statistics are bitwise identical to the statistics of the
+scalar trace built from the same frames -- the equivalence contract
+``tests/test_batched_equivalence.py`` enforces.
 """
 
 from __future__ import annotations
@@ -12,7 +31,16 @@ from dataclasses import dataclass
 
 import numpy as np
 
-__all__ = ["FrameRecord", "PipelineTrace"]
+__all__ = ["FrameRecord", "PipelineTrace", "TraceArrays", "TraceView"]
+
+_STAGE_FIELDS = (
+    "inference_ms",
+    "control_ms",
+    "communication_ms",
+    "inference_j",
+    "control_j",
+    "communication_j",
+)
 
 
 @dataclass(frozen=True)
@@ -35,18 +63,25 @@ class FrameRecord:
         return self.inference_j + self.control_j + self.communication_j
 
 
-@dataclass
-class PipelineTrace:
-    """A sequence of frame records plus derived statistics."""
+class TraceStatistics:
+    """Derived statistics over per-frame stage arrays.
 
-    name: str
-    frames: list[FrameRecord]
+    Subclasses provide :meth:`stage_arrays` returning the six per-frame
+    float64 arrays in :data:`_STAGE_FIELDS` order; every reduction here runs
+    on those arrays, so any two layouts holding the same values report the
+    same statistics bit for bit.
+    """
+
+    def stage_arrays(self) -> tuple[np.ndarray, ...]:  # pragma: no cover - abstract
+        raise NotImplementedError
 
     def latencies_ms(self) -> np.ndarray:
-        return np.array([frame.latency_ms for frame in self.frames])
+        inference, control, communication = self.stage_arrays()[:3]
+        return inference + control + communication
 
     def energies_j(self) -> np.ndarray:
-        return np.array([frame.energy_j for frame in self.frames])
+        inference, control, communication = self.stage_arrays()[3:]
+        return inference + control + communication
 
     @property
     def mean_latency_ms(self) -> float:
@@ -61,11 +96,9 @@ class PipelineTrace:
         """Average frame rate the system sustains."""
         return 1000.0 / self.mean_latency_ms
 
-    def latency_breakdown(self) -> dict[str, float]:
-        """Mean per-stage latency shares (sums to 1.0)."""
-        inference = float(np.mean([f.inference_ms for f in self.frames]))
-        control = float(np.mean([f.control_ms for f in self.frames]))
-        communication = float(np.mean([f.communication_ms for f in self.frames]))
+    def _breakdown(self, offset: int) -> dict[str, float]:
+        arrays = self.stage_arrays()[offset : offset + 3]
+        inference, control, communication = (float(np.mean(a)) for a in arrays)
         total = inference + control + communication
         return {
             "inference": inference / total,
@@ -73,17 +106,13 @@ class PipelineTrace:
             "communication": communication / total,
         }
 
+    def latency_breakdown(self) -> dict[str, float]:
+        """Mean per-stage latency shares (sums to 1.0)."""
+        return self._breakdown(0)
+
     def energy_breakdown(self) -> dict[str, float]:
         """Mean per-stage energy shares (sums to 1.0)."""
-        inference = float(np.mean([f.inference_j for f in self.frames]))
-        control = float(np.mean([f.control_j for f in self.frames]))
-        communication = float(np.mean([f.communication_j for f in self.frames]))
-        total = inference + control + communication
-        return {
-            "inference": inference / total,
-            "control": control / total,
-            "communication": communication / total,
-        }
+        return self._breakdown(3)
 
     def sorted_latencies_ms(self) -> np.ndarray:
         """Descending latency curve, the paper's Fig. 14c long-tail view."""
@@ -95,10 +124,102 @@ class PipelineTrace:
         latencies = self.latencies_ms()
         return float(latencies.std() / latencies.mean())
 
-    def speedup_vs(self, other: "PipelineTrace") -> float:
+    def speedup_vs(self, other: "TraceStatistics") -> float:
         """How much faster this system's mean frame latency is than ``other``'s."""
         return other.mean_latency_ms / self.mean_latency_ms
 
-    def energy_reduction_vs(self, other: "PipelineTrace") -> float:
+    def energy_reduction_vs(self, other: "TraceStatistics") -> float:
         """Energy ratio ``other / self`` (>1 means this system saves energy)."""
         return other.mean_energy_j / self.mean_energy_j
+
+
+@dataclass
+class PipelineTrace(TraceStatistics):
+    """A sequence of frame records plus derived statistics."""
+
+    name: str
+    frames: list[FrameRecord]
+
+    def stage_arrays(self) -> tuple[np.ndarray, ...]:
+        return tuple(
+            np.array([getattr(frame, field) for frame in self.frames])
+            for field in _STAGE_FIELDS
+        )
+
+
+class TraceArrays:
+    """Stacked per-frame stage values for a batch of pipeline lanes.
+
+    ``counts[lane]`` frames of lane ``lane`` live in row ``lane`` of each
+    stacked ``(lanes, max_frames)`` array; cells past a lane's count are
+    zero padding that no view ever reads.  Lanes are addressed by index
+    (:meth:`view`) or by name (:meth:`by_name`).
+    """
+
+    def __init__(self, names: list[str], counts: np.ndarray):
+        self.names = list(names)
+        self.counts = np.asarray(counts, dtype=int)
+        if len(self.names) != len(self.counts):
+            raise ValueError("one frame count per lane name is required")
+        if len(self.counts) and self.counts.min() < 1:
+            raise ValueError("every lane needs at least one frame")
+        width = int(self.counts.max()) if len(self.counts) else 0
+        for field in _STAGE_FIELDS:
+            setattr(self, field, np.zeros((len(self.names), width)))
+
+    def __len__(self) -> int:
+        return len(self.names)
+
+    def __iter__(self):
+        return (self.view(lane) for lane in range(len(self)))
+
+    def view(self, lane: int) -> "TraceView":
+        """Lane ``lane``'s window into the stacked store."""
+        return TraceView(self, lane)
+
+    def by_name(self, name: str) -> "TraceView":
+        """The first lane named ``name``."""
+        return self.view(self.names.index(name))
+
+    def stage_rows(self, lane: int) -> tuple[np.ndarray, ...]:
+        """The six per-frame arrays of one lane (views into stacked storage)."""
+        count = self.counts[lane]
+        return tuple(
+            getattr(self, field)[lane, :count] for field in _STAGE_FIELDS
+        )
+
+
+class TraceView(TraceStatistics):
+    """One lane of a :class:`TraceArrays`, statistics included.
+
+    Reads go straight to the stacked arrays; :meth:`records` materialises
+    scalar :class:`FrameRecord` objects (and :meth:`to_trace` a full
+    :class:`PipelineTrace`) for callers that need the list layout.
+    """
+
+    __slots__ = ("_arrays", "_lane")
+
+    def __init__(self, arrays: TraceArrays, lane: int):
+        self._arrays = arrays
+        self._lane = lane
+
+    @property
+    def name(self) -> str:
+        return self._arrays.names[self._lane]
+
+    @property
+    def frame_count(self) -> int:
+        return int(self._arrays.counts[self._lane])
+
+    def stage_arrays(self) -> tuple[np.ndarray, ...]:
+        return self._arrays.stage_rows(self._lane)
+
+    def records(self) -> list[FrameRecord]:
+        """Scalar frame records of this lane, in frame order."""
+        return [
+            FrameRecord(*(float(column[k]) for column in self.stage_arrays()))
+            for k in range(self.frame_count)
+        ]
+
+    def to_trace(self) -> PipelineTrace:
+        return PipelineTrace(self.name, self.records())

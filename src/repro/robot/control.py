@@ -15,6 +15,11 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.robot.batched import (
+    _matvec,
+    operational_space_quantities_lanes,
+    pose_error_lanes,
+)
 from repro.robot.dynamics import operational_space_quantities
 from repro.robot.jacobian import geometric_jacobian
 from repro.robot.kinematics import forward_kinematics
@@ -112,6 +117,47 @@ class TaskSpaceComputedTorqueController:
         jbar_t = lambda_x @ jac @ np.linalg.inv(quantities["mass_matrix"])
         nullspace = np.eye(self.model.dof) - jac.T @ jbar_t
         tau = tau - nullspace @ (self.gains.nullspace_damping * np.asarray(qd))
+        return self.model.clamp_torque(tau)
+
+    def torque_lanes(
+        self,
+        reference_poses: np.ndarray,
+        reference_velocities: np.ndarray,
+        reference_accelerations: np.ndarray,
+        q: np.ndarray,
+        qd: np.ndarray,
+        quantities: dict[str, np.ndarray] | None = None,
+    ) -> np.ndarray:
+        """One TS-CTC cycle for N lanes at once; returns ``(N, dof)`` torques.
+
+        The lane-batched twin of :meth:`torque`: every input carries a
+        leading lane axis, ``quantities`` (when supplied, e.g. by the
+        accelerator's lane model) holds stacked operational-space terms, and
+        the arithmetic mirrors the scalar method operation for operation so
+        each lane's torques are bitwise those of the scalar call.
+        """
+        q = np.asarray(q, dtype=float)
+        qd = np.asarray(qd, dtype=float)
+        if quantities is None:
+            quantities = operational_space_quantities_lanes(self.model, q, qd)
+        jac = quantities["jacobian"]
+        jac_t = np.transpose(jac, (0, 2, 1))
+        lambda_x = quantities["lambda_x"]
+        h_x = quantities["h_x"]
+
+        error = pose_error_lanes(self.model, q, reference_poses)
+        velocity_error = np.asarray(reference_velocities, dtype=float) - _matvec(jac, qd)
+        command = (
+            np.asarray(reference_accelerations, dtype=float)
+            + self.gains.kp * error
+            + self.gains.kv * velocity_error
+        )
+        force = _matvec(lambda_x, command) + h_x
+        tau = _matvec(jac_t, force)
+
+        jbar_t = lambda_x @ jac @ np.linalg.inv(quantities["mass_matrix"])
+        nullspace = np.eye(self.model.dof) - jac_t @ jbar_t
+        tau = tau - _matvec(nullspace, self.gains.nullspace_damping * qd)
         return self.model.clamp_torque(tau)
 
     def tracking_twist(self, q: np.ndarray, qd: np.ndarray) -> np.ndarray:

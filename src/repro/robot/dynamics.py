@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.robot.batched import mass_matrix_lanes, rnea_lanes
 from repro.robot.jacobian import geometric_jacobian, jacobian_dot_qd
 from repro.robot.model import RobotModel
 from repro.robot.spatial import (
@@ -25,9 +26,11 @@ from repro.robot.spatial import (
 __all__ = [
     "joint_spatial_quantities",
     "rnea",
+    "rnea_reference",
     "bias_forces",
     "gravity_forces",
     "mass_matrix",
+    "mass_matrix_reference",
     "forward_dynamics",
     "task_space_mass_matrix",
     "task_space_bias_force",
@@ -69,6 +72,29 @@ def rnea(
     Returns the joint torques that realise accelerations ``qdd`` at state
     ``(q, qd)``.  Gravity defaults to the model's gravity vector; pass a zero
     vector to compute pure inertial/Coriolis torques.
+
+    The N=1 case of :func:`repro.robot.batched.rnea_lanes`; the recursion
+    itself lives there, and :func:`rnea_reference` keeps the frozen scalar
+    formulation the batched kernel is tested against bitwise.
+    """
+    q = np.asarray(q, dtype=float)
+    qd = np.asarray(qd, dtype=float)
+    qdd = np.asarray(qdd, dtype=float)
+    return rnea_lanes(model, q[None], qd[None], qdd[None], gravity)[0]
+
+
+def rnea_reference(
+    model: RobotModel,
+    q: np.ndarray,
+    qd: np.ndarray,
+    qdd: np.ndarray,
+    gravity: np.ndarray | None = None,
+) -> np.ndarray:
+    """Frozen scalar RNEA: the per-joint loop exactly as the paper derives it.
+
+    Kept verbatim as the differential-test reference for
+    :func:`repro.robot.batched.rnea_lanes` (and, transitively, for
+    :func:`rnea`, which delegates to the batched kernel).
     """
     qd = np.asarray(qd, dtype=float)
     qdd = np.asarray(qdd, dtype=float)
@@ -120,7 +146,17 @@ def gravity_forces(model: RobotModel, q: np.ndarray) -> np.ndarray:
 
 
 def mass_matrix(model: RobotModel, q: np.ndarray) -> np.ndarray:
-    """Joint-space mass matrix ``M(q)`` via the composite rigid body algorithm."""
+    """Joint-space mass matrix ``M(q)`` via the composite rigid body algorithm.
+
+    The N=1 case of :func:`repro.robot.batched.mass_matrix_lanes`;
+    :func:`mass_matrix_reference` keeps the frozen scalar CRBA.
+    """
+    return mass_matrix_lanes(model, np.asarray(q, dtype=float)[None])[0]
+
+
+def mass_matrix_reference(model: RobotModel, q: np.ndarray) -> np.ndarray:
+    """Frozen scalar CRBA, the differential-test reference for
+    :func:`repro.robot.batched.mass_matrix_lanes`."""
     xup, inertias = joint_spatial_quantities(model, q)
     n = model.dof
     composite = [inertia.copy() for inertia in inertias]

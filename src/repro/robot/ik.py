@@ -20,7 +20,7 @@ from repro.robot.kinematics import forward_kinematics
 from repro.robot.model import RobotModel
 from repro.robot.spatial import rotation_error, rpy_to_matrix
 
-__all__ = ["IkResult", "solve_ik", "trajectory_to_joint_path"]
+__all__ = ["IkResult", "ik_step", "solve_ik", "trajectory_to_joint_path"]
 
 
 @dataclass(frozen=True)
@@ -39,6 +39,32 @@ def _pose_error(model: RobotModel, q: np.ndarray, target_pose: np.ndarray) -> np
     position_error = target_pose[:3] - current[:3, 3]
     orientation_error = rotation_error(rpy_to_matrix(target_pose[3:]), current[:3, :3])
     return np.concatenate([position_error, orientation_error])
+
+
+def ik_step(
+    model: RobotModel,
+    q: np.ndarray,
+    target_pose: np.ndarray,
+    damping: float = 1e-3,
+    step_scale: float = 0.8,
+    posture_weight: float = 0.05,
+) -> np.ndarray:
+    """One damped-least-squares IK update toward ``target_pose``.
+
+    The iteration body of :func:`solve_ik`, exposed as the scalar reference
+    for :func:`repro.robot.batched.ik_step_lanes`: Jacobian-transpose step
+    through the damped gram matrix, posture pull through the nullspace
+    projector, then a joint-limit clamp.
+    """
+    error = _pose_error(model, q, target_pose)
+    jac = geometric_jacobian(model, q)
+    gram = jac @ jac.T + damping**2 * np.eye(6)
+    dq_task = jac.T @ np.linalg.solve(gram, error)
+    # Nullspace posture task toward home keeps the elbow from drifting.
+    pseudo_inverse = jac.T @ np.linalg.inv(gram)
+    nullspace = np.eye(model.dof) - pseudo_inverse @ jac
+    dq_posture = posture_weight * (model.q_home - q)
+    return model.clamp_configuration(q + step_scale * dq_task + nullspace @ dq_posture)
 
 
 def solve_ik(
@@ -69,15 +95,7 @@ def solve_ik(
         orientation_error = float(np.linalg.norm(error[3:]))
         if position_error < position_tolerance and orientation_error < orientation_tolerance:
             return IkResult(q, True, iterations, position_error, orientation_error)
-
-        jac = geometric_jacobian(model, q)
-        gram = jac @ jac.T + damping**2 * np.eye(6)
-        dq_task = jac.T @ np.linalg.solve(gram, error)
-        # Nullspace posture task toward home keeps the elbow from drifting.
-        pseudo_inverse = jac.T @ np.linalg.inv(gram)
-        nullspace = np.eye(model.dof) - pseudo_inverse @ jac
-        dq_posture = posture_weight * (model.q_home - q)
-        q = model.clamp_configuration(q + step_scale * dq_task + nullspace @ dq_posture)
+        q = ik_step(model, q, target_pose, damping, step_scale, posture_weight)
 
     error = _pose_error(model, q, target_pose)
     return IkResult(

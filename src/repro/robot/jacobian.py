@@ -4,20 +4,36 @@ The Jacobian maps joint velocities to the end-effector spatial velocity
 ``[v; omega]`` (linear on top, angular below) expressed in the world frame.
 This is one of the five key computing blocks of the TS-CTC control law that
 the Corki accelerator implements (paper Fig. 6).
+
+The public functions are the N=1 case of the lane-batched kernels in
+:mod:`repro.robot.batched`; the ``*_reference`` twins keep the frozen
+scalar formulations those kernels are differential-tested against bitwise.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.robot.batched import geometric_jacobian_lanes, jacobian_dot_qd_lanes
 from repro.robot.kinematics import link_transforms
 from repro.robot.model import RobotModel
 
-__all__ = ["geometric_jacobian", "jacobian_dot_qd", "end_effector_velocity"]
+__all__ = [
+    "geometric_jacobian",
+    "geometric_jacobian_reference",
+    "jacobian_dot_qd",
+    "jacobian_dot_qd_reference",
+    "end_effector_velocity",
+]
 
 
 def geometric_jacobian(model: RobotModel, q: np.ndarray) -> np.ndarray:
     """The 6xN world-frame geometric Jacobian at the end-effector."""
+    return geometric_jacobian_lanes(model, np.asarray(q, dtype=float)[None])[0]
+
+
+def geometric_jacobian_reference(model: RobotModel, q: np.ndarray) -> np.ndarray:
+    """Frozen scalar Jacobian construction (one column per joint)."""
     transforms = link_transforms(model, q)
     p_ee = (transforms[-1] @ model.flange)[:3, 3]
     jac = np.zeros((6, model.dof))
@@ -41,13 +57,22 @@ def jacobian_dot_qd(
     joint velocity using a central difference, which avoids carrying the full
     rank-3 Jacobian derivative tensor: ``Jdot @ qd = d/ds J(q + s qd)|_0 @ qd``.
     """
+    q = np.asarray(q, dtype=float)
+    qd = np.asarray(qd, dtype=float)
+    return jacobian_dot_qd_lanes(model, q[None], qd[None], step)[0]
+
+
+def jacobian_dot_qd_reference(
+    model: RobotModel, q: np.ndarray, qd: np.ndarray, step: float = 1e-6
+) -> np.ndarray:
+    """Frozen scalar central-difference ``Jdot @ qd`` (early-out at rest)."""
     qd = np.asarray(qd, dtype=float)
     speed = float(np.linalg.norm(qd))
     if speed < 1e-12:
         return np.zeros(6)
     direction = qd / speed
-    j_plus = geometric_jacobian(model, q + step * direction)
-    j_minus = geometric_jacobian(model, q - step * direction)
+    j_plus = geometric_jacobian_reference(model, q + step * direction)
+    j_minus = geometric_jacobian_reference(model, q - step * direction)
     jdot = (j_plus - j_minus) / (2.0 * step) * speed
     return jdot @ qd
 

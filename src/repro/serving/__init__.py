@@ -19,15 +19,22 @@ See ``docs/serving.md`` for the request lifecycle, cache-key anatomy and
 measured throughput, and ``examples/serving_client.py`` for a walkthrough.
 """
 
-from repro.serving.cache import ResultCache, policy_digest, result_key
+from repro.serving.cache import CACHE_SCHEMA, ResultCache, policy_digest, result_key
 from repro.serving.jsonl import serve_jsonl
-from repro.serving.service import EpisodeRequest, EvaluationService, ServedResult
+from repro.serving.service import (
+    EpisodeRequest,
+    EvaluationService,
+    ServedResult,
+    estimate_for_request,
+)
 
 __all__ = [
+    "CACHE_SCHEMA",
     "EpisodeRequest",
     "EvaluationService",
     "ResultCache",
     "ServedResult",
+    "estimate_for_request",
     "policy_digest",
     "result_key",
     "serve_jsonl",

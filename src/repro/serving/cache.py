@@ -49,8 +49,14 @@ __all__ = [
     "decode_traces",
 ]
 
-CACHE_SCHEMA = "repro-result-cache/1"
-"""Versions the key *and* payload layout; bumping it invalidates every entry."""
+CACHE_SCHEMA = "repro-result-cache/2"
+"""Versions the key *and* payload layout; bumping it invalidates every entry.
+
+Schema 2 (the estimate-era schema): payloads embed the schema marker, so a
+pre-bump payload that somehow lands under a current key (hand-copied files,
+a downgraded writer) fails validation and is evicted as corrupt -- the lane
+re-rolls instead of serving a result the estimate path cannot vouch for.
+"""
 
 _DIGEST_CACHE: dict[int, tuple[weakref.ref, str]] = {}
 
@@ -128,7 +134,10 @@ def result_key(
 
 def encode_traces(traces: list[EpisodeTrace]) -> bytes:
     """Serialize one lane's trace list to npz bytes (float64-exact)."""
-    arrays: dict[str, np.ndarray] = {"count": np.array(len(traces))}
+    arrays: dict[str, np.ndarray] = {
+        "schema": np.array(CACHE_SCHEMA),
+        "count": np.array(len(traces)),
+    }
     for index, trace in enumerate(traces):
         arrays[f"success_{index}"] = np.array(trace.success)
         arrays[f"frames_{index}"] = np.array(trace.frames)
@@ -142,8 +151,15 @@ def encode_traces(traces: list[EpisodeTrace]) -> bytes:
 
 
 def decode_traces(payload: bytes) -> list[EpisodeTrace]:
-    """Inverse of :func:`encode_traces`; raises on any malformed payload."""
+    """Inverse of :func:`encode_traces`; raises on any malformed payload.
+
+    The embedded schema marker is validated first: payloads written under an
+    older schema (or missing the marker entirely) raise, which the cache
+    treats as a corrupt entry -- evict and re-roll, never serve stale layout.
+    """
     with np.load(io.BytesIO(payload)) as archive:
+        if "schema" not in archive.files or str(archive["schema"]) != CACHE_SCHEMA:
+            raise ValueError("cache payload written under a different schema")
         count = int(archive["count"])
         return [
             EpisodeTrace(

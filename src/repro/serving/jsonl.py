@@ -11,7 +11,14 @@ flushes are served together, so clients that stream several lines before a
 blank line get full continuous-batching throughput.  Each request yields one
 response line, in request order::
 
-    {"id": "r1", "cached": false, "successes": [true], "frames": [41], "executed_steps": [[5, 5, ...]]}
+    {"id": "r1", "cached": false, "successes": [true], "frames": [41],
+     "executed_steps": [[5, 5, ...]],
+     "estimate": {"system": "corki-5", "frames": 41, "mean_latency_ms": ..., "mean_energy_j": ...}}
+
+The ``estimate`` block prices the episode's measured frame structure through
+the lane-batched pipeline latency/energy model; it is a pure function of the
+request identity and the traces, so cached and fresh responses carry
+identical estimates.
 
 Operations: ``{"op": "stats"}`` flushes, then reports service/cache
 counters.  A malformed line yields ``{"error": ...}`` (with the request's
@@ -66,6 +73,8 @@ def response_to_json(result, request_id=None) -> dict:
         "frames": [trace.frames for trace in result.traces],
         "executed_steps": [list(trace.executed_steps) for trace in result.traces],
     }
+    if result.estimate is not None:
+        response["estimate"] = result.estimate.to_json()
     if request_id is not None:
         response = {"id": request_id, **response}
     return response

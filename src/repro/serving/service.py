@@ -38,9 +38,10 @@ from dataclasses import dataclass, field
 from repro.core.config import VARIATIONS
 from repro.core.fleet import FleetLane, FleetRunner
 from repro.core.runner import MAX_EPISODE_FRAMES, EpisodeTrace
+from repro.pipeline.estimate import PipelineEstimate, estimate_from_steps
 from repro.serving.cache import ResultCache
 
-__all__ = ["EpisodeRequest", "ServedResult", "EvaluationService"]
+__all__ = ["EpisodeRequest", "ServedResult", "EvaluationService", "estimate_for_request"]
 
 
 @dataclass(frozen=True)
@@ -86,10 +87,29 @@ class ServedResult:
     request: EpisodeRequest
     traces: list[EpisodeTrace] = field(repr=False)
     cached: bool = False
+    estimate: PipelineEstimate | None = None
 
     @property
     def successes(self) -> list[bool]:
         return [bool(trace.success) for trace in self.traces]
+
+
+def estimate_for_request(
+    request: EpisodeRequest, traces: list[EpisodeTrace]
+) -> PipelineEstimate | None:
+    """The latency/energy estimate of one served request.
+
+    A pure function of the request identity and the traces' frame structure
+    (jitter keyed ``(seed, lane)`` like every other lane stream), computed
+    the same way on the fresh and the cached path -- which is why a cache
+    hit's estimate is bitwise the fresh roll's.
+    """
+    steps = [step for trace in traces for step in trace.executed_steps]
+    if not steps:
+        return None
+    return estimate_from_steps(
+        request.system, steps, seed=request.seed, lane=request.lane
+    )
 
 
 def _resolve_layout(name: str):
@@ -187,7 +207,10 @@ class EvaluationService:
             key = self._key(request)
             hit = None if key is None else self.cache.get(key)
             if hit is not None:
-                results[index] = ServedResult(request, hit, cached=True)
+                results[index] = ServedResult(
+                    request, hit, cached=True,
+                    estimate=estimate_for_request(request, hit),
+                )
             elif key is not None and key in primary_by_key:
                 duplicates.append((index, request, primary_by_key[key]))
             else:
@@ -200,8 +223,10 @@ class EvaluationService:
             else:
                 self._roll_pooled(misses, results)
         for index, request, primary in duplicates:
+            traces = list(results[primary].traces)
             results[index] = ServedResult(
-                request, list(results[primary].traces), cached=True
+                request, traces, cached=True,
+                estimate=estimate_for_request(request, traces),
             )
         self.requests_served += len(requests)
         return [results[index] for index in range(len(requests))]
@@ -253,7 +278,10 @@ class EvaluationService:
                 traces: list[EpisodeTrace], results: dict[int, ServedResult]) -> None:
         if key is not None:
             self.cache.put(key, traces)
-        results[index] = ServedResult(request, traces, cached=False)
+        results[index] = ServedResult(
+            request, traces, cached=False,
+            estimate=estimate_for_request(request, traces),
+        )
 
     def _roll_continuous(self, misses, results) -> None:
         """In-process path: continuous admission into the warm runner."""

@@ -7,7 +7,9 @@ from hypothesis import strategies as st
 
 from repro.core import CubicTrajectory, fit_cubic
 from repro.pipeline import simulate_baseline, simulate_corki
-from repro.robot import mass_matrix, panda, rnea
+from repro.robot import forward_kinematics, mass_matrix, panda, rnea, solve_ik
+from repro.robot.spatial import matrix_to_rpy, spatial_transform
+from repro.sim.tasks import wrap_angle
 
 _PANDA = panda()
 
@@ -68,6 +70,53 @@ class TestPipelineLaws:
     def test_baseline_latency_independent_of_length(self, frames):
         trace = simulate_baseline(frames)
         assert trace.mean_latency_ms == pytest.approx(249.4, rel=1e-6)
+
+
+class TestKinematicLaws:
+    @given(configs)
+    def test_fk_ik_round_trip(self, q):
+        """IK on an FK-generated pose must recover a pose-equivalent solution."""
+        pose_matrix = forward_kinematics(_PANDA, q)
+        target = np.concatenate([pose_matrix[:3, 3], matrix_to_rpy(pose_matrix[:3, :3])])
+        result = solve_ik(_PANDA, target, q_initial=q)
+        assert result.converged
+        recovered = forward_kinematics(_PANDA, result.q)
+        assert np.allclose(recovered[:3, 3], pose_matrix[:3, 3], atol=1e-3)
+
+    @given(configs)
+    def test_mass_matrix_is_spd(self, q):
+        """M(q) must be symmetric positive definite for every configuration."""
+        m = mass_matrix(_PANDA, q)
+        assert np.allclose(m, m.T, atol=1e-10)
+        np.linalg.cholesky(m)  # raises LinAlgError unless positive definite
+
+    @given(
+        st.lists(st.floats(-1.0, 1.0, allow_nan=False), min_size=9, max_size=9),
+        st.lists(st.floats(-1.0, 1.0, allow_nan=False), min_size=9, max_size=9),
+        st.lists(st.floats(-1.0, 1.0, allow_nan=False), min_size=9, max_size=9),
+    )
+    def test_spatial_transform_composition_associative(self, a, b, c):
+        """(X_a X_b) X_c == X_a (X_b X_c) for spatial motion transforms."""
+        from repro.robot.spatial import rpy_to_matrix
+
+        transforms = [
+            spatial_transform(rpy_to_matrix(np.array(v[:3])), np.array(v[3:6]) + np.array(v[6:]))
+            for v in (a, b, c)
+        ]
+        left = (transforms[0] @ transforms[1]) @ transforms[2]
+        right = transforms[0] @ (transforms[1] @ transforms[2])
+        assert np.allclose(left, right, atol=1e-10)
+
+    @given(st.floats(-50.0, 50.0, allow_nan=False))
+    def test_wrap_angle_seam(self, angle):
+        """wrap_angle lands in (-pi, pi] and preserves the angle mod 2*pi."""
+        wrapped = wrap_angle(angle)
+        assert -np.pi < wrapped <= np.pi
+        assert np.isclose(np.sin(wrapped), np.sin(angle), atol=1e-9)
+        assert np.isclose(np.cos(wrapped), np.cos(angle), atol=1e-9)
+        # The seam itself maps to +pi from both sides of the identification.
+        assert wrap_angle(np.pi) == pytest.approx(np.pi)
+        assert wrap_angle(-np.pi) == pytest.approx(np.pi)
 
 
 class TestTrajectoryLaws:

@@ -30,7 +30,11 @@ from repro.serving.cache import (
     result_key,
 )
 from repro.serving.jsonl import serve_jsonl
-from repro.serving.service import EpisodeRequest, EvaluationService
+from repro.serving.service import (
+    EpisodeRequest,
+    EvaluationService,
+    estimate_for_request,
+)
 from repro.sim.env import ManipulationEnv
 from repro.sim.tasks import TASKS, sample_job
 from repro.sim.world import SEEN_LAYOUT
@@ -504,3 +508,82 @@ class TestProfileThreading:
         second = accuracy_table("seen", profile)
         assert first == second
         assert list((tmp_path / "cache").glob("*.npz"))
+
+
+# -- pipeline-cost estimates on responses --------------------------------------
+
+
+class TestServedEstimates:
+    """The estimate block is a pure function of the request and its traces:
+    cache hits, duplicates, and fresh rolls must all carry identical
+    estimates, and pre-schema-bump payloads must re-roll rather than serve
+    estimate-less (or stale-layout) results."""
+
+    def strip_schema_marker(self, payload: bytes) -> bytes:
+        """Re-encode an npz payload the way the pre-bump schema wrote it."""
+        arrays = dict(np.load(io.BytesIO(payload)))
+        del arrays["schema"]
+        buffer = io.BytesIO()
+        np.savez(buffer, **arrays)
+        return buffer.getvalue()
+
+    def test_fresh_and_cached_estimates_are_identical(self, trained):
+        service = EvaluationService(trained, workers=1, slots=2)
+        requests = job_requests("corki-5", 11, 2)
+        fresh = service.serve(requests)
+        warm = service.serve(requests)
+        for request, cold, hot in zip(requests, fresh, warm):
+            assert cold.estimate is not None
+            assert not cold.cached and hot.cached
+            assert cold.estimate == hot.estimate
+            assert cold.estimate == estimate_for_request(request, cold.traces)
+            assert cold.estimate.system == "corki-5"
+            assert cold.estimate.frames == sum(t.frames for t in cold.traces)
+
+    def test_duplicates_in_one_drain_share_the_estimate(self, trained):
+        service = EvaluationService(trained, workers=1, slots=2)
+        request = job_requests("corki-5", 11, 1)[0]
+        primary, duplicate = service.serve([request, request])
+        assert primary.estimate == duplicate.estimate
+
+    def test_jsonl_response_carries_the_estimate(self, trained):
+        from repro.serving.jsonl import response_to_json
+
+        service = EvaluationService(trained, workers=1, slots=2)
+        result = service.serve(job_requests("corki-5", 11, 1))[0]
+        response = response_to_json(result, "r1")
+        assert response["estimate"] == result.estimate.to_json()
+        for field in ("system", "frames", "mean_latency_ms", "mean_energy_j"):
+            assert field in response["estimate"]
+
+    def test_decode_rejects_pre_bump_payloads(self, trained):
+        traces = evaluate_system(trained, "corki-5", SEEN_LAYOUT, jobs=1, seed=3).traces
+        with pytest.raises(ValueError, match="schema"):
+            decode_traces(self.strip_schema_marker(encode_traces(traces)))
+
+    def test_pre_bump_entry_is_evicted_and_rerolled(self, trained):
+        """A payload written before the schema bump, planted under the
+        current key, must count as corrupt and re-roll -- with the re-rolled
+        response carrying the same estimate a fresh one would."""
+        service = EvaluationService(trained, workers=1, slots=2)
+        request = job_requests("corki-5", 11, 1)[0]
+        fresh = service.serve([request])[0]
+        (key, payload), = service.cache._entries.items()
+        service.cache._entries[key] = self.strip_schema_marker(payload)
+        rerolled = service.serve([request])[0]
+        assert not rerolled.cached
+        assert service.cache.corrupt == 1
+        assert rerolled.estimate == fresh.estimate
+        for a, b in zip(fresh.traces, rerolled.traces):
+            assert_traces_equal(a, b)
+
+    def test_schema_string_is_part_of_the_key(self, trained, monkeypatch):
+        import repro.serving.cache as cache_module
+
+        kwargs = dict(
+            policy=policy_digest(trained), system="corki-5", layout_name="seen",
+            seed=3, lane=0, instructions=("x",),
+        )
+        before = result_key(**kwargs)
+        monkeypatch.setattr(cache_module, "CACHE_SCHEMA", "repro-result-cache/1")
+        assert result_key(**kwargs) != before
