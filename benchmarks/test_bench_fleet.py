@@ -149,6 +149,52 @@ def test_fleet_serving_smoke(bench_policies, fleet_bench_records):
         fleet_bench_records.append({**row, "rounds": 1})
 
 
+def test_fleet_serving_survives_pool_death(bench_policies):
+    """Chaos smoke: the pooled service survives one injected pool death.
+
+    Runs on every CI push (ignores ``--benchmark-disable``).  A seeded
+    :class:`FaultPlan` hard-kills the worker handling the request's chunk
+    (``os._exit``); the service must detect the loss via ``chunk_timeout``,
+    respawn the pool, re-dispatch, and answer byte-identically to the
+    fault-free in-process roll -- without degrading (the pool recovers, so
+    ``degradations`` stays 0).
+    """
+    from repro.analysis.evaluation import TrainedPolicies
+    from repro.reliability import FaultPlan, RetryPolicy
+    from repro.serving.service import EpisodeRequest, EvaluationService
+    from repro.sim import TASKS
+
+    baseline, corki, _ = bench_policies
+    trained = TrainedPolicies(baseline, corki, 0, 0)
+    request = EpisodeRequest(
+        system="corki-5",
+        instructions=(TASKS[0].instruction, TASKS[1].instruction),
+        seed=211,
+        max_frames=BENCH_FRAMES,
+    )
+    plan = FaultPlan(seed=7, crash_rate=1.0, hard_crash=True)
+    with EvaluationService(
+        trained,
+        workers=_SMOKE_WORKERS,
+        use_cache=False,
+        retry=RetryPolicy(max_attempts=3, base_delay=0.0),
+        chunk_timeout=10.0,
+        fault_plan=plan,
+    ) as chaos:
+        (survived,) = chaos.serve([request])
+        stats = chaos.stats()
+    assert survived.status == "ok"
+    assert stats["respawns"] >= 1 and stats["retries"] >= 1
+    assert stats["degradations"] == 0
+
+    with EvaluationService(trained, workers=1, use_cache=False) as plain:
+        (fresh,) = plain.serve([request])
+    assert survived.successes == fresh.successes
+    assert [t.frames for t in survived.traces] == [t.frames for t in fresh.traces]
+    for ours, theirs in zip(survived.traces, fresh.traces):
+        assert (ours.ee_path == theirs.ee_path).all()
+
+
 def test_fleet_speedup_over_single_episode_loop(bench_policies):
     """Acceptance criterion: a 32-lane fleet runs >= 3x the episodes/sec of
     the N=1 loop (32 sequential one-lane fleets) on the same workload."""

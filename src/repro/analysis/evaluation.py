@@ -261,8 +261,18 @@ def _roll_lanes(
     fleet_size: int,
     workers: int,
     lane_indices: list[int] | None = None,
+    retry=None,
+    fault_plan=None,
+    chunk_timeout: float | None = None,
 ) -> list[list[EpisodeTrace]]:
-    """Dispatch lanes in-process (``workers <= 1``) or across a worker pool."""
+    """Dispatch lanes in-process (``workers <= 1``) or across a worker pool.
+
+    ``retry`` / ``fault_plan`` / ``chunk_timeout`` configure the pool path's
+    fault tolerance (see :func:`repro.analysis.parallel.run_sharded`); the
+    in-process path has no worker processes to crash, so it ignores them --
+    which is exactly what makes a ``workers=1`` run the fault-free reference
+    a recovered sharded run must match byte for byte.
+    """
     if workers <= 1:
         return roll_lane_chunk(
             policies, system, layout, seed, lane_jobs,
@@ -273,6 +283,7 @@ def _roll_lanes(
     return run_sharded(
         policies, system, layout, seed, lane_jobs,
         fleet_size=fleet_size, workers=workers, lane_indices=lane_indices,
+        retry=retry, fault_plan=fault_plan, chunk_timeout=chunk_timeout,
     )
 
 
@@ -285,6 +296,9 @@ def _roll_lanes_cached(
     fleet_size: int,
     workers: int,
     cache,
+    retry=None,
+    fault_plan=None,
+    chunk_timeout: float | None = None,
 ) -> list[list[EpisodeTrace]]:
     """:func:`_roll_lanes` behind a content-addressed result cache.
 
@@ -298,7 +312,8 @@ def _roll_lanes_cached(
     """
     if cache is None:
         return _roll_lanes(
-            policies, system, layout, seed, lane_jobs, fleet_size, workers
+            policies, system, layout, seed, lane_jobs, fleet_size, workers,
+            retry=retry, fault_plan=fault_plan, chunk_timeout=chunk_timeout,
         )
     keys = [
         cache.lane_key(policies, system, layout, seed, index, job)
@@ -311,6 +326,7 @@ def _roll_lanes_cached(
             policies, system, layout, seed,
             [lane_jobs[index] for index in miss_indices],
             fleet_size, workers, lane_indices=miss_indices,
+            retry=retry, fault_plan=fault_plan, chunk_timeout=chunk_timeout,
         )
         for index, traces in zip(miss_indices, rolled):
             cache.put(keys[index], traces)
@@ -327,6 +343,9 @@ def evaluate_system(
     fleet_size: int = DEFAULT_FLEET_SIZE,
     workers: int = 1,
     cache=None,
+    retry=None,
+    fault_plan=None,
+    chunk_timeout: float | None = None,
 ) -> SystemEvaluation:
     """Roll out ``jobs`` five-task jobs for one system on one layout.
 
@@ -340,11 +359,17 @@ def evaluate_system(
     :class:`repro.serving.cache.ResultCache`) serves repeated lanes from
     their content-addressed entries instead of re-rolling; cached results
     are byte-identical to fresh ones, so the statistics cannot drift.
+    ``retry`` / ``fault_plan`` / ``chunk_timeout`` configure worker-crash
+    recovery (and injection, for chaos tests) on the sharded path; a run
+    that survives an injected crash still matches the fault-free ``workers=1``
+    result byte for byte, because re-rolled chunks keep their global lane
+    keying.
     """
     job_rng = np.random.default_rng(seed)  # drives job/task sampling only
     lane_jobs = [sample_job(job_rng, JOB_LENGTH) for _ in range(jobs)]
     per_lane = _roll_lanes_cached(
-        policies, system, layout, seed, lane_jobs, fleet_size, workers, cache
+        policies, system, layout, seed, lane_jobs, fleet_size, workers, cache,
+        retry=retry, fault_plan=fault_plan, chunk_timeout=chunk_timeout,
     )
     completed = [sum(trace.success for trace in job_traces) for job_traces in per_lane]
     traces = [trace for job_traces in per_lane for trace in job_traces]
@@ -395,6 +420,9 @@ def evaluate_all_systems(
     fleet_size: int = DEFAULT_FLEET_SIZE,
     workers: int = 1,
     cache=None,
+    retry=None,
+    fault_plan=None,
+    chunk_timeout: float | None = None,
 ) -> dict[str, SystemEvaluation]:
     """Evaluate the baseline and every Corki variation on one layout.
 
@@ -412,6 +440,7 @@ def evaluate_all_systems(
         results[name] = evaluate_system(
             policies, name, layout, jobs, seed,
             fleet_size=fleet_size, workers=workers, cache=cache,
+            retry=retry, fault_plan=fault_plan, chunk_timeout=chunk_timeout,
         )
     if systems is None:
         corki5 = results["corki-5"]

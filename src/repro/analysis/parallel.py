@@ -52,13 +52,22 @@ from __future__ import annotations
 import atexit
 import io
 import multiprocessing
+import time
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Callable, Sequence
 
 import numpy as np
 
 from repro.core.runner import MAX_EPISODE_FRAMES, EpisodeTrace
 from repro.nn.serialization import load_state_dict, state_dict
+from repro.reliability.faults import (
+    ChunkDirective,
+    FaultPlan,
+    InjectedFault,
+    apply_chunk_directive,
+)
+from repro.reliability.health import HealthCounters, PoolUnhealthy
+from repro.reliability.retry import RetryPolicy
 from repro.sim.world import SceneLayout
 
 __all__ = [
@@ -69,11 +78,20 @@ __all__ = [
     "archive_policies",
     "restore_policies",
     "lease_pool",
+    "release_pool",
     "shard_lanes",
     "run_sharded",
     "run_oracle_sharded",
     "shutdown_pools",
 ]
+
+# Worker-side failures the retry loop treats as transient: an injected crash,
+# a chunk timeout (the only way a hard worker death is observable -- the pool
+# repopulates the process but the dispatched task is simply lost), and the
+# IPC errors a dying worker leaves behind on the result pipe.  Anything else
+# is a genuine bug in evaluation code and propagates unchanged -- retrying a
+# deterministic exception just re-raises it more slowly.
+_TRANSIENT_IPC_ERRORS = (EOFError, BrokenPipeError, ConnectionResetError)
 
 
 # -- policy shipment -----------------------------------------------------------
@@ -242,6 +260,21 @@ def _run_lane_chunk(chunk: LaneChunk) -> list[list[EpisodeTrace]]:
     )
 
 
+def _run_faulted_chunk(
+    payload: tuple[LaneChunk, ChunkDirective],
+) -> list[list[EpisodeTrace]]:
+    """Execute an injected fault, then roll the chunk normally.
+
+    The parent decides the directive (it owns the :class:`FaultPlan`), so the
+    worker only replays it: crash/hang/slow first, then -- if the directive
+    let it live -- the exact same ``_run_lane_chunk`` a fault-free dispatch
+    runs, which is what keeps recovered traces byte-identical.
+    """
+    chunk, directive = payload
+    apply_chunk_directive(directive)
+    return _run_lane_chunk(chunk)
+
+
 def _run_oracle_chunk(chunk: OracleChunk) -> list[tuple[str, str, bool]]:
     from repro.analysis.evaluation import oracle_episode_outcome
 
@@ -254,6 +287,14 @@ def _run_oracle_chunk(chunk: OracleChunk) -> list[tuple[str, str, bool]]:
 # -- parent side ---------------------------------------------------------------
 
 
+def _chunk_fault_key(chunk: LaneChunk) -> tuple[int, int, int]:
+    """A :class:`FaultPlan` identity for one chunk: (seed, first global lane,
+    lane count).  Stable across retries and across how the parent happened to
+    order its dispatches, so the same plan faults the same chunk every run."""
+    first = chunk.lane_indices[0] if chunk.lane_indices else chunk.lane_start
+    return (chunk.seed, first, len(chunk.instructions))
+
+
 class EvaluationPool:
     """A warm spawn-context worker pool bound to one set of policies.
 
@@ -261,16 +302,45 @@ class EvaluationPool:
     dispatching a chunk costs only the chunk's own pickling.  Use as a
     context manager, or rely on the module-level cache (:func:`run_sharded`)
     which keeps one pool alive per (policies, worker count).
+
+    Dispatch is fault-tolerant: :meth:`run_chunks_reliably` retries
+    transient chunk failures (injected crashes, chunk timeouts, IPC errors
+    from a dying worker) with capped exponential backoff, respawning the
+    whole pool when a worker process actually died, and re-dispatching only
+    the failed chunks.  Because a chunk's lane randomness is keyed on global
+    lane indices -- never on which attempt or which worker rolled it -- a
+    re-rolled chunk is byte-identical to a first-try roll, so recovery
+    preserves the module's merge contract.  ``health`` counts retries,
+    respawns and injected faults for ``stats()`` reporting.
     """
 
     def __init__(self, archive: PolicyArchive | None, workers: int):
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
         self.workers = workers
+        self._archive = archive
+        self.health = HealthCounters()
+        self._pool = self._spawn()
+
+    def _spawn(self):
         context = multiprocessing.get_context("spawn")
-        self._pool = context.Pool(
-            processes=workers, initializer=_init_worker, initargs=(archive,)
+        return context.Pool(
+            processes=self.workers,
+            initializer=_init_worker,
+            initargs=(self._archive,),
         )
+
+    def respawn(self) -> None:
+        """Replace the worker processes wholesale (after a worker death).
+
+        ``terminate`` rather than a graceful close: a pool that lost a
+        worker mid-task can hold results that will never arrive, and the
+        tasks it was running are re-dispatched by the caller anyway.
+        """
+        self._pool.terminate()
+        self._pool.join()
+        self._pool = self._spawn()
+        self.health.respawns += 1
 
     def warm_up(self) -> None:
         """Best-effort warm-up: push every worker through import + restore.
@@ -285,8 +355,95 @@ class EvaluationPool:
         self._pool.map(_warm_up, range(2 * self.workers), chunksize=1)
 
     def run_chunks(self, chunks: Sequence[LaneChunk]) -> list[list[list[EpisodeTrace]]]:
-        """Execute lane chunks; a chunk that fails raises, never drops lanes."""
-        return self._pool.map(_run_lane_chunk, list(chunks), chunksize=1)
+        """Execute lane chunks; a chunk that fails raises, never drops lanes.
+
+        Transient failures (a crashed worker, a broken result pipe) are
+        retried under the default :class:`RetryPolicy` before anything
+        surfaces; deterministic worker exceptions propagate on the first
+        attempt, exactly as before.
+        """
+        return self.run_chunks_reliably(chunks)
+
+    def _dispatch(self, chunk: LaneChunk, attempt: int, fault_plan: FaultPlan | None):
+        """Queue one chunk attempt, injecting the plan's directive if any."""
+        if fault_plan is not None:
+            directive = fault_plan.chunk_directive(_chunk_fault_key(chunk), attempt)
+            if directive is not None:
+                self.health.faults_injected += 1
+                return self._pool.apply_async(_run_faulted_chunk, ((chunk, directive),))
+        return self._pool.apply_async(_run_lane_chunk, (chunk,))
+
+    def run_chunks_reliably(
+        self,
+        chunks: Sequence[LaneChunk],
+        retry: RetryPolicy | None = None,
+        fault_plan: FaultPlan | None = None,
+        chunk_timeout: float | None = None,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> list[list[list[EpisodeTrace]]]:
+        """Execute lane chunks with per-chunk retry and pool respawn.
+
+        Every pending chunk is dispatched asynchronously, then collected;
+        a chunk whose failure is transient (injected crash, result timeout,
+        IPC error) is queued for the next round, after a capped-exponential
+        backoff and -- when the failure implies a dead worker process -- a
+        full pool respawn.  Only failed chunks re-dispatch; completed
+        results are kept, and the return is in ``chunks`` order regardless
+        of which attempt produced each entry.  ``chunk_timeout`` (seconds)
+        is what makes a *hard* worker death detectable: the pool repopulates
+        the process but the task's result is lost, so only the deadline
+        expiring tells the parent to re-dispatch.  Without a timeout, hard
+        deaths hang exactly as they always did.
+
+        Raises :class:`PoolUnhealthy` (chaining the last underlying failure)
+        once any chunk exhausts ``retry.max_attempts``; deterministic worker
+        exceptions propagate immediately, unretried.
+        """
+        retry = retry if retry is not None else RetryPolicy()
+        chunk_list = list(chunks)
+        results: list = [None] * len(chunk_list)
+        attempts = [0] * len(chunk_list)
+        pending = list(range(len(chunk_list)))
+        while pending:
+            handles = [
+                (index, self._dispatch(chunk_list[index], attempts[index], fault_plan))
+                for index in pending
+            ]
+            failed: list[int] = []
+            respawn_needed = False
+            last_failure: BaseException | None = None
+            for index, handle in handles:
+                try:
+                    results[index] = handle.get(chunk_timeout)
+                except InjectedFault as exc:
+                    # The worker raised and survived; no respawn needed.
+                    failed.append(index)
+                    last_failure = exc
+                except multiprocessing.TimeoutError as exc:
+                    failed.append(index)
+                    last_failure = exc
+                    respawn_needed = True
+                except _TRANSIENT_IPC_ERRORS as exc:
+                    failed.append(index)
+                    last_failure = exc
+                    respawn_needed = True
+            if not failed:
+                break
+            for index in failed:
+                attempts[index] += 1
+                if attempts[index] >= retry.max_attempts:
+                    raise PoolUnhealthy(
+                        f"chunk {_chunk_fault_key(chunk_list[index])} failed "
+                        f"{attempts[index]} times (retry budget exhausted)"
+                    ) from last_failure
+            self.health.retries += len(failed)
+            if respawn_needed:
+                self.respawn()
+            delay = retry.delay(max(attempts[index] for index in failed) - 1)
+            if delay > 0:
+                sleep(delay)
+            pending = failed
+        return results
 
     def submit_chunk(self, chunk: LaneChunk):
         """Dispatch one chunk without blocking; returns the ``AsyncResult``.
@@ -318,6 +475,15 @@ class EvaluationPool:
 # id(), which stays unambiguous only while the object is alive.
 _POOL_CACHE: dict[tuple[int, int], tuple[object, EvaluationPool]] = {}
 
+# Outstanding lease_pool() leases per cache key; release_pool() tears the
+# pool down when the last lease returns, so a crashed service drain cannot
+# leak spawn workers until interpreter exit.
+_LEASE_COUNTS: dict[tuple[int, int], int] = {}
+
+
+def _pool_key(policies, workers: int) -> tuple[int, int]:
+    return (0 if policies is None else id(policies), workers)
+
 
 def _cached_pool(policies, workers: int) -> EvaluationPool:
     """One pool per (policies identity, worker count).
@@ -327,7 +493,7 @@ def _cached_pool(policies, workers: int) -> EvaluationPool:
     spawns its workers once.  Pools are torn down atexit (or explicitly via
     :func:`shutdown_pools`).
     """
-    key = (0 if policies is None else id(policies), workers)
+    key = _pool_key(policies, workers)
     entry = _POOL_CACHE.get(key)
     if entry is None:
         if not _POOL_CACHE:
@@ -340,6 +506,7 @@ def _cached_pool(policies, workers: int) -> EvaluationPool:
 
 def shutdown_pools() -> None:
     """Terminate every cached worker pool (idempotent)."""
+    _LEASE_COUNTS.clear()
     while _POOL_CACHE:
         _, (_, pool) = _POOL_CACHE.popitem()
         pool.close()
@@ -352,10 +519,35 @@ def lease_pool(policies, workers: int) -> EvaluationPool:
     and keeps it alive between requests (this is what lets the evaluation
     service answer a request seconds after the last one without re-spawning
     interpreters or re-shipping weights).  Do **not** ``close()`` a leased
-    pool -- drop the reference and let :func:`shutdown_pools` (registered
-    atexit) tear it down, or call it explicitly at process shutdown.
+    pool -- pair every lease with :func:`release_pool`, which terminates the
+    pool once the last lease returns; :func:`shutdown_pools` (registered
+    atexit) remains the backstop for leases never released.
     """
-    return _cached_pool(policies, workers)
+    pool = _cached_pool(policies, workers)
+    key = _pool_key(policies, workers)
+    _LEASE_COUNTS[key] = _LEASE_COUNTS.get(key, 0) + 1
+    return pool
+
+
+def release_pool(policies, workers: int) -> None:
+    """Return one :func:`lease_pool` lease; tear the pool down on the last.
+
+    Idempotent past zero (releasing an unleased pool is a no-op), so it is
+    safe to call from both an explicit ``close()`` and a ``weakref``
+    finalizer.  Pools obtained implicitly through :func:`run_sharded` are
+    not leases and are unaffected -- they live until :func:`shutdown_pools`.
+    """
+    key = _pool_key(policies, workers)
+    count = _LEASE_COUNTS.get(key)
+    if count is None:
+        return
+    if count > 1:
+        _LEASE_COUNTS[key] = count - 1
+        return
+    del _LEASE_COUNTS[key]
+    entry = _POOL_CACHE.pop(key, None)
+    if entry is not None:
+        entry[1].close()
 
 
 def shard_lanes(total: int, workers: int) -> list[tuple[int, int]]:
@@ -393,13 +585,20 @@ def run_sharded(
     workers: int,
     max_frames: int = MAX_EPISODE_FRAMES,
     lane_indices: Sequence[int] | None = None,
+    retry: RetryPolicy | None = None,
+    fault_plan: FaultPlan | None = None,
+    chunk_timeout: float | None = None,
 ) -> list[list[EpisodeTrace]]:
     """Roll ``lane_jobs`` across a worker pool; traces merge in lane order.
 
     ``lane_jobs[k]`` rolls on global lane ``k``, or on lane
     ``lane_indices[k]`` when given (the result-cache path re-rolls only the
     lanes that missed).  Byte-identical to the in-process
-    :func:`repro.analysis.evaluation.roll_lane_chunk` over the same lanes.
+    :func:`repro.analysis.evaluation.roll_lane_chunk` over the same lanes --
+    including runs that survive injected or real worker crashes, because
+    re-rolled chunks key their randomness on the same global lane indices
+    (``retry`` / ``fault_plan`` / ``chunk_timeout`` feed
+    :meth:`EvaluationPool.run_chunks_reliably`).
     """
     if lane_indices is not None and len(lane_indices) != len(lane_jobs):
         raise ValueError("lane_indices must map one global index per job")
@@ -425,7 +624,10 @@ def run_sharded(
         return []
     # Fewer lanes than workers -> fewer chunks; don't spawn (and archive-
     # restore into) workers that could never receive one.
-    results = _cached_pool(policies, min(workers, len(chunks))).run_chunks(chunks)
+    pool = _cached_pool(policies, min(workers, len(chunks)))
+    results = pool.run_chunks_reliably(
+        chunks, retry=retry, fault_plan=fault_plan, chunk_timeout=chunk_timeout
+    )
     merged = [lane_traces for chunk_result in results for lane_traces in chunk_result]
     if len(merged) != len(lane_jobs):
         raise RuntimeError(

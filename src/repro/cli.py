@@ -80,6 +80,16 @@ def main(argv: list[str] | None = None) -> int:
         help="like --result-cache, but persist the cache under DIR",
     )
     parser.add_argument(
+        "--max-queue", type=int, default=None, metavar="N",
+        help="('serve' only) bound the admission queue; overflow requests "
+             "answer {'status': 'rejected'} instead of queueing unboundedly",
+    )
+    parser.add_argument(
+        "--chunk-timeout", type=float, default=None, metavar="S",
+        help="('serve' only) seconds before a dispatched worker chunk is "
+             "declared lost and re-dispatched (hard-crash recovery)",
+    )
+    parser.add_argument(
         "--episodes", type=int, default=2, metavar="N",
         help="('suite' only) expert-oracle episodes per registry task",
     )
@@ -168,9 +178,11 @@ def _run_serve(args) -> int:
 
     Thin forwarding shim over ``python -m repro.serving`` (the two spellings
     serve identically): ``--workers`` sets the warm pool width,
-    ``--fleet-size`` the in-process continuous-batching slot count, and
+    ``--fleet-size`` the in-process continuous-batching slot count,
     ``--result-cache`` / ``--result-cache-dir DIR`` persist the
-    content-addressed result cache on disk.
+    content-addressed result cache on disk, ``--max-queue`` bounds
+    admission, and ``--chunk-timeout`` arms hard-crash recovery for pooled
+    dispatch.
     """
     from repro.serving.__main__ import main as serve_main
 
@@ -187,6 +199,10 @@ def _run_serve(args) -> int:
     )
     if cache_dir is not None:
         forwarded += ["--cache-dir", cache_dir]
+    if args.max_queue is not None:
+        forwarded += ["--max-queue", str(args.max_queue)]
+    if args.chunk_timeout is not None:
+        forwarded += ["--chunk-timeout", str(args.chunk_timeout)]
     return serve_main(forwarded)
 
 

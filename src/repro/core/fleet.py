@@ -354,6 +354,8 @@ class FleetRunner:
         source: Iterable[tuple[ManipulationEnv, FleetLane]],
         slots: int,
         on_complete: Callable[[FleetLane, list[EpisodeTrace]], None],
+        should_cancel: Callable[[FleetLane], bool] | None = None,
+        on_cancel: Callable[[FleetLane, list[EpisodeTrace]], None] | None = None,
     ) -> int:
         """Serve an open-ended stream of lanes with **continuous batching**.
 
@@ -370,9 +372,20 @@ class FleetRunner:
         are fleet-size invariant, so a lane admitted into a half-drained
         fleet produces byte-identical traces to one rolled in a fresh batch.
 
-        Returns the number of lanes served.  Completion callbacks fire in
-        retirement order, which depends on episode lengths -- callers that
-        need request order must key results off the ``lane`` object.
+        ``should_cancel(lane)`` is polled at each inference boundary (the
+        same tick granularity at which lanes are admitted); a lane it votes
+        off is evicted *before* the tick's forward passes, its slot refilled
+        from ``source``, and its partial traces handed to
+        ``on_cancel(lane, traces)`` instead of ``on_complete``.  This is how
+        the serving tier enforces request deadlines: one expired lane costs
+        the batch a slot-refill, never a stall -- and because lane
+        randomness is lane-private, evicting a lane leaves every surviving
+        lane's bytes untouched.
+
+        Returns the number of lanes served (cancelled lanes are not
+        counted).  Completion callbacks fire in retirement order, which
+        depends on episode lengths -- callers that need request order must
+        key results off the ``lane`` object.
         """
         if slots < 1:
             raise ValueError(f"slots must be >= 1, got {slots}")
@@ -390,8 +403,27 @@ class FleetRunner:
             for index, (_, lane) in enumerate(admitted)
         ]
         served = 0
+
+        def refill_slot(slot: int) -> None:
+            states[slot] = None
+            refill = next(stream, None)
+            if refill is not None:
+                env, lane = refill
+                fleet.adopt_lane(slot, env)
+                states[slot] = self._make_state(slot, env, lane)
+
         live = [state for state in states if state is not None and not state.done]
         while live:
+            if should_cancel is not None:
+                for slot, state in enumerate(states):
+                    if state is None or state.done or not should_cancel(state.lane):
+                        continue
+                    if on_cancel is not None:
+                        on_cancel(state.lane, state.traces)
+                    refill_slot(slot)
+                live = [state for state in states if state is not None and not state.done]
+                if not live:
+                    break
             self._plan_corki_lanes(live, fleet.frame_dt)
             self._infer_baseline_lanes(live)
             self._step_lanes(live, fleet)
@@ -400,12 +432,7 @@ class FleetRunner:
                     continue
                 on_complete(state.lane, state.traces)
                 served += 1
-                states[slot] = None
-                refill = next(stream, None)
-                if refill is not None:
-                    env, lane = refill
-                    fleet.adopt_lane(slot, env)
-                    states[slot] = self._make_state(slot, env, lane)
+                refill_slot(slot)
             live = [state for state in states if state is not None and not state.done]
         return served
 

@@ -1,0 +1,42 @@
+"""Capped exponential backoff shared by the pool and serving tiers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["RetryPolicy"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How many times to try an operation, and how long to wait between.
+
+    ``max_attempts`` counts *total* tries (1 = no retry).  The delay before
+    retry ``k`` (0-based over the retries, i.e. after attempt ``k + 1``
+    failed) is ``base_delay * multiplier**k`` capped at ``max_delay`` --
+    short enough that a transient worker crash costs milliseconds, capped so
+    a flapping pool cannot stretch a drain unboundedly.  Deterministic (no
+    jitter): chaos tests assert exact recovery behaviour, and the single
+    parent process has no thundering-herd problem jitter would solve.
+    """
+
+    max_attempts: int = 3
+    base_delay: float = 0.05
+    max_delay: float = 1.0
+    multiplier: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ValueError("delays must be >= 0")
+        if self.multiplier < 1.0:
+            raise ValueError(f"multiplier must be >= 1, got {self.multiplier}")
+
+    def delay(self, retry_index: int) -> float:
+        """Seconds to wait before the ``retry_index``-th retry (0-based)."""
+        return min(self.max_delay, self.base_delay * self.multiplier ** retry_index)
+
+    def delays(self) -> list[float]:
+        """Every backoff delay this policy will sleep, in order."""
+        return [self.delay(k) for k in range(self.max_attempts - 1)]

@@ -5,6 +5,15 @@ Usage::
     PYTHONPATH=src python -m repro.serving [--workers N] [--slots N]
         [--cache-dir PATH] [--no-cache] [--max-entries N]
         [--demos N] [--epochs N]
+        [--max-queue N] [--chunk-timeout S] [--retry-attempts N]
+        [--fault-seed N] [--fault-crash-rate P] [--fault-hard-crash]
+        [--fault-hang-rate P] [--fault-cache-rate P] [--fault-line-rate P]
+
+The ``--fault-*`` flags arm a deterministic :class:`repro.reliability.
+FaultPlan` (requires ``--fault-seed``): injected worker crashes, hangs,
+truncated cache reads and mangled request lines, all keyed on the plan's
+seed so a chaos run reproduces exactly.  The service must survive all of
+them -- they exist so CI can prove it does.
 
 Requests are JSON objects, one per line; a blank line flushes the batch
 (see :mod:`repro.serving.jsonl` for the protocol).  ``repro-experiments
@@ -53,14 +62,72 @@ def main(argv: list[str] | None = None, policies=None, stdin=None, stdout=None) 
         "--epochs", type=int, default=12, metavar="N",
         help="training epochs when training/loading the policies",
     )
+    parser.add_argument(
+        "--max-queue", type=int, default=None, metavar="N",
+        help="bound the admission queue; overflow requests answer "
+             "{'status': 'rejected'} instead of queueing unboundedly",
+    )
+    parser.add_argument(
+        "--chunk-timeout", type=float, default=None, metavar="S",
+        help="seconds before a dispatched worker chunk is declared lost "
+             "(enables recovery from hard worker deaths)",
+    )
+    parser.add_argument(
+        "--retry-attempts", type=int, default=None, metavar="N",
+        help="total attempts per worker chunk before the pool is declared "
+             "unhealthy and the drain degrades to in-process batching",
+    )
+    fault = parser.add_argument_group(
+        "fault injection", "arm a deterministic FaultPlan (requires --fault-seed)"
+    )
+    fault.add_argument(
+        "--fault-seed", type=int, default=None, metavar="N",
+        help="seed the FaultPlan's keyed decision streams",
+    )
+    fault.add_argument(
+        "--fault-crash-rate", type=float, default=0.0, metavar="P",
+        help="probability a worker chunk's first attempt crashes",
+    )
+    fault.add_argument(
+        "--fault-hard-crash", action="store_true",
+        help="injected crashes kill the worker process (os._exit) instead "
+             "of raising; pair with --chunk-timeout",
+    )
+    fault.add_argument(
+        "--fault-hang-rate", type=float, default=0.0, metavar="P",
+        help="probability a worker chunk's first attempt hangs",
+    )
+    fault.add_argument(
+        "--fault-cache-rate", type=float, default=0.0, metavar="P",
+        help="probability a cache entry's first read arrives truncated",
+    )
+    fault.add_argument(
+        "--fault-line-rate", type=float, default=0.0, metavar="P",
+        help="probability a request line arrives mangled",
+    )
     args = parser.parse_args(argv)
     if args.workers < 1:
         print("--workers must be >= 1", file=sys.stderr)
         return 2
 
+    from repro.reliability import FaultPlan, RetryPolicy
     from repro.serving.cache import ResultCache
     from repro.serving.jsonl import serve_jsonl
     from repro.serving.service import EvaluationService
+
+    fault_plan = None
+    if args.fault_seed is not None:
+        fault_plan = FaultPlan(
+            seed=args.fault_seed,
+            crash_rate=args.fault_crash_rate,
+            hard_crash=args.fault_hard_crash,
+            hang_rate=args.fault_hang_rate,
+            cache_corrupt_rate=args.fault_cache_rate,
+            malformed_line_rate=args.fault_line_rate,
+        )
+    retry = None
+    if args.retry_attempts is not None:
+        retry = RetryPolicy(max_attempts=args.retry_attempts)
 
     if policies is None:
         from repro.analysis.evaluation import get_trained_policies
@@ -68,15 +135,25 @@ def main(argv: list[str] | None = None, policies=None, stdin=None, stdout=None) 
         policies = get_trained_policies(demos_per_task=args.demos, epochs=args.epochs)
     cache = None
     if not args.no_cache:
-        cache = ResultCache(directory=args.cache_dir, max_entries=args.max_entries)
-    service = EvaluationService(
+        cache = ResultCache(
+            directory=args.cache_dir,
+            max_entries=args.max_entries,
+            fault_plan=fault_plan,
+        )
+    with EvaluationService(
         policies,
         workers=args.workers,
         slots=args.slots,
         cache=cache,
         use_cache=not args.no_cache,
-    )
-    served = serve_jsonl(service, stdin or sys.stdin, stdout or sys.stdout)
+        max_queue=args.max_queue,
+        retry=retry,
+        chunk_timeout=args.chunk_timeout,
+        fault_plan=fault_plan,
+    ) as service:
+        served = serve_jsonl(
+            service, stdin or sys.stdin, stdout or sys.stdout, fault_plan=fault_plan
+        )
     print(f"[served {served} requests]", file=sys.stderr)
     return 0
 

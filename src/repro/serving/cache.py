@@ -32,6 +32,7 @@ from __future__ import annotations
 import hashlib
 import io
 import os
+import tempfile
 import weakref
 from collections import OrderedDict
 from pathlib import Path
@@ -187,14 +188,29 @@ class ResultCache:
     counted once this process reads them, so a long-lived directory is
     bounded per process lifetime, not globally -- prune the directory (or
     start fresh) if disk footprint matters across many restarts.
+
+    Disk writes are atomic: the payload lands in a uniquely-named temp file
+    in the same directory and is ``os.replace``-d into place, so a crash
+    mid-write (or two processes writing the same key) can never leave a
+    truncated ``<key>.npz`` for later reads to evict.  ``fault_plan``
+    (a :class:`repro.reliability.FaultPlan`) optionally truncates payloads
+    *on read*, simulating exactly that torn write so the evict-and-re-roll
+    path stays exercised.
     """
 
-    def __init__(self, directory: str | Path | None = None, max_entries: int | None = None):
+    def __init__(
+        self,
+        directory: str | Path | None = None,
+        max_entries: int | None = None,
+        fault_plan=None,
+    ):
         if max_entries is not None and max_entries < 1:
             raise ValueError(f"max_entries must be >= 1, got {max_entries}")
         self.directory = Path(directory) if directory is not None else None
         self.max_entries = max_entries
+        self.fault_plan = fault_plan
         self._entries: OrderedDict[str, bytes] = OrderedDict()
+        self._reads: dict[str, int] = {}
         self.hits = 0
         self.misses = 0
         self.evictions = 0
@@ -242,6 +258,12 @@ class ResultCache:
         if payload is None:
             self.misses += 1
             return None
+        read_index = self._reads.get(key, 0)
+        self._reads[key] = read_index + 1
+        if self.fault_plan is not None and self.fault_plan.corrupts_cache_read(
+            key, read_index
+        ):
+            payload = self.fault_plan.truncate(payload)
         try:
             traces = decode_traces(payload)
         except Exception:
@@ -264,9 +286,23 @@ class ResultCache:
         self._entries.move_to_end(key)
         path = self._path(key)
         if path is not None:
-            tmp = path.with_suffix(".tmp")
-            tmp.write_bytes(payload)
-            os.replace(tmp, path)
+            # Unique temp name (mkstemp, same filesystem) + atomic rename:
+            # a deterministic name like `<key>.tmp` would let two processes
+            # caching the same key interleave their writes, which is the
+            # torn-file failure this dance exists to rule out.
+            fd, tmp = tempfile.mkstemp(
+                dir=self.directory, prefix=f".{key[:16]}.", suffix=".tmp"
+            )
+            try:
+                with os.fdopen(fd, "wb") as handle:
+                    handle.write(payload)
+                os.replace(tmp, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
         self._shrink()
 
     def _drop(self, key: str) -> None:

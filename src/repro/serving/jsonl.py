@@ -23,6 +23,14 @@ identical estimates.
 Operations: ``{"op": "stats"}`` flushes, then reports service/cache
 counters.  A malformed line yields ``{"error": ...}`` (with the request's
 ``id`` when one parsed) without disturbing the rest of the batch.
+
+Requests may carry ``deadline_ms``; a request the service could not serve
+in time (or shed under admission control) answers with its ``status`` and
+an ``error`` instead of traces::
+
+    {"id": "r9", "status": "timeout", "error": "deadline of 5 ms exceeded"}
+
+Successful responses carry ``"status": "ok"``.
 """
 
 from __future__ import annotations
@@ -57,6 +65,8 @@ def request_from_json(obj: dict) -> EpisodeRequest:
     for key in ("lane", "layout", "max_frames"):
         if key in obj:
             kwargs[key] = obj[key] if key == "layout" else int(obj[key])
+    if obj.get("deadline_ms") is not None:
+        kwargs["deadline_ms"] = float(obj["deadline_ms"])
     return EpisodeRequest(
         system=obj["system"],
         instructions=instructions,
@@ -66,8 +76,19 @@ def request_from_json(obj: dict) -> EpisodeRequest:
 
 
 def response_to_json(result, request_id=None) -> dict:
-    """One response object for one :class:`ServedResult`."""
+    """One response object for one :class:`ServedResult`.
+
+    A non-``ok`` result (timeout, rejection) answers with its status and
+    error only -- there are no traces to report, and emitting empty success
+    lists would read as "ran and failed" rather than "never ran".
+    """
+    if not result.ok:
+        response = {"status": result.status, "error": result.error}
+        if request_id is not None:
+            response = {"id": request_id, **response}
+        return response
     response = {
+        "status": "ok",
         "cached": result.cached,
         "successes": result.successes,
         "frames": [trace.frames for trace in result.traces],
@@ -80,16 +101,27 @@ def response_to_json(result, request_id=None) -> dict:
     return response
 
 
-def serve_jsonl(service: EvaluationService, stdin: IO[str], stdout: IO[str]) -> int:
+def serve_jsonl(
+    service: EvaluationService,
+    stdin: IO[str],
+    stdout: IO[str],
+    fault_plan=None,
+) -> int:
     """Run the request loop until ``stdin`` closes; returns requests served.
 
     The loop batches lines until a blank line / ``stats`` op / EOF, drains
     the service once per batch, and writes one response line per request in
     request order, flushing ``stdout`` after every batch so an interactive
     client sees its answers immediately.
+
+    ``fault_plan`` (a :class:`repro.reliability.FaultPlan`) optionally
+    mangles request lines as if the transport truncated them -- each mangled
+    line must surface as a per-line ``{"error": ...}`` response, never kill
+    the loop; the chaos suite drives this path.
     """
     batch: list[tuple[object, EpisodeRequest]] = []
     served = 0
+    line_index = -1
 
     def emit(obj: dict) -> None:
         stdout.write(json.dumps(obj) + "\n")
@@ -109,6 +141,9 @@ def serve_jsonl(service: EvaluationService, stdin: IO[str], stdout: IO[str]) -> 
         if not line:
             flush()
             continue
+        line_index += 1
+        if fault_plan is not None and fault_plan.mangles_line(line_index):
+            line = fault_plan.mangle_line(line)
         request_id = None
         try:
             obj = json.loads(line)

@@ -29,19 +29,41 @@ count and cache temperature, a request's traces are byte-identical to the
 same lane rolled by ``evaluate_system(..., workers=1)``.
 ``tests/test_serving.py`` asserts this cold and warm, in-process and
 pooled.
+
+Reliability contract (``tests/test_reliability.py``): a failure degrades a
+*request*, never the process.  Requests carry an optional ``deadline_ms``
+enforced at inference-boundary ticks (an expired request returns a
+structured ``timeout`` result, it does not stall the batch); a bounded
+admission queue sheds overload with structured ``rejected`` results; pooled
+dispatch retries transient worker crashes with capped backoff and respawns
+dead pools (:meth:`~repro.analysis.parallel.EvaluationPool.
+run_chunks_reliably`); and when a pool exhausts its retry budget the drain
+*degrades* to the in-process continuous-batching engine -- logged and
+counted, never silent.  Whatever survives a fault is still byte-identical
+to the fault-free run, because every recovery path re-rolls lanes under
+their original ``(seed, lane)`` keys.
 """
 
 from __future__ import annotations
 
+import logging
+import time
+import weakref
 from dataclasses import dataclass, field
+from typing import Callable
 
 from repro.core.config import VARIATIONS
 from repro.core.fleet import FleetLane, FleetRunner
 from repro.core.runner import MAX_EPISODE_FRAMES, EpisodeTrace
 from repro.pipeline.estimate import PipelineEstimate, estimate_from_steps
+from repro.reliability.faults import FaultPlan
+from repro.reliability.health import HealthCounters, PoolUnhealthy
+from repro.reliability.retry import RetryPolicy
 from repro.serving.cache import ResultCache
 
 __all__ = ["EpisodeRequest", "ServedResult", "EvaluationService", "estimate_for_request"]
+
+logger = logging.getLogger("repro.serving")
 
 
 @dataclass(frozen=True)
@@ -54,6 +76,13 @@ class EpisodeRequest:
     addressed (:func:`repro.analysis.evaluation.lane_generators`), so a
     service request can reproduce -- and cache-share with -- any lane of any
     batch run.  ``layout`` is ``"seen"`` or ``"unseen"``.
+
+    ``deadline_ms`` bounds how long the request may wait + roll, measured
+    from :meth:`EvaluationService.submit`; past it the service returns a
+    structured ``timeout`` result instead of traces (``0`` means "expire
+    immediately" -- useful for probing the timeout path).  Deadlines do not
+    enter the cache key: an expired request served later would still roll
+    the same bytes.
     """
 
     system: str
@@ -62,8 +91,11 @@ class EpisodeRequest:
     lane: int = 0
     layout: str = "seen"
     max_frames: int = MAX_EPISODE_FRAMES
+    deadline_ms: float | None = None
 
     def __post_init__(self) -> None:
+        if self.deadline_ms is not None and self.deadline_ms < 0:
+            raise ValueError(f"deadline_ms must be >= 0, got {self.deadline_ms}")
         if not self.instructions:
             raise ValueError("a request needs at least one instruction")
         if self.system != "roboflamingo" and self.system not in VARIATIONS:
@@ -82,12 +114,25 @@ class EpisodeRequest:
 
 @dataclass
 class ServedResult:
-    """A request's traces plus whether the cache served them."""
+    """A request's outcome: traces on success, a structured failure otherwise.
+
+    ``status`` is ``"ok"`` (traces present, possibly cache-served),
+    ``"timeout"`` (the request's ``deadline_ms`` expired before completion)
+    or ``"rejected"`` (shed by admission control); non-``ok`` results carry
+    an ``error`` string and an empty trace list -- a request is *answered*
+    in every case, never silently dropped.
+    """
 
     request: EpisodeRequest
-    traces: list[EpisodeTrace] = field(repr=False)
+    traces: list[EpisodeTrace] = field(default_factory=list, repr=False)
     cached: bool = False
     estimate: PipelineEstimate | None = None
+    status: str = "ok"
+    error: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
 
     @property
     def successes(self) -> list[bool]:
@@ -118,6 +163,21 @@ def _resolve_layout(name: str):
     return SEEN_LAYOUT if name == "seen" else UNSEEN_LAYOUT
 
 
+@dataclass
+class _Admission:
+    """One queued request plus its admission bookkeeping.
+
+    ``admitted_at`` (service-clock seconds) anchors the request's
+    ``deadline_ms``; ``shed=True`` marks a request the bounded queue turned
+    away at submit time -- it still flows through :meth:`drain` so the
+    caller receives its structured ``rejected`` result in request order.
+    """
+
+    request: EpisodeRequest
+    admitted_at: float
+    shed: bool = False
+
+
 class EvaluationService:
     """Accept episode requests, serve them from warm engines and the cache.
 
@@ -139,6 +199,17 @@ class EvaluationService:
     ``cache=None`` disables caching (the bench harness measures pure roll
     throughput that way).  ``slots`` bounds in-flight lanes for the
     in-process path; ``fleet_size`` plays that role inside pool workers.
+
+    Reliability knobs: ``max_queue`` bounds the admission queue (overflow is
+    shed with structured ``rejected`` results); ``retry`` /
+    ``chunk_timeout`` govern pooled-dispatch crash recovery; ``fault_plan``
+    injects deterministic failures for chaos tests (it reaches the pool
+    dispatch and the internally-constructed default cache); ``clock`` is
+    the monotonic time source deadlines are measured on (injectable so
+    timeout tests need not sleep).  Use the service as a context manager --
+    or call :meth:`close` -- to return its pool lease; a ``weakref``
+    finalizer (which also runs atexit) backstops leaks when a drain raises
+    and the service is abandoned.
     """
 
     def __init__(
@@ -149,37 +220,96 @@ class EvaluationService:
         fleet_size: int = 32,
         cache: ResultCache | None = None,
         use_cache: bool = True,
+        max_queue: int | None = None,
+        retry: RetryPolicy | None = None,
+        chunk_timeout: float | None = None,
+        fault_plan: FaultPlan | None = None,
+        clock: Callable[[], float] = time.monotonic,
     ):
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
         if slots < 1:
             raise ValueError(f"slots must be >= 1, got {slots}")
+        if max_queue is not None and max_queue < 1:
+            raise ValueError(f"max_queue must be >= 1, got {max_queue}")
         self.policies = policies
         self.workers = workers
         self.slots = slots
         self.fleet_size = fleet_size
+        self.max_queue = max_queue
+        self.retry = retry
+        self.chunk_timeout = chunk_timeout
+        self.fault_plan = fault_plan
+        self._clock = clock
+        self.health = HealthCounters()
         # use_cache=False turns caching off entirely; otherwise an in-memory
         # unbounded cache is the default and ``cache`` overrides it.  (An
         # explicit identity check: an *empty* ResultCache is len()-falsy.)
-        self.cache = (cache if cache is not None else ResultCache()) if use_cache else None
-        self._queue: list[EpisodeRequest] = []
+        self.cache = (
+            (cache if cache is not None else ResultCache(fault_plan=fault_plan))
+            if use_cache else None
+        )
+        self._queue: list[_Admission] = []
         self._runner = FleetRunner(
             baseline=policies.baseline, corki=policies.corki
         )
         self._pool = None
+        self._finalizer = None
+        self._closed = False
         if workers > 1:
-            from repro.analysis.parallel import lease_pool
+            from repro.analysis.parallel import lease_pool, release_pool
 
             # Lease (and thereby spawn + warm) the pool up front, so the
             # first request pays serving cost only, not interpreter start-up.
             self._pool = lease_pool(policies, workers)
+            # The finalizer runs when the service is garbage-collected *or*
+            # at interpreter exit -- whichever comes first -- so an abandoned
+            # service (a drain that raised, a test that forgot close()) can
+            # never leak its lease past process lifetime.  close() calls the
+            # same finalizer, making explicit and implicit release one path.
+            self._finalizer = weakref.finalize(self, release_pool, policies, workers)
         self.requests_served = 0
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def close(self) -> None:
+        """Release the pool lease and refuse further work (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        self._pool = None
+        if self._finalizer is not None:
+            self._finalizer()
+
+    def __enter__(self) -> "EvaluationService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise RuntimeError("EvaluationService is closed")
 
     # -- request intake --------------------------------------------------------
 
-    def submit(self, request: EpisodeRequest) -> None:
-        """Queue one request for the next :meth:`drain`."""
-        self._queue.append(request)
+    def submit(self, request: EpisodeRequest) -> bool:
+        """Queue one request for the next :meth:`drain`.
+
+        Returns ``False`` when the bounded admission queue is full: the
+        request is *shed*, not dropped -- it still occupies its submission
+        slot and :meth:`drain` answers it with a structured ``rejected``
+        result, so response order always matches request order.
+        """
+        self._check_open()
+        shed = (
+            self.max_queue is not None
+            and sum(not entry.shed for entry in self._queue) >= self.max_queue
+        )
+        if shed:
+            self.health.rejections += 1
+        self._queue.append(_Admission(request, self._clock(), shed=shed))
+        return not shed
 
     def serve(self, requests) -> list[ServedResult]:
         """Submit every request, drain, return results in request order."""
@@ -195,15 +325,30 @@ class EvaluationService:
         ``cached`` -- they were served without rolling, which is what the
         flag reports.  With caching off every request rolls (the bench
         relies on that to measure pure serving throughput).
+
+        Shed requests answer ``rejected``; requests whose ``deadline_ms``
+        already expired answer ``timeout`` without touching an engine, and
+        in-process lanes that expire *mid-roll* are evicted at the next
+        inference boundary -- an expired request never stalls the batch.
         """
-        requests, self._queue = self._queue, []
-        if not requests:
+        self._check_open()
+        admissions, self._queue = self._queue, []
+        if not admissions:
             return []
         results: dict[int, ServedResult] = {}
-        misses: list[tuple[int, EpisodeRequest, str | None]] = []
+        misses: list[tuple[int, _Admission, str | None]] = []
         primary_by_key: dict[str, int] = {}
-        duplicates: list[tuple[int, EpisodeRequest, int]] = []
-        for index, request in enumerate(requests):
+        duplicates: list[tuple[int, _Admission, int]] = []
+        for index, admission in enumerate(admissions):
+            request = admission.request
+            if admission.shed:
+                results[index] = ServedResult(
+                    request, status="rejected", error="admission queue full",
+                )
+                continue
+            if self._expired(admission):
+                self._timeout(index, admission, results)
+                continue
             key = self._key(request)
             hit = None if key is None else self.cache.get(key)
             if hit is not None:
@@ -212,29 +357,70 @@ class EvaluationService:
                     estimate=estimate_for_request(request, hit),
                 )
             elif key is not None and key in primary_by_key:
-                duplicates.append((index, request, primary_by_key[key]))
+                duplicates.append((index, admission, primary_by_key[key]))
             else:
                 if key is not None:
                     primary_by_key[key] = index
-                misses.append((index, request, key))
+                misses.append((index, admission, key))
         if misses:
-            if self.workers <= 1:
+            if self.workers <= 1 or self._pool is None:
                 self._roll_continuous(misses, results)
             else:
                 self._roll_pooled(misses, results)
-        for index, request, primary in duplicates:
-            traces = list(results[primary].traces)
-            results[index] = ServedResult(
-                request, traces, cached=True,
-                estimate=estimate_for_request(request, traces),
-            )
-        self.requests_served += len(requests)
-        return [results[index] for index in range(len(requests))]
+        for index, admission, primary in duplicates:
+            outcome = results[primary]
+            if outcome.ok:
+                traces = list(outcome.traces)
+                results[index] = ServedResult(
+                    admission.request, traces, cached=True,
+                    estimate=estimate_for_request(admission.request, traces),
+                )
+            else:
+                # The primary never produced traces (its deadline expired),
+                # so its duplicates share the failure -- answered, not rolled.
+                results[index] = ServedResult(
+                    admission.request, status=outcome.status, error=outcome.error,
+                )
+        self.requests_served += len(admissions)
+        return [results[index] for index in range(len(admissions))]
 
     def stats(self) -> dict[str, int]:
-        """Service counters plus the cache's (zeros when caching is off)."""
+        """Service + reliability counters plus the cache's.
+
+        ``timeouts`` / ``rejections`` / ``degradations`` are the service's
+        own; ``retries`` / ``respawns`` / ``faults_injected`` come from the
+        leased pool (zeros in-process).  Cache counters ride along when
+        caching is on.
+        """
         cache_stats = self.cache.stats() if self.cache is not None else {}
-        return {"requests_served": self.requests_served, "workers": self.workers, **cache_stats}
+        pool_health = self._pool.health if self._pool is not None else HealthCounters()
+        return {
+            "requests_served": self.requests_served,
+            "workers": self.workers,
+            "timeouts": self.health.timeouts,
+            "rejections": self.health.rejections,
+            "degradations": self.health.degradations,
+            "retries": pool_health.retries,
+            "respawns": pool_health.respawns,
+            "faults_injected": pool_health.faults_injected,
+            **cache_stats,
+        }
+
+    # -- deadlines -------------------------------------------------------------
+
+    def _expired(self, admission: _Admission) -> bool:
+        deadline = admission.request.deadline_ms
+        if deadline is None:
+            return False
+        return (self._clock() - admission.admitted_at) * 1000.0 >= deadline
+
+    def _timeout(self, index: int, admission: _Admission, results: dict) -> None:
+        self.health.timeouts += 1
+        results[index] = ServedResult(
+            admission.request,
+            status="timeout",
+            error=f"deadline of {admission.request.deadline_ms:g} ms exceeded",
+        )
 
     # -- rolling ---------------------------------------------------------------
 
@@ -284,20 +470,45 @@ class EvaluationService:
         )
 
     def _roll_continuous(self, misses, results) -> None:
-        """In-process path: continuous admission into the warm runner."""
-        pending: dict[int, tuple[int, EpisodeRequest, str | None]] = {}
+        """In-process path: continuous admission into the warm runner.
+
+        Deadline enforcement happens at the two places the runner exposes a
+        boundary: lazily at admission (a request that expired while earlier
+        lanes rolled never builds its environment) and per tick via the
+        runner's ``should_cancel`` hook, which evicts an expired lane and
+        refills its slot -- the batch never waits for a doomed lane.
+        """
+        pending: dict[int, tuple[int, _Admission, str | None]] = {}
 
         def admissions():
-            for index, request, key in misses:
-                env, lane = self._lane_for(request)
-                pending[id(lane)] = (index, request, key)
+            for index, admission, key in misses:
+                if self._expired(admission):
+                    self._timeout(index, admission, results)
+                    continue
+                env, lane = self._lane_for(admission.request)
+                pending[id(lane)] = (index, admission, key)
                 yield env, lane
 
         def on_complete(lane: FleetLane, traces: list[EpisodeTrace]) -> None:
-            index, request, key = pending.pop(id(lane))
-            self._finish(index, request, key, traces, results)
+            index, admission, key = pending.pop(id(lane))
+            self._finish(index, admission.request, key, traces, results)
 
-        self._runner.run_continuous(admissions(), self.slots, on_complete)
+        should_cancel = None
+        on_cancel = None
+        if any(admission.request.deadline_ms is not None for _, admission, _ in misses):
+
+            def should_cancel(lane: FleetLane) -> bool:
+                entry = pending.get(id(lane))
+                return entry is not None and self._expired(entry[1])
+
+            def on_cancel(lane: FleetLane, traces: list[EpisodeTrace]) -> None:
+                index, admission, _ = pending.pop(id(lane))
+                self._timeout(index, admission, results)
+
+        self._runner.run_continuous(
+            admissions(), self.slots, on_complete,
+            should_cancel=should_cancel, on_cancel=on_cancel,
+        )
 
     def _roll_pooled(self, misses, results) -> None:
         """Multi-process path: every chunk in flight on the leased pool.
@@ -307,31 +518,63 @@ class EvaluationService:
         each group shards across the workers by explicit lane indices, and
         *all* chunks from *all* groups dispatch asynchronously before any
         result is collected -- the pool's queue keeps every worker busy for
-        the whole drain.
+        the whole drain.  Dispatch runs under the pool's reliable path
+        (per-chunk retry, backoff, respawn); if the pool still exhausts its
+        retry budget the drain **degrades** to the in-process engine --
+        logged and counted in ``stats()``, and byte-identical because both
+        engines key lane randomness the same way.
         """
         from repro.analysis.parallel import LaneChunk, shard_lanes
 
-        groups: dict[tuple, list[tuple[int, EpisodeRequest, str | None]]] = {}
+        live: list[tuple[int, _Admission, str | None]] = []
         for miss in misses:
-            _, request, _ = miss
+            index, admission, _ = miss
+            if self._expired(admission):
+                self._timeout(index, admission, results)
+            else:
+                live.append(miss)
+        if not live:
+            return
+
+        groups: dict[tuple, list[tuple[int, _Admission, str | None]]] = {}
+        for miss in live:
+            request = miss[1].request
             group = (request.system, request.layout, request.seed, request.max_frames)
             groups.setdefault(group, []).append(miss)
 
-        in_flight = []
+        shards: list[list[tuple[int, _Admission, str | None]]] = []
+        chunks: list[LaneChunk] = []
         for (system, layout_name, seed, max_frames), members in groups.items():
             for start, stop in shard_lanes(len(members), self.workers):
                 shard = members[start:stop]
-                chunk = LaneChunk(
+                shards.append(shard)
+                chunks.append(LaneChunk(
                     system=system,
                     layout=_resolve_layout(layout_name),
                     seed=seed,
                     lane_start=0,
-                    instructions=tuple(request.instructions for _, request, _ in shard),
+                    instructions=tuple(
+                        entry[1].request.instructions for entry in shard
+                    ),
                     fleet_size=self.fleet_size,
                     max_frames=max_frames,
-                    lane_indices=tuple(request.lane for _, request, _ in shard),
-                )
-                in_flight.append((shard, self._pool.submit_chunk(chunk)))
-        for shard, handle in in_flight:
-            for (index, request, key), traces in zip(shard, handle.get()):
-                self._finish(index, request, key, traces, results)
+                    lane_indices=tuple(entry[1].request.lane for entry in shard),
+                ))
+        try:
+            chunk_results = self._pool.run_chunks_reliably(
+                chunks,
+                retry=self.retry,
+                fault_plan=self.fault_plan,
+                chunk_timeout=self.chunk_timeout,
+            )
+        except PoolUnhealthy as failure:
+            self.health.degradations += 1
+            logger.warning(
+                "worker pool unhealthy (%s); degrading %d request(s) to "
+                "in-process continuous batching", failure, len(live),
+            )
+            self._roll_continuous(live, results)
+            return
+        for shard, chunk_result in zip(shards, chunk_results):
+            for (index, admission, key), traces in zip(shard, chunk_result):
+                self._finish(index, admission.request, key, traces, results)
