@@ -1,7 +1,6 @@
 """Benchmarks of the neural substrate: autograd ops, layers, attention."""
 
 import numpy as np
-import pytest
 
 from repro.nn import LSTM, Adam, MultiHeadSelfAttention, Tensor, mse_loss
 

@@ -6,7 +6,6 @@ closed-loop episode machinery behind Tbl. 1/2 and Fig. 11/12.
 """
 
 import numpy as np
-import pytest
 
 from repro.core import (
     VARIATIONS,

@@ -1,10 +1,8 @@
 """Benchmarks of the simulation substrate (environment, camera, expert)."""
 
 import numpy as np
-import pytest
 
 from repro.sim import (
-    PERFECT_ACTUATION,
     SEEN_LAYOUT,
     TASKS,
     CameraModel,

@@ -51,7 +51,6 @@ def build_ur5_like() -> RobotModel:
             LinkParameters(a=a, alpha=alpha, d=d, mass=mass, com=np.array(com), inertia_com=inertia)
         )
     flange = np.eye(4)
-    big = np.full(6, 28.0)
     return RobotModel(
         name="ur5-like",
         links=links,

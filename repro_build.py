@@ -1,0 +1,151 @@
+"""In-tree PEP 517/660 build backend (pure standard library).
+
+Why this exists: the containers this repo grows in have no package index,
+and any pyproject.toml that names an external backend makes ``pip install
+-e .`` try to download setuptools/wheel into the isolated build
+environment.  Declaring ``requires = []`` with this in-tree backend keeps
+the isolated environment empty, so editable installs (and plain wheel
+builds) work fully offline; online installs behave identically.
+
+All metadata is read from ``pyproject.toml``'s ``[project]`` table -- this
+module adds no second source of truth.  Wheels are deterministic: fixed
+zip timestamps, sorted member order, hashed RECORD.
+"""
+
+from __future__ import annotations
+
+import base64
+import csv
+import hashlib
+import io
+import re
+import tarfile
+import zipfile
+from pathlib import Path
+
+_ROOT = Path(__file__).resolve().parent
+_EPOCH = (1980, 1, 1, 0, 0, 0)  # zip's earliest representable timestamp
+
+
+def _load_project() -> dict:
+    text = (_ROOT / "pyproject.toml").read_text(encoding="utf-8")
+    try:
+        import tomllib
+
+        return tomllib.loads(text)["project"]
+    except ModuleNotFoundError:  # Python 3.10: enough metadata to install
+        fields = {}
+        for key in ("name", "version", "description", "requires-python"):
+            match = re.search(rf'^{key} = "(.*)"$', text, re.MULTILINE)
+            if match:
+                fields[key] = match.group(1)
+        fields["dependencies"] = ["numpy"]
+        fields["scripts"] = {"repro-experiments": "repro.cli:main"}
+        return fields
+
+
+def _metadata(project: dict) -> str:
+    lines = [
+        "Metadata-Version: 2.1",
+        f"Name: {project['name']}",
+        f"Version: {project['version']}",
+    ]
+    if project.get("description"):
+        lines.append(f"Summary: {project['description']}")
+    if project.get("requires-python"):
+        lines.append(f"Requires-Python: {project['requires-python']}")
+    for dep in project.get("dependencies", []):
+        lines.append(f"Requires-Dist: {dep}")
+    for extra, deps in sorted(project.get("optional-dependencies", {}).items()):
+        lines.append(f"Provides-Extra: {extra}")
+        lines.extend(f'Requires-Dist: {dep} ; extra == "{extra}"' for dep in deps)
+    return "\n".join(lines) + "\n"
+
+
+def _entry_points(project: dict) -> str:
+    scripts = project.get("scripts", {})
+    if not scripts:
+        return ""
+    lines = ["[console_scripts]"]
+    lines.extend(f"{name} = {target}" for name, target in sorted(scripts.items()))
+    return "\n".join(lines) + "\n"
+
+
+_WHEEL_FILE = (
+    "Wheel-Version: 1.0\n"
+    "Generator: repro_build (in-tree)\n"
+    "Root-Is-Purelib: true\n"
+    "Tag: py3-none-any\n"
+)
+
+
+def _record_hash(data: bytes) -> str:
+    digest = hashlib.sha256(data).digest()
+    return "sha256=" + base64.urlsafe_b64encode(digest).rstrip(b"=").decode("ascii")
+
+
+def _build(wheel_directory: str, editable: bool) -> str:
+    project = _load_project()
+    dist = project["name"].replace("-", "_")
+    version = project["version"]
+    dist_info = f"{dist}-{version}.dist-info"
+
+    entries: list[tuple[str, bytes]] = []
+    if editable:
+        # PEP 660 via a .pth file: site-packages gains one line pointing at
+        # src/, so the live tree is importable and edits apply immediately.
+        entries.append(
+            (f"__editable__.{dist}.pth", str(_ROOT / "src").encode("utf-8") + b"\n")
+        )
+    else:
+        for file in sorted((_ROOT / "src").rglob("*.py")):
+            entries.append((file.relative_to(_ROOT / "src").as_posix(), file.read_bytes()))
+    entries.append((f"{dist_info}/METADATA", _metadata(project).encode("utf-8")))
+    entries.append((f"{dist_info}/WHEEL", _WHEEL_FILE.encode("utf-8")))
+    scripts = _entry_points(project)
+    if scripts:
+        entries.append((f"{dist_info}/entry_points.txt", scripts.encode("utf-8")))
+
+    record = io.StringIO()
+    writer = csv.writer(record, lineterminator="\n")
+    for arcname, data in entries:
+        writer.writerow([arcname, _record_hash(data), len(data)])
+    writer.writerow([f"{dist_info}/RECORD", "", ""])
+    entries.append((f"{dist_info}/RECORD", record.getvalue().encode("utf-8")))
+
+    wheel_name = f"{dist}-{version}-py3-none-any.whl"
+    with zipfile.ZipFile(
+        Path(wheel_directory) / wheel_name, "w", zipfile.ZIP_DEFLATED
+    ) as archive:
+        for arcname, data in entries:
+            member = zipfile.ZipInfo(arcname, date_time=_EPOCH)
+            member.external_attr = 0o644 << 16
+            archive.writestr(member, data)
+    return wheel_name
+
+
+def build_wheel(wheel_directory, config_settings=None, metadata_directory=None):
+    return _build(wheel_directory, editable=False)
+
+
+def build_editable(wheel_directory, config_settings=None, metadata_directory=None):
+    return _build(wheel_directory, editable=True)
+
+
+def build_sdist(sdist_directory, config_settings=None):
+    project = _load_project()
+    dist = project["name"].replace("-", "_")
+    base = f"{dist}-{project['version']}"
+    members: list[tuple[str, bytes]] = [("PKG-INFO", _metadata(project).encode("utf-8"))]
+    for name in ("pyproject.toml", "repro_build.py", "setup.py", "README.md"):
+        members.append((name, (_ROOT / name).read_bytes()))
+    for file in sorted((_ROOT / "src").rglob("*.py")):
+        members.append((file.relative_to(_ROOT).as_posix(), file.read_bytes()))
+    sdist_name = f"{base}.tar.gz"
+    with tarfile.open(Path(sdist_directory) / sdist_name, "w:gz") as archive:
+        for arcname, data in members:
+            info = tarfile.TarInfo(f"{base}/{arcname}")
+            info.size = len(data)
+            info.mode = 0o644
+            archive.addfile(info, io.BytesIO(data))
+    return sdist_name

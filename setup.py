@@ -1,8 +1,10 @@
 """Setuptools shim.
 
-Kept alongside pyproject.toml so that ``pip install -e .`` works in offline
-environments whose setuptools lacks the PEP 660 editable-wheel path (no
-``wheel`` package available).
+The real build backend is the in-tree ``repro_build.py`` (see
+pyproject.toml), which works with an empty isolated build environment so
+``pip install -e .`` succeeds offline.  This file only keeps the legacy
+``python setup.py develop`` spelling alive for tools that still invoke it;
+setuptools >= 61 reads the ``[project]`` metadata from pyproject.toml.
 """
 
 from setuptools import setup

@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.analysis.metrics import JobStatistics, TrajectoryMetrics, job_statistics, trajectory_metrics
+from repro.atomicio import atomic_save
 from repro.core.config import CorkiVariation, VARIATIONS
 from repro.pipeline.estimate import PipelineEstimate, estimate_lanes
 from repro.core.fleet import FleetLane, FleetRunner
@@ -99,6 +100,7 @@ def get_trained_policies(
     The cache key encodes every hyper-parameter, so changing any of them
     retrains rather than silently reusing stale weights.
     """
+    # repro: allow[RNG-KEYED] reason=training master stream; rekeying would orphan every policy-cache tag
     rng = np.random.default_rng(seed)
     baseline = BaselinePolicy(
         OBSERVATION_DIM, len(TASKS), rng, token_dim=token_dim, hidden_dim=hidden_dim
@@ -133,7 +135,7 @@ def get_trained_policies(
         os.makedirs(os.path.dirname(paths["baseline"]), exist_ok=True)
         save_module(baseline, paths["baseline"])
         save_module(corki, paths["corki"])
-        np.save(paths["normalizer"], baseline.normalizer.scale)
+        atomic_save(paths["normalizer"], baseline.normalizer.scale)
     return TrainedPolicies(baseline, corki, demos_per_task, epochs)
 
 
@@ -365,6 +367,7 @@ def evaluate_system(
     result byte for byte, because re-rolled chunks keep their global lane
     keying.
     """
+    # repro: allow[RNG-KEYED] reason=job-sampling master stream, not lane-scoped; lanes key via lane_generators
     job_rng = np.random.default_rng(seed)  # drives job/task sampling only
     lane_jobs = [sample_job(job_rng, JOB_LENGTH) for _ in range(jobs)]
     per_lane = _roll_lanes_cached(

@@ -12,6 +12,8 @@ import json
 import os
 import time
 
+from repro.atomicio import atomic_write_text
+
 __all__ = ["default_artifact_dir", "save_report", "load_index"]
 
 _INDEX_NAME = "experiments-index.json"
@@ -33,10 +35,9 @@ def save_report(
     os.makedirs(directory, exist_ok=True)
     filename = f"{experiment_id}-{profile_name}.txt"
     path = os.path.join(directory, filename)
-    with open(path, "w", encoding="utf-8") as handle:
-        handle.write(report)
-        if not report.endswith("\n"):
-            handle.write("\n")
+    if not report.endswith("\n"):
+        report += "\n"
+    atomic_write_text(path, report)
 
     index_path = os.path.join(directory, _INDEX_NAME)
     index = {}
@@ -46,10 +47,10 @@ def save_report(
     index[experiment_id] = {
         "file": filename,
         "profile": profile_name,
+        # repro: allow[NO-WALLCLOCK] reason=provenance timestamp in the index, never fed back into results
         "written_at": time.strftime("%Y-%m-%d %H:%M:%S"),
     }
-    with open(index_path, "w", encoding="utf-8") as handle:
-        json.dump(index, handle, indent=2, sort_keys=True)
+    atomic_write_text(index_path, json.dumps(index, indent=2, sort_keys=True) + "\n")
     return path
 
 

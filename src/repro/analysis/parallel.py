@@ -160,6 +160,7 @@ def restore_policies(archive: PolicyArchive):
 
     # The init weights are irrelevant -- load_state_dict overwrites every
     # parameter, and it raises on any missing/mis-shaped entry.
+    # repro: allow[RNG-KEYED] reason=throwaway init weights; load_state_dict overwrites every parameter
     rng = np.random.default_rng(0)
     baseline = BaselinePolicy(
         OBSERVATION_DIM, len(TASKS), rng,
@@ -550,6 +551,7 @@ def release_pool(policies, workers: int) -> None:
         entry[1].close()
 
 
+# repro: allow[BATCH-REF] reason=pure index bookkeeping, not a batched kernel; any partition merges identically
 def shard_lanes(total: int, workers: int) -> list[tuple[int, int]]:
     """Contiguous, near-equal ``[start, stop)`` lane ranges, one per worker.
 

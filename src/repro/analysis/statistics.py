@@ -43,6 +43,7 @@ def bootstrap_mean_ci(
         raise ValueError("need at least one sample")
     if not 0.0 < confidence < 1.0:
         raise ValueError("confidence must lie in (0, 1)")
+    # repro: allow[RNG-KEYED] reason=one bootstrap stream per call, seeded by the caller; nothing lane-scoped
     rng = np.random.default_rng(seed)
     indices = rng.integers(0, samples.size, size=(resamples, samples.size))
     means = samples[indices].mean(axis=1)

@@ -1,0 +1,72 @@
+"""Atomic file persistence: temp file in the target directory + os.replace.
+
+This is the one place in the tree allowed to open a file for writing
+without pairing it with ``os.replace`` itself (the ATOMIC-WRITE contract,
+docs/contracts.md): every other module persists through these helpers, so
+a crash mid-write can never leave a torn file at a final path -- the
+failure mode PR 7's result cache originally had to detect and evict at
+read time.  The temp file is created in the destination directory so the
+final rename never crosses a filesystem boundary.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from pathlib import Path
+from typing import IO, Callable
+
+import numpy as np
+
+__all__ = [
+    "atomic_save",
+    "atomic_savez",
+    "atomic_write_bytes",
+    "atomic_write_text",
+]
+
+
+def _write_via_temp(path: str | Path, write: Callable[[IO[bytes]], None]) -> Path:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(
+        dir=path.parent, prefix=path.name + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            write(handle)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    return path
+
+
+def atomic_write_bytes(path: str | Path, data: bytes) -> Path:
+    """Write ``data`` to ``path`` atomically; returns the final path."""
+    return _write_via_temp(path, lambda handle: handle.write(data))
+
+
+def atomic_write_text(
+    path: str | Path, text: str, encoding: str = "utf-8"
+) -> Path:
+    """Write ``text`` to ``path`` atomically; returns the final path."""
+    return atomic_write_bytes(path, text.encode(encoding))
+
+
+def atomic_save(path: str | Path, array: np.ndarray) -> Path:
+    """``np.save`` to ``path`` atomically.
+
+    ``path`` must carry its ``.npy`` suffix explicitly: writing through a
+    handle bypasses numpy's suffix-appending, which is exactly what keeps
+    the final name equal to the name the caller will later ``np.load``.
+    """
+    return _write_via_temp(path, lambda handle: np.save(handle, array))
+
+
+def atomic_savez(path: str | Path, **arrays: np.ndarray) -> Path:
+    """``np.savez`` to ``path`` atomically (``path`` must end in ``.npz``)."""
+    return _write_via_temp(path, lambda handle: np.savez(handle, **arrays))

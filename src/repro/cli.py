@@ -12,6 +12,7 @@ Usage::
     repro-experiments suite                  # expert-oracle task-suite health gate
     repro-experiments suite --episodes 1 --layout seen --workers 2
     repro-experiments serve --workers 2      # JSONL evaluation service on stdin
+    repro-experiments lint                   # determinism-contract static analysis
     repro-experiments --result-cache tbl1    # rerun served from the result cache
     REPRO_PROFILE=full repro-experiments tbl1
 """
@@ -100,7 +101,7 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
 
     if args.list or not args.experiments:
-        print("available experiments:", ", ".join(_ORDER), "(plus: bench, suite, serve)")
+        print("available experiments:", ", ".join(_ORDER), "(plus: bench, suite, serve, lint)")
         return 0
 
     if args.workers is not None and args.workers < 1:
@@ -115,6 +116,15 @@ def main(argv: list[str] | None = None) -> int:
             )
             return 2
         return _run_serve(args)
+
+    if "lint" in args.experiments:
+        if len(args.experiments) > 1:
+            print(
+                "'lint' runs alone; invoke other experiments in a separate call",
+                file=sys.stderr,
+            )
+            return 2
+        return _run_lint()
 
     if "bench" in args.experiments:
         if len(args.experiments) > 1:
@@ -267,6 +277,19 @@ def _run_suite(episodes: int, layout_choice: str, workers: int = 1) -> int:
             print(f"  {failure}", file=sys.stderr)
         return 1
     return 0
+
+
+def _run_lint() -> int:
+    """``repro-experiments lint``: the static-analysis gate.
+
+    Runs reprolint (the determinism-contract checker in
+    ``repro.contracts``, see docs/contracts.md) over the installed package
+    and folds in ruff and mypy when they are installed -- the same three
+    passes the CI static-analysis job enforces.  Exit 1 on any diagnostic.
+    """
+    from repro.contracts.__main__ import main as lint_main
+
+    return lint_main(["--external"], prog="repro-experiments lint")
 
 
 def _run_bench(json_path: str | None, workers: int | None = None) -> int:

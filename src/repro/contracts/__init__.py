@@ -1,0 +1,56 @@
+"""reprolint: the determinism contract, machine-checked at parse time.
+
+Every byte-identity guarantee this reproduction makes is a *convention*:
+keyed RNG streams (``default_rng([seed, domain, lane])``, never scalar
+seeds or seed arithmetic), injectable clocks instead of wall-clock reads,
+a frozen scalar reference per batched ``*_lanes`` kernel, temp-file +
+``os.replace`` persistence, no iteration over unordered containers on
+paths that feed RNG draws or cache keys, and no hard process exits outside
+the fault injector.  Historically each of those conventions was enforced
+only at runtime, after a violation had already shipped (the PR 4
+``[seed + 1, lane]`` stream collision, the PR 7 torn cache write).  This
+package enforces them at parse time with an AST-based rule engine.
+
+Usage::
+
+    python -m repro.contracts              # lint src/repro, exit 1 on violations
+    python -m repro.contracts path.py ...  # lint specific files
+    repro-experiments lint                 # same tree + ruff/mypy when installed
+
+Intentional exceptions are waived inline, never silently::
+
+    rng = np.random.default_rng(seed)  # repro: allow[RNG-KEYED] reason=training master stream
+
+The reason is mandatory; a reasonless waiver and a waiver that no longer
+suppresses anything are themselves diagnostics (``BAD-WAIVER`` /
+``STALE-WAIVER``), so the waiver inventory cannot rot.  ``docs/contracts.md``
+codifies each rule, the historical bug motivating it, and how to waive.
+"""
+
+from repro.contracts.engine import (
+    Diagnostic,
+    LintResult,
+    ModuleInfo,
+    Project,
+    Waiver,
+    default_tree,
+    lint_paths,
+    lint_source,
+    lint_tree,
+)
+from repro.contracts.rules import RULES, Rule, rule_ids
+
+__all__ = [
+    "Diagnostic",
+    "LintResult",
+    "ModuleInfo",
+    "Project",
+    "RULES",
+    "Rule",
+    "Waiver",
+    "default_tree",
+    "lint_paths",
+    "lint_source",
+    "lint_tree",
+    "rule_ids",
+]

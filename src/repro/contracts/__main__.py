@@ -1,0 +1,57 @@
+"""``python -m repro.contracts``: lint the tree, print diagnostics, exit.
+
+Exit status is 1 when any violation (including ``BAD-WAIVER`` /
+``STALE-WAIVER`` meta-diagnostics) survives, 0 on a clean tree.  The
+summary line always prints the waiver census so the size of the exception
+inventory is visible in every log.  ``--external`` folds ruff and mypy in
+when they are installed (``repro-experiments lint`` passes it).
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.contracts.engine import default_tree, lint_paths
+
+
+def main(argv: list[str] | None = None, prog: str = "python -m repro.contracts") -> int:
+    parser = argparse.ArgumentParser(
+        prog=prog,
+        description="reprolint: check the determinism contracts "
+        "(docs/contracts.md) over a source tree.",
+    )
+    parser.add_argument(
+        "paths", nargs="*",
+        help="files or directories to lint (default: the installed repro package)",
+    )
+    parser.add_argument(
+        "--external", action="store_true",
+        help="also run ruff and mypy when installed (skipped with a notice "
+        "otherwise)",
+    )
+    args = parser.parse_args(argv)
+
+    paths = [str(p) for p in (args.paths or [default_tree()])]
+    result = lint_paths(paths)
+    for diagnostic in result.violations:
+        print(diagnostic.format())
+    waived = result.waived_by_rule()
+    census = (
+        " (" + ", ".join(f"{rule}={count}" for rule, count in waived.items()) + ")"
+        if waived
+        else ""
+    )
+    print(
+        f"reprolint: {result.files} files, {len(result.violations)} "
+        f"violation(s), {len(result.waived)} waived{census}"
+    )
+    status = 0 if result.ok else 1
+    if args.external:
+        from repro.contracts.static import run_external
+
+        status = max(status, run_external(paths))
+    return status
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

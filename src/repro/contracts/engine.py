@@ -1,0 +1,378 @@
+"""Rule engine: module parsing, waiver pragmas, and diagnostic plumbing.
+
+The engine owns everything rule-independent: turning files into
+:class:`ModuleInfo` (source + AST with parent links + import/alias tables +
+parsed waivers), assembling them into a :class:`Project` (the import graph
+:class:`~repro.contracts.rules.BatchRefRule` walks), applying inline
+waivers to raw diagnostics, and auditing the waivers themselves.  Rules
+(:mod:`repro.contracts.rules`) only pattern-match ASTs and yield
+:class:`Diagnostic` objects; they never read files or format output.
+
+Waiver pragma grammar (one comment, on the offending line or the line
+directly above it)::
+
+    # repro: allow[RULE-ID] reason=why this one is intentional
+    # repro: allow[RULE-A, RULE-B] reason=one reason may cover several rules
+
+The reason is mandatory (``BAD-WAIVER`` otherwise) and a waiver that
+suppresses nothing is reported as ``STALE-WAIVER`` -- both carry the same
+non-zero exit as a real violation, so the waiver inventory stays exactly
+as large as the set of living exceptions.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+
+__all__ = [
+    "BAD_WAIVER",
+    "STALE_WAIVER",
+    "Diagnostic",
+    "LintResult",
+    "ModuleInfo",
+    "Project",
+    "Waiver",
+    "default_tree",
+    "lint_paths",
+    "lint_source",
+    "lint_tree",
+    "qualified_name",
+]
+
+# Meta-diagnostic ids emitted by the engine itself (not by any rule).
+BAD_WAIVER = "BAD-WAIVER"
+STALE_WAIVER = "STALE-WAIVER"
+
+_WAIVER_RE = re.compile(
+    r"#\s*repro:\s*allow\[(?P<rules>[A-Za-z0-9_\-\s,]+)\]\s*"
+    r"(?:reason=(?P<reason>.*))?$"
+)
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding, anchored to a file and line."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+
+@dataclass
+class Waiver:
+    """One parsed ``# repro: allow[...]`` pragma."""
+
+    line: int
+    rules: tuple[str, ...]
+    reason: str
+    used: bool = False
+
+    def covers(self, diagnostic: Diagnostic) -> bool:
+        """A waiver covers its own line (trailing comment) and the line
+        below it (comment-above style)."""
+        return diagnostic.rule in self.rules and diagnostic.line in (
+            self.line,
+            self.line + 1,
+        )
+
+
+@dataclass
+class ModuleInfo:
+    """Everything the rules need to know about one source file."""
+
+    path: str
+    module: str
+    source: str
+    tree: ast.Module
+    waivers: list[Waiver] = field(default_factory=list)
+    #: local name -> dotted origin for every import binding, e.g.
+    #: ``{"np": "numpy", "default_rng": "numpy.random.default_rng"}``.
+    aliases: dict[str, str] = field(default_factory=dict)
+    #: dotted module names this module imports (absolute imports only).
+    imports: set[str] = field(default_factory=set)
+    #: every function/method name defined anywhere in the module.
+    functions: set[str] = field(default_factory=set)
+
+    @property
+    def subpackage(self) -> str:
+        """The immediate parent package (``repro.robot`` for
+        ``repro.robot.batched``)."""
+        return self.module.rpartition(".")[0]
+
+
+class Project:
+    """A set of modules plus the import graph between them.
+
+    ``neighborhood(module)`` is the module itself, its direct imports and
+    its direct importers, plus every sibling in its immediate subpackage --
+    the search space :class:`~repro.contracts.rules.BatchRefRule` uses to
+    locate a batched kernel's scalar reference (scalar entry points often
+    live in the module that *imports* the kernels, e.g.
+    ``repro.robot.dynamics`` importing ``repro.robot.batched``).
+    """
+
+    def __init__(self, modules: list[ModuleInfo]):
+        self.modules = {info.module: info for info in modules}
+        self._importers: dict[str, set[str]] = {}
+        for info in modules:
+            for imported in info.imports:
+                self._importers.setdefault(imported, set()).add(info.module)
+
+    def neighborhood(self, module: str) -> list[ModuleInfo]:
+        info = self.modules.get(module)
+        if info is None:
+            return []
+        names = {module}
+        names.update(name for name in info.imports if name in self.modules)
+        names.update(self._importers.get(module, ()))
+        if info.subpackage:
+            prefix = info.subpackage + "."
+            names.update(
+                name for name in self.modules if name.startswith(prefix)
+            )
+        return [self.modules[name] for name in sorted(names)]
+
+    def defines(self, modules: list[ModuleInfo], symbol: str) -> bool:
+        return any(symbol in info.functions for info in modules)
+
+
+@dataclass
+class LintResult:
+    """The outcome of one lint run."""
+
+    violations: list[Diagnostic]
+    waived: list[tuple[Diagnostic, Waiver]]
+    files: int
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def waived_by_rule(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for diagnostic, _ in self.waived:
+            counts[diagnostic.rule] = counts.get(diagnostic.rule, 0) + 1
+        return dict(sorted(counts.items()))
+
+
+def _attach_parents(tree: ast.Module) -> None:
+    """Give every node a ``_repro_parent`` link (rules walk ancestors to
+    detect loop/comprehension scope and the enclosing function)."""
+    for parent in ast.walk(tree):
+        for child in ast.iter_child_nodes(parent):
+            child._repro_parent = parent  # type: ignore[attr-defined]
+
+
+def ancestors(node: ast.AST):
+    """Yield the parent chain of ``node`` (nearest first)."""
+    current = getattr(node, "_repro_parent", None)
+    while current is not None:
+        yield current
+        current = getattr(current, "_repro_parent", None)
+
+
+def enclosing_function(node: ast.AST) -> ast.AST | None:
+    for parent in ancestors(node):
+        if isinstance(parent, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            return parent
+    return None
+
+
+def qualified_name(node: ast.expr, info: ModuleInfo) -> str | None:
+    """Resolve a call target to a dotted name through the import table.
+
+    ``np.random.default_rng`` resolves to ``numpy.random.default_rng`` when
+    the module did ``import numpy as np``; a bare ``default_rng`` resolves
+    through ``from numpy.random import default_rng``.  Returns ``None`` for
+    targets that are not simple attribute chains (subscripts, calls, ...).
+    """
+    parts: list[str] = []
+    current = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if not isinstance(current, ast.Name):
+        return None
+    root = info.aliases.get(current.id, current.id)
+    parts.append(root)
+    return ".".join(reversed(parts))
+
+
+def _comment_tokens(source: str):
+    """(line, col, text) of every comment, via the tokenizer -- so waiver
+    pragmas inside string literals and docstrings (e.g. documentation
+    examples) are never mistaken for live waivers."""
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for token in tokens:
+            if token.type == tokenize.COMMENT:
+                yield token.start[0], token.start[1], token.string
+    except tokenize.TokenError:  # unterminated constructs: ast.parse raised first
+        return
+
+
+def _parse_waivers(source: str, path: str) -> tuple[list[Waiver], list[Diagnostic]]:
+    waivers: list[Waiver] = []
+    problems: list[Diagnostic] = []
+    for lineno, col_offset, comment in _comment_tokens(source):
+        match = _WAIVER_RE.search(comment)
+        if match is None:
+            continue
+        rules = tuple(
+            part.strip() for part in match.group("rules").split(",") if part.strip()
+        )
+        reason = (match.group("reason") or "").strip()
+        col = col_offset + match.start() + 1
+        if not rules:
+            problems.append(
+                Diagnostic(path, lineno, col, BAD_WAIVER, "waiver names no rule ids")
+            )
+            continue
+        if not reason:
+            problems.append(
+                Diagnostic(
+                    path,
+                    lineno,
+                    col,
+                    BAD_WAIVER,
+                    "waiver has no reason= -- the reason is mandatory "
+                    f"(rules: {', '.join(rules)})",
+                )
+            )
+            continue
+        waivers.append(Waiver(line=lineno, rules=rules, reason=reason))
+    return waivers, problems
+
+
+def _collect_bindings(info: ModuleInfo) -> None:
+    for node in ast.walk(info.tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                local = alias.asname or alias.name.split(".")[0]
+                origin = alias.name if alias.asname else alias.name.split(".")[0]
+                info.aliases[local] = origin
+                info.imports.add(alias.name)
+        elif isinstance(node, ast.ImportFrom):
+            if node.level or node.module is None:
+                continue  # relative imports are not used in this tree
+            info.imports.add(node.module)
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                info.aliases[alias.asname or alias.name] = (
+                    f"{node.module}.{alias.name}"
+                )
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            info.functions.add(node.name)
+
+
+def _module_name_for(path: Path) -> str:
+    """Dotted module name, anchored at the ``repro`` package when the path
+    lives under one; the bare stem otherwise (fixture files)."""
+    parts = list(path.with_suffix("").parts)
+    if "repro" in parts:
+        parts = parts[parts.index("repro"):]
+    else:
+        parts = parts[-1:]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts)
+
+
+def load_module(
+    path: str | Path, module_name: str | None = None, source: str | None = None
+) -> tuple[ModuleInfo, list[Diagnostic]]:
+    """Parse one file into a :class:`ModuleInfo` plus waiver problems."""
+    path = Path(path)
+    text = path.read_text(encoding="utf-8") if source is None else source
+    tree = ast.parse(text, filename=str(path))
+    _attach_parents(tree)
+    info = ModuleInfo(
+        path=str(path),
+        module=module_name or _module_name_for(path),
+        source=text,
+        tree=tree,
+    )
+    _collect_bindings(info)
+    info.waivers, problems = _parse_waivers(text, str(path))
+    return info, problems
+
+
+def default_tree() -> Path:
+    """The tree ``python -m repro.contracts`` lints by default: the
+    installed ``repro`` package itself."""
+    return Path(__file__).resolve().parents[1]
+
+
+def _run(modules: list[ModuleInfo], waiver_problems: list[Diagnostic]) -> LintResult:
+    from repro.contracts.rules import RULES
+
+    project = Project(modules)
+    violations: list[Diagnostic] = list(waiver_problems)
+    waived: list[tuple[Diagnostic, Waiver]] = []
+    for info in modules:
+        for rule in RULES:
+            for diagnostic in rule.check(info, project):
+                for waiver in info.waivers:
+                    if waiver.covers(diagnostic):
+                        waiver.used = True
+                        waived.append((diagnostic, waiver))
+                        break
+                else:
+                    violations.append(diagnostic)
+    for info in modules:
+        for waiver in info.waivers:
+            if not waiver.used:
+                violations.append(
+                    Diagnostic(
+                        info.path,
+                        waiver.line,
+                        1,
+                        STALE_WAIVER,
+                        "waiver suppresses nothing -- remove it "
+                        f"(rules: {', '.join(waiver.rules)})",
+                    )
+                )
+    violations.sort(key=lambda d: (d.path, d.line, d.col, d.rule))
+    return LintResult(violations=violations, waived=waived, files=len(modules))
+
+
+def lint_paths(paths: list[str | Path]) -> LintResult:
+    """Lint an explicit list of files and/or directories."""
+    files: list[Path] = []
+    for entry in paths:
+        entry = Path(entry)
+        if entry.is_dir():
+            files.extend(sorted(entry.rglob("*.py")))
+        else:
+            files.append(entry)
+    modules: list[ModuleInfo] = []
+    problems: list[Diagnostic] = []
+    for file in files:
+        info, file_problems = load_module(file)
+        modules.append(info)
+        problems.extend(file_problems)
+    return _run(modules, problems)
+
+
+def lint_tree(root: str | Path | None = None) -> LintResult:
+    """Lint a package tree (default: the live ``repro`` package)."""
+    return lint_paths([root if root is not None else default_tree()])
+
+
+def lint_source(
+    source: str, path: str = "<string>", module_name: str | None = None
+) -> LintResult:
+    """Lint one in-memory source blob (the fixture-corpus entry point)."""
+    info, problems = load_module(Path(path), module_name=module_name, source=source)
+    return _run([info], problems)

@@ -1,0 +1,53 @@
+"""Optional external analyzers: ruff and mypy, gated on availability.
+
+The container this repo grows in does not ship ruff or mypy and cannot
+install them, so ``repro-experiments lint`` treats both as *optional
+amplifiers*: when importable they run (configured by ``pyproject.toml``)
+and their exit status folds into the lint gate; when absent they are
+skipped with a printed notice and only reprolint gates.  CI installs both,
+so the full static-analysis surface is enforced on every push even when a
+developer machine lacks the tools.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import subprocess
+import sys
+
+__all__ = ["available", "run_external", "run_mypy", "run_ruff"]
+
+
+def available(module: str) -> bool:
+    try:
+        return importlib.util.find_spec(module) is not None
+    except (ImportError, ValueError):
+        return False
+
+
+def run_ruff(paths: list[str]) -> int | None:
+    """``ruff check`` over ``paths``; ``None`` when ruff is not installed."""
+    if not available("ruff"):
+        print("[static] ruff not installed; skipping style pass")
+        return None
+    print("[static] ruff check", *paths)
+    return subprocess.call([sys.executable, "-m", "ruff", "check", *paths])
+
+
+def run_mypy(paths: list[str]) -> int | None:
+    """``mypy`` over ``paths``; ``None`` when mypy is not installed."""
+    if not available("mypy"):
+        print("[static] mypy not installed; skipping type pass")
+        return None
+    print("[static] mypy", *paths)
+    return subprocess.call([sys.executable, "-m", "mypy", *paths])
+
+
+def run_external(paths: list[str]) -> int:
+    """Run every available external analyzer; 0 iff none that ran failed."""
+    status = 0
+    for runner in (run_ruff, run_mypy):
+        code = runner(paths)
+        if code:  # None (skipped) and 0 (clean) both leave the gate alone
+            status = 1
+    return status

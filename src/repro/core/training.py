@@ -154,6 +154,7 @@ def train_baseline(
 ) -> list[float]:
     """Train the RoboFlamingo-style head; returns per-epoch mean losses."""
     config = config or TrainingConfig()
+    # repro: allow[RNG-KEYED] reason=frozen training stream; rekeying would orphan every cached policy tag
     rng = np.random.default_rng(config.seed)
     normalizer = ActionNormalizer.fit(demonstrations)
     policy.set_normalizer(normalizer)
@@ -196,6 +197,7 @@ def train_corki(
     serves every Corki-T variation (paper Sec. 5.2).
     """
     config = config or TrainingConfig()
+    # repro: allow[RNG-KEYED] reason=frozen training stream; rekeying would orphan every cached policy tag
     rng = np.random.default_rng(config.seed)
     normalizer = ActionNormalizer.fit(demonstrations)
     policy.set_normalizer(normalizer)

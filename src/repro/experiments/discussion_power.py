@@ -20,6 +20,7 @@ __all__ = ["run"]
 
 
 def run(profile: Profile | None = None) -> str:
+    # repro: allow[RNG-KEYED] reason=common-random-numbers pairing: both systems deliberately share one stream
     rng = np.random.default_rng(8)
     baseline_trace = simulate_baseline(100, rng=rng)
     corki_trace = simulate_corki([5] * 20, rng=rng)

@@ -13,6 +13,7 @@ __all__ = ["run"]
 
 def run(profile: Profile | None = None) -> str:
     profile = profile or get_profile()
+    # repro: allow[RNG-KEYED] reason=single jitter stream for one standalone trace; nothing lane-scoped
     trace = simulate_baseline(profile.pipeline_frames, rng=np.random.default_rng(2))
     latency = trace.latency_breakdown()
     energy = trace.energy_breakdown()

@@ -37,6 +37,7 @@ _PAPER_SPEEDUP = {
 }
 
 
+# repro: allow[BATCH-REF] reason=builds lane *specifications*, not a batched kernel; simulate_lanes consumes them
 def system_lanes(frames: int, adap_steps: list[int]) -> list[PipelineLane]:
     """The figure's lane specifications, pure in ``(frames, adap_steps)``.
 

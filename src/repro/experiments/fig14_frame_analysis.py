@@ -33,6 +33,7 @@ _SEQUENCE_FRAMES = 100
 _JITTER_SEED = 14
 
 
+# repro: allow[BATCH-REF] reason=builds lane *specifications*, not a batched kernel; simulate_lanes consumes them
 def frame_lanes(adap_steps: list[int]) -> list[PipelineLane]:
     """The figure's lane specifications: baseline, Corki-5, Corki-ADAP."""
     steps: list[int] = []

@@ -29,6 +29,7 @@ def _adaptive_steps(profile: Profile | None) -> list[int]:
 
 def scaled_speedup(inference_scale: float, steps: list[int]) -> float:
     """End-to-end Corki-ADAP speedup with the inference stage scaled."""
+    # repro: allow[RNG-KEYED] reason=common-random-numbers pairing: both systems deliberately share one stream
     rng = np.random.default_rng(33)
     baseline = simulate_baseline(
         len(steps), stages=SystemStages.baseline(inference_scale), rng=rng

@@ -2,10 +2,9 @@
 
 from __future__ import annotations
 
-import os
-
 import numpy as np
 
+from repro.atomicio import atomic_savez
 from repro.nn.layers import Module
 from repro.nn.tensor import Tensor
 
@@ -54,9 +53,12 @@ def load_state_dict(module: Module, state: dict[str, np.ndarray]) -> None:
 
 
 def save_module(module: Module, path: str) -> None:
-    """Serialise a module's parameters to an ``.npz`` file."""
-    os.makedirs(os.path.dirname(os.path.abspath(path)), exist_ok=True)
-    np.savez(path, **state_dict(module))
+    """Serialise a module's parameters to an ``.npz`` file.
+
+    The write is atomic (temp file + rename), so a crash mid-save can
+    never leave a torn archive a later cache hit would try to load.
+    """
+    atomic_savez(path, **state_dict(module))
 
 
 def load_module(module: Module, path: str) -> None:

@@ -263,6 +263,7 @@ def _fill_corki_lane(out: TraceArrays, lane_index: int, lane: PipelineLane) -> N
     )
 
 
+# repro: allow[BATCH-REF] reason=scalar twins are simulate_baseline/simulate_corki (per-lane-kind names); the differential harness pins both
 def simulate_lanes(lanes: list[PipelineLane]) -> TraceArrays:
     """Evaluate a batch of pipeline lanes as stacked ``(lane, frame)`` arrays.
 

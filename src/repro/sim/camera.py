@@ -57,6 +57,7 @@ _PROJECTION_SEED = 20250621  # ISCA'25 opening day
 
 
 def _projection() -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    # repro: allow[RNG-KEYED] reason=fixed optics constant shared by every camera; never a per-lane stream
     rng = np.random.default_rng(_PROJECTION_SEED)
     weights = rng.normal(0.0, 1.0 / np.sqrt(RAW_FEATURE_DIM), size=(OBSERVATION_DIM, RAW_FEATURE_DIM))
     bias = rng.normal(0.0, 0.05, size=OBSERVATION_DIM)

@@ -473,6 +473,7 @@ class BatchedManipulationEnv:
             [
                 ManipulationEnv(
                     layout,
+                    # repro: allow[RNG-KEYED] reason=the caller's seed IS the lane identity; keying by position would break fleet-size invariance
                     np.random.default_rng(seed),
                     actuation=actuation,
                     camera_noise_std=camera_noise_std,

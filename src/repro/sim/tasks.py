@@ -36,7 +36,6 @@ from repro.sim.objects import (
     BASIN_MIN_OPENING,
     BASIN_RADIUS,
     BLOCK_NAMES,
-    STACK_SNAP_RADIUS,
     SceneState,
 )
 

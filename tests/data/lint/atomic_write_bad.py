@@ -1,0 +1,19 @@
+"""Bad: the PR 7 torn-cache-write shape -- payloads written directly to
+their final path, so a crash mid-write leaves a torn entry behind."""
+
+import json
+
+import numpy as np
+
+
+def put(path, payload: bytes):
+    with open(path, "wb") as handle:
+        handle.write(payload)
+
+
+def save_entry(path, **arrays):
+    np.savez(path, **arrays)
+
+
+def write_index(path, index: dict):
+    path.write_text(json.dumps(index))

@@ -1,0 +1,21 @@
+"""Good: temp file in the destination directory, then one atomic rename;
+in-memory buffers are not persistence and stay unflagged."""
+
+import io
+import os
+import tempfile
+
+import numpy as np
+
+
+def put(path: str, payload: bytes) -> None:
+    fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path) or ".")
+    with os.fdopen(fd, "wb") as handle:
+        handle.write(payload)
+    os.replace(tmp, path)
+
+
+def encode(**arrays) -> bytes:
+    buffer = io.BytesIO()
+    np.savez(buffer, **arrays)
+    return buffer.getvalue()

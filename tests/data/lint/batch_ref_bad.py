@@ -1,0 +1,8 @@
+"""Bad: a public batched kernel with no scalar reference anywhere in
+reach -- nothing for the differential harness to pin it against."""
+
+import numpy as np
+
+
+def torque_lanes(q, qd):
+    return 2.0 * np.asarray(q) + np.asarray(qd)

@@ -1,0 +1,17 @@
+"""Bad: hard process exits in library code skip every cleanup seam."""
+
+import os
+import sys
+
+
+def fail(message: str) -> None:
+    print(message)
+    sys.exit(1)
+
+
+def crash() -> None:
+    os._exit(17)
+
+
+def bail(code: int) -> None:
+    raise SystemExit(code)

@@ -1,0 +1,9 @@
+"""Good: library code raises a domain exception; the owner decides."""
+
+
+class WorkerError(RuntimeError):
+    """Raised instead of exiting; the caller owns the process."""
+
+
+def fail(message: str) -> None:
+    raise WorkerError(message)

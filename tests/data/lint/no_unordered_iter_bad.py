@@ -1,0 +1,20 @@
+"""Bad: iteration order of sets and directory listings is undefined, so
+anything downstream (RNG draws, trace arrays, cache keys) becomes
+run-order dependent."""
+
+import os
+
+
+def cache_key(entries):
+    parts = []
+    for entry in {e.strip() for e in entries}:
+        parts.append(entry)
+    return "|".join(parts)
+
+
+def draw_per_task(rng, tasks):
+    return [rng.normal() for task in set(tasks)]
+
+
+def archive_names(root):
+    return [name for name in os.listdir(root)]

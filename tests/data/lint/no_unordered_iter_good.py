@@ -1,0 +1,18 @@
+"""Good: sorted(...) pins the order before anything draws from it."""
+
+import os
+
+
+def cache_key(entries):
+    parts = []
+    for entry in sorted({e.strip() for e in entries}):
+        parts.append(entry)
+    return "|".join(parts)
+
+
+def draw_per_task(rng, tasks):
+    return [rng.normal() for task in sorted(set(tasks))]
+
+
+def archive_names(root):
+    return [name for name in sorted(os.listdir(root))]

@@ -1,0 +1,18 @@
+"""Bad: inline wall-clock reads couple results to the host clock."""
+
+import time
+from datetime import datetime
+
+
+def measure(work):
+    start = time.time()
+    work()
+    return time.time() - start
+
+
+def deadline_passed(deadline: float) -> bool:
+    return time.perf_counter() > deadline
+
+
+def stamp() -> str:
+    return datetime.now().isoformat()

@@ -1,0 +1,15 @@
+"""Good: the clock is an injectable seam -- a default *reference*, never
+an inline call -- so tests can substitute a fake clock."""
+
+import time
+from typing import Callable
+
+
+def measure(work, clock: Callable[[], float] = time.monotonic) -> float:
+    start = clock()
+    work()
+    return clock() - start
+
+
+def deadline_passed(deadline: float, clock: Callable[[], float]) -> bool:
+    return clock() > deadline

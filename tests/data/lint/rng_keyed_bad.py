@@ -1,0 +1,29 @@
+"""Bad: the PR 4 stream collision, verbatim shape.
+
+``[seed + 1, lane]`` / ``[seed + 2, lane]`` makes seed S's feedback
+streams bit-identical to seed S+1's environment streams.
+"""
+
+import numpy as np
+
+
+def lane_generators(seed: int, lane: int):
+    env_rng = np.random.default_rng([seed + 1, lane])
+    feedback_rng = np.random.default_rng([seed + 2, lane])
+    return env_rng, feedback_rng
+
+
+def lane_rngs(seed: int, lanes: int):
+    return [np.random.default_rng(seed + lane) for lane in range(lanes)]
+
+
+def master(seed: int):
+    return np.random.default_rng(seed)
+
+
+def entropy():
+    return np.random.default_rng()
+
+
+def shuffle_in_place(items):
+    np.random.shuffle(items)

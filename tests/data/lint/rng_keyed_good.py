@@ -1,0 +1,17 @@
+"""Good: every stream is a keyed list seed -- [seed, domain, identity]."""
+
+import numpy as np
+
+
+def lane_generators(seed: int, lane: int):
+    env_rng = np.random.default_rng([seed, 1, lane])
+    feedback_rng = np.random.default_rng([seed, 2, lane])
+    return env_rng, feedback_rng
+
+
+def lane_rngs(seed: int, lanes: int):
+    return [np.random.default_rng([seed, lane]) for lane in range(lanes)]
+
+
+def shuffle_in_place(items, rng):
+    rng.shuffle(items)

@@ -49,7 +49,6 @@ from repro.robot import (
     jacobian_dot_qd_reference,
     mass_matrix_lanes,
     mass_matrix_reference,
-    panda,
     pose_error_lanes,
     rnea_lanes,
     rnea_reference,

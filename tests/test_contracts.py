@@ -1,0 +1,243 @@
+"""reprolint: fixture corpus, waiver machinery, CLI exits, live-tree gate.
+
+The fixture corpus under ``tests/data/lint/`` carries one good and one bad
+snippet per rule; every bad snippet is a real historical bug shape (the
+PR 4 ``[seed + 1, lane]`` RNG collision, the PR 7 torn cache write, ...).
+The live-tree self-check is the same gate CI runs: the shipped ``repro``
+package must lint clean.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.contracts import RULES, lint_paths, lint_source, lint_tree, rule_ids
+from repro.contracts.__main__ import main as contracts_main
+from repro.contracts.engine import BAD_WAIVER, STALE_WAIVER
+
+FIXTURES = Path(__file__).parent / "data" / "lint"
+
+
+def fixture_path(rule_id: str, kind: str) -> Path:
+    return FIXTURES / f"{rule_id.lower().replace('-', '_')}_{kind}.py"
+
+
+def rules_hit(path: Path) -> set[str]:
+    result = lint_paths([path])
+    return {diagnostic.rule for diagnostic in result.violations}
+
+
+# ---------------------------------------------------------------------------
+# fixture corpus: every rule has a true positive and a clean counterpart
+
+
+@pytest.mark.parametrize("rule_id", rule_ids())
+def test_bad_fixture_trips_exactly_its_rule(rule_id):
+    hit = rules_hit(fixture_path(rule_id, "bad"))
+    assert rule_id in hit
+    # The corpus stays one-rule-per-file so a regression is named precisely.
+    assert hit == {rule_id}
+
+
+@pytest.mark.parametrize("rule_id", rule_ids())
+def test_good_fixture_is_clean(rule_id):
+    result = lint_paths([fixture_path(rule_id, "good")])
+    assert result.ok, [d.format() for d in result.violations]
+
+
+def test_every_rule_has_both_fixtures():
+    for rule_id in rule_ids():
+        assert fixture_path(rule_id, "good").is_file()
+        assert fixture_path(rule_id, "bad").is_file()
+
+
+def test_pr4_collision_shape_is_caught():
+    """The exact PR 4 bug -- seed arithmetic inside the lane key."""
+    source = fixture_path("RNG-KEYED", "bad").read_text()
+    assert "[seed + 1, lane]" in source  # the corpus keeps the shape verbatim
+    result = lint_paths([fixture_path("RNG-KEYED", "bad")])
+    flagged_lines = {
+        d.line for d in result.violations if "seed arithmetic inside a key" in d.message
+    }
+    assert len(flagged_lines) == 2  # [seed + 1, lane] and [seed + 2, lane]
+
+
+def test_pr7_torn_write_shape_is_caught():
+    """The exact PR 7 bug -- cache payloads written straight to the final
+    path."""
+    result = lint_paths([fixture_path("ATOMIC-WRITE", "bad")])
+    messages = [d.message for d in result.violations]
+    assert any("open(..., 'w')" in message for message in messages)
+    assert any("numpy.savez" in message for message in messages)
+
+
+def test_diagnostics_carry_file_and_line():
+    path = fixture_path("NO-HARD-EXIT", "bad")
+    result = lint_paths([path])
+    assert result.violations
+    for diagnostic in result.violations:
+        assert diagnostic.path == str(path)
+        assert diagnostic.line >= 1
+        assert diagnostic.format().startswith(f"{path}:{diagnostic.line}:")
+
+
+# ---------------------------------------------------------------------------
+# waiver machinery
+
+
+def test_waiver_on_same_line_suppresses():
+    result = lint_source(
+        "import numpy as np\n"
+        "rng = np.random.default_rng(3)"
+        "  # repro: allow[RNG-KEYED] reason=test stream\n"
+    )
+    assert result.ok
+    assert len(result.waived) == 1
+
+
+def test_waiver_on_line_above_suppresses():
+    result = lint_source(
+        "import numpy as np\n"
+        "# repro: allow[RNG-KEYED] reason=test stream\n"
+        "rng = np.random.default_rng(3)\n"
+    )
+    assert result.ok
+
+
+def test_waiver_does_not_leak_past_adjacent_line():
+    result = lint_source(
+        "import numpy as np\n"
+        "# repro: allow[RNG-KEYED] reason=covers only the next line\n"
+        "a = np.random.default_rng(3)\n"
+        "b = np.random.default_rng(4)\n"
+    )
+    assert len(result.waived) == 1  # line 3 rides the waiver
+    assert [d.line for d in result.violations if d.rule == "RNG-KEYED"] == [4]
+
+
+def test_reasonless_waiver_is_a_violation():
+    result = lint_source(
+        "import numpy as np\n"
+        "rng = np.random.default_rng(3)  # repro: allow[RNG-KEYED]\n"
+    )
+    rules = {d.rule for d in result.violations}
+    assert BAD_WAIVER in rules
+
+
+def test_stale_waiver_is_a_violation():
+    result = lint_source(
+        "# repro: allow[NO-HARD-EXIT] reason=nothing here exits\n"
+        "x = 1\n"
+    )
+    assert {d.rule for d in result.violations} == {STALE_WAIVER}
+
+
+def test_one_waiver_can_cover_multiple_rules():
+    result = lint_source(
+        "import numpy as np\n"
+        "import sys\n"
+        "def f(seed):\n"
+        "    # repro: allow[RNG-KEYED, NO-HARD-EXIT] reason=both intentional here\n"
+        "    rng = np.random.default_rng(seed); sys.exit(int(rng.integers(2)))\n"
+    )
+    assert result.ok
+    assert len(result.waived) == 2
+
+
+def test_waiver_inside_docstring_is_inert():
+    result = lint_source(
+        '"""Docs showing the syntax:\n\n'
+        "    # repro: allow[RNG-KEYED] reason=example\n"
+        '"""\n'
+        "x = 1\n"
+    )
+    assert result.ok
+    assert not result.waived
+
+
+# ---------------------------------------------------------------------------
+# rule-engine behaviour pinned by the live tree's idioms
+
+
+def test_clock_reference_as_default_argument_is_allowed():
+    result = lint_source(
+        "import time\n"
+        "from typing import Callable\n"
+        "def wait(clock: Callable[[], float] = time.monotonic):\n"
+        "    return clock()\n"
+    )
+    assert result.ok
+
+
+def test_bytesio_savez_is_not_a_file_write():
+    result = lint_source(
+        "import io\n"
+        "import numpy as np\n"
+        "def encode(arr):\n"
+        "    buffer = io.BytesIO()\n"
+        "    np.savez(buffer, arr=arr)\n"
+        "    return buffer.getvalue()\n"
+    )
+    assert result.ok
+
+
+def test_batched_kernel_found_via_importer_edge(tmp_path):
+    """Scalar entry points often live in the module that *imports* the
+    batched kernels (repro.robot.dynamics importing repro.robot.batched)."""
+    kernels = tmp_path / "pkg_kernels.py"
+    frontend = tmp_path / "pkg_frontend.py"
+    kernels.write_text("def mass_lanes(qs):\n    return qs\n")
+    frontend.write_text(
+        "from pkg_kernels import mass_lanes\n\n"
+        "def mass(q):\n    return mass_lanes([q])[0]\n"
+    )
+    result = lint_paths([kernels, frontend])
+    assert result.ok, [d.format() for d in result.violations]
+
+
+def test_rule_metadata_is_complete():
+    for rule in RULES:
+        assert rule.id and rule.title and rule.rationale
+    assert len(set(rule_ids())) == len(RULES) >= 6
+
+
+# ---------------------------------------------------------------------------
+# CLI and the live-tree gate
+
+
+def test_live_tree_is_lint_clean():
+    result = lint_tree()
+    assert result.ok, "\n".join(d.format() for d in result.violations)
+    assert result.files > 50  # the whole package was actually walked
+
+
+def test_cli_exit_codes_and_output(capsys):
+    bad = fixture_path("RNG-KEYED", "bad")
+    assert contracts_main([str(bad)]) == 1
+    out = capsys.readouterr().out
+    assert f"{bad}:" in out and "RNG-KEYED" in out
+
+    good = fixture_path("RNG-KEYED", "good")
+    assert contracts_main([str(good)]) == 0
+
+
+def test_cli_default_tree_run_prints_waiver_census(capsys):
+    assert contracts_main([]) == 0
+    out = capsys.readouterr().out
+    assert "violation(s)" in out and "waived" in out
+
+
+def test_experiments_cli_lint_subcommand(capsys):
+    from repro.cli import main as cli_main
+
+    assert cli_main(["lint"]) == 0
+    out = capsys.readouterr().out
+    assert "reprolint:" in out
+
+
+def test_experiments_cli_lint_runs_alone(capsys):
+    from repro.cli import main as cli_main
+
+    assert cli_main(["lint", "tbl1"]) == 2

@@ -31,7 +31,7 @@ _ID_TOKEN = re.compile(r"^[a-z][a-z0-9-]*$")
 def _cli_names() -> set[str]:
     from repro.experiments import EXPERIMENTS
 
-    return set(EXPERIMENTS) | {"all", "bench", "suite", "serve"}
+    return set(EXPERIMENTS) | {"all", "bench", "suite", "serve", "lint"}
 
 
 def _subcommand_mentions(text: str, known: set[str]) -> list[str]:

@@ -1,7 +1,6 @@
 """Tests for RNEA, CRBA and the task-space (operational space) quantities."""
 
 import numpy as np
-import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 

@@ -1,7 +1,6 @@
 """Tests for the train-once cache behind the accuracy experiments."""
 
 import numpy as np
-import pytest
 
 import repro.analysis.evaluation as evaluation
 

@@ -1,6 +1,5 @@
 """Tests for the experiment drivers that need no policy training, and the CLI."""
 
-import numpy as np
 import pytest
 
 from repro.cli import main

@@ -1,9 +1,7 @@
 """Tests for experiment-report export and the CLI --save flag."""
 
-import json
 import os
 
-import pytest
 
 from repro.analysis.export import load_index, save_report
 

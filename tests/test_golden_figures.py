@@ -94,7 +94,7 @@ def assert_matches_golden(golden: dict, traces: dict) -> None:
 class TestFig13Golden:
     def test_scalar_path_matches_golden(self):
         golden = load_golden("fig13")
-        traces = {l.name: scalar_trace(l) for l in system_lanes(FIG13_FRAMES, ADAP_STEPS)}
+        traces = {lane.name: scalar_trace(lane) for lane in system_lanes(FIG13_FRAMES, ADAP_STEPS)}
         assert_matches_golden(golden, traces)
 
     def test_batched_path_matches_golden(self):

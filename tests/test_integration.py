@@ -8,7 +8,6 @@ numbers (those belong to the full-scale experiment drivers).
 import numpy as np
 import pytest
 
-from repro.analysis import job_statistics, trajectory_metrics
 from repro.analysis.evaluation import JOB_LENGTH, SystemEvaluation, TrainedPolicies, evaluate_system
 from repro.pipeline import simulate_baseline, simulate_corki
 from repro.sim import SEEN_LAYOUT, UNSEEN_LAYOUT

@@ -7,7 +7,6 @@ not just the documentation.
 
 import importlib
 
-import numpy as np
 import pytest
 
 

@@ -37,7 +37,7 @@ from repro.reliability import (
     PoolUnhealthy,
     RetryPolicy,
 )
-from repro.serving.cache import ResultCache, encode_traces
+from repro.serving.cache import ResultCache
 from repro.serving.jsonl import serve_jsonl
 from repro.serving.service import EpisodeRequest, EvaluationService
 from repro.sim.world import SEEN_LAYOUT
@@ -468,7 +468,9 @@ class TestDegradation:
 
 class TestMalformedLines:
     def test_mangled_line_errors_without_killing_the_drain(self, trained):
-        plan_for = lambda seed: FaultPlan(seed=seed, malformed_line_rate=0.5)
+        def plan_for(seed):
+            return FaultPlan(seed=seed, malformed_line_rate=0.5)
+
         seed = next(
             s for s in range(100)
             if plan_for(s).mangles_line(0) and not plan_for(s).mangles_line(1)

@@ -1,7 +1,6 @@
 """Failure-injection and edge-case tests across the stack."""
 
 import numpy as np
-import pytest
 
 from repro.core import VARIATIONS, run_corki_episode
 from repro.core.runner import _TokenWindow

@@ -1,7 +1,6 @@
 """Tests for scene objects, layouts and scene sampling."""
 
 import numpy as np
-import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 
@@ -12,7 +11,7 @@ from repro.sim import (
     WORKSPACE,
     sample_scene,
 )
-from repro.sim.objects import Block, Drawer, Switch
+from repro.sim.objects import Drawer, Switch
 
 
 class TestObjects:

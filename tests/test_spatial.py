@@ -1,7 +1,6 @@
 """Unit and property tests for the spatial-algebra primitives."""
 
 import numpy as np
-import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 from hypothesis.extra.numpy import arrays

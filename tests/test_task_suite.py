@@ -34,7 +34,7 @@ from repro.sim import (
     wrap_angle,
 )
 from repro.sim.expert import render_keyframes
-from repro.sim.tasks import Task, _ensure_unique_instructions, _task_resources
+from repro.sim.tasks import _ensure_unique_instructions, _task_resources
 
 
 def make_env(layout=SEEN_LAYOUT, seed=0):
