@@ -16,10 +16,10 @@ from repro.analysis import sample_trajectory, track_trajectory
 from repro.robot import (
     LinkParameters,
     RobotModel,
+    end_effector_pose,
     forward_kinematics,
     mass_matrix,
     solve_ik,
-    end_effector_pose,
 )
 
 

@@ -15,10 +15,10 @@ import os
 import numpy as np
 
 from repro.core import (
+    VARIATIONS,
     BaselinePolicy,
     CorkiPolicy,
     TrainingConfig,
-    VARIATIONS,
     run_baseline_episode,
     run_corki_episode,
     run_job,

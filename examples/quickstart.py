@@ -21,10 +21,10 @@ import time
 import numpy as np
 
 from repro.core import (
+    VARIATIONS,
     BaselinePolicy,
     CorkiPolicy,
     TrainingConfig,
-    VARIATIONS,
     run_baseline_episode,
     run_corki_episode,
     run_corki_fleet,

@@ -7,9 +7,9 @@ from repro.accelerator.accelerator import (
     TickResult,
 )
 from repro.accelerator.approx import (
-    AceUnit,
     DESIGN_THRESHOLD,
     FULL_MOTION_SCORE,
+    AceUnit,
     JointImpactModel,
     jacobian_joint_sensitivity,
     mass_matrix_joint_sensitivity,

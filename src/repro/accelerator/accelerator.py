@@ -16,8 +16,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.accelerator.approx import AceUnit, DESIGN_THRESHOLD, JointImpactModel
-from repro.accelerator.datapath import CLOCK_MHZ, DATAFLOW_UNITS, CUSTOM_UNITS
+from repro.accelerator.approx import DESIGN_THRESHOLD, AceUnit, JointImpactModel
+from repro.accelerator.datapath import CLOCK_MHZ, CUSTOM_UNITS, DATAFLOW_UNITS
 from repro.accelerator.fifo import Fifo, LineBuffer, Scratchpad
 from repro.robot.control import ControlGains, TaskSpaceComputedTorqueController, TaskSpaceReference
 from repro.robot.dynamics import (

@@ -24,21 +24,21 @@ import numpy as np
 
 from repro.analysis.metrics import JobStatistics, TrajectoryMetrics, job_statistics, trajectory_metrics
 from repro.atomicio import atomic_save
-from repro.core.config import CorkiVariation, VARIATIONS
-from repro.pipeline.estimate import PipelineEstimate, estimate_lanes
+from repro.core.config import VARIATIONS, CorkiVariation
 from repro.core.fleet import FleetLane, FleetRunner
 from repro.core.policy import BaselinePolicy, CorkiPolicy
 from repro.core.runner import MAX_EPISODE_FRAMES, EpisodeTrace
 from repro.core.training import TrainingConfig, train_baseline, train_corki
 from repro.nn.serialization import load_module, save_module
+from repro.pipeline.estimate import PipelineEstimate, estimate_lanes
 from repro.sim.camera import OBSERVATION_DIM, RAW_FEATURE_DIM
 from repro.sim.dataset import ActionNormalizer, collect_demonstrations
 from repro.sim.env import (
-    BatchedManipulationEnv,
-    ManipulationEnv,
     PERFECT_ACTUATION,
     TRACKING_100HZ,
     TRACKING_30HZ,
+    BatchedManipulationEnv,
+    ManipulationEnv,
 )
 from repro.sim.expert import render_keyframes
 from repro.sim.tasks import TASK_FAMILIES, TASKS, sample_job
@@ -543,14 +543,17 @@ def oracle_episode_outcome(
 ) -> tuple[str, str, bool]:
     """One jitter-free scripted-expert episode of registry task ``index``.
 
-    Seeded ``[seed, index, episode]`` -- keyed on the episode's identity, not
-    on any draw order -- so any subset of the oracle sweep (e.g. one worker's
-    shard) reproduces exactly the episodes the full sweep would run.
+    Seeded ``[seed, 5, index, episode]`` -- keyed on the episode's identity,
+    not on any draw order -- so any subset of the oracle sweep (e.g. one
+    worker's shard) reproduces exactly the episodes the full sweep would
+    run.  Domain tag 5 keeps the oracle family disjoint from the lane
+    streams (tags 1/2), the jitter streams (3/4) and the fault-injection
+    streams (6-10) for every seed assignment; RNG-PROVENANCE proves it.
     """
     task = TASKS[index]
     env = ManipulationEnv(
         layout,
-        np.random.default_rng([seed, index, episode]),
+        np.random.default_rng([seed, 5, index, episode]),
         actuation=PERFECT_ACTUATION,
         camera_noise_std=0.0,
     )

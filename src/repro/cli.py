@@ -95,6 +95,11 @@ def main(argv: list[str] | None = None) -> int:
         help="('suite' only) expert-oracle episodes per registry task",
     )
     parser.add_argument(
+        "--deep", action="store_true",
+        help="('lint' only) also run the whole-program passes (LANE-SHAPE, "
+             "RNG-PROVENANCE, LAYER-SAFE, SPAWN-SAFE)",
+    )
+    parser.add_argument(
         "--layout", choices=("seen", "unseen", "both"), default="both",
         help="('suite' only) which layout(s) the oracle sweep covers",
     )
@@ -124,7 +129,7 @@ def main(argv: list[str] | None = None) -> int:
                 file=sys.stderr,
             )
             return 2
-        return _run_lint()
+        return _run_lint(deep=args.deep)
 
     if "bench" in args.experiments:
         if len(args.experiments) > 1:
@@ -279,17 +284,19 @@ def _run_suite(episodes: int, layout_choice: str, workers: int = 1) -> int:
     return 0
 
 
-def _run_lint() -> int:
+def _run_lint(deep: bool = False) -> int:
     """``repro-experiments lint``: the static-analysis gate.
 
     Runs reprolint (the determinism-contract checker in
     ``repro.contracts``, see docs/contracts.md) over the installed package
-    and folds in ruff and mypy when they are installed -- the same three
-    passes the CI static-analysis job enforces.  Exit 1 on any diagnostic.
+    and folds in ruff and mypy when they are installed -- the same passes
+    the CI static-analysis job enforces.  ``--deep`` adds the
+    whole-program passes.  Exit 1 on any diagnostic.
     """
     from repro.contracts.__main__ import main as lint_main
 
-    return lint_main(["--external"], prog="repro-experiments lint")
+    flags = ["--external"] + (["--deep"] if deep else [])
+    return lint_main(flags, prog="repro-experiments lint")
 
 
 def _run_bench(json_path: str | None, workers: int | None = None) -> int:

@@ -29,10 +29,31 @@ def main(argv: list[str] | None = None, prog: str = "python -m repro.contracts")
         help="also run ruff and mypy when installed (skipped with a notice "
         "otherwise)",
     )
+    parser.add_argument(
+        "--deep", action="store_true",
+        help="also run the whole-program passes (LANE-SHAPE, RNG-PROVENANCE, "
+        "LAYER-SAFE, SPAWN-SAFE)",
+    )
+    parser.add_argument(
+        "--deep-only", action="store_true",
+        help="run only the whole-program passes (the support-tree profile: "
+        "benchmarks/, examples/ and tests/ helpers share the cross-file "
+        "invariants but not the per-file conventions)",
+    )
+    parser.add_argument(
+        "--census", metavar="PATH",
+        help="write the waiver census as JSON to PATH (machine-readable "
+        "twin of the summary line; CI diffs it against the committed "
+        "baseline)",
+    )
     args = parser.parse_args(argv)
 
     paths = [str(p) for p in (args.paths or [default_tree()])]
-    result = lint_paths(paths)
+    result = lint_paths(
+        paths,
+        deep=args.deep or args.deep_only,
+        shallow=not args.deep_only,
+    )
     for diagnostic in result.violations:
         print(diagnostic.format())
     waived = result.waived_by_rule()
@@ -46,6 +67,11 @@ def main(argv: list[str] | None = None, prog: str = "python -m repro.contracts")
         f"violation(s), {len(result.waived)} waived{census}"
     )
     status = 0 if result.ok else 1
+    if args.census:
+        from repro.contracts.census import write_census
+
+        write_census(result, args.census)
+        print(f"reprolint: waiver census written to {args.census}")
     if args.external:
         from repro.contracts.static import run_external
 

@@ -1,0 +1,56 @@
+"""The waiver census as a machine-readable artifact.
+
+The summary line of every lint run prints the waiver counts; this module
+writes the same census as stable JSON (``artifacts/lint-census.json`` in
+CI).  The committed file is the baseline: the static-analysis job
+regenerates it and fails on any drift, so a diff that grows the waiver
+inventory must visibly touch the census file to land.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.atomicio import atomic_write_text
+from repro.contracts.engine import LintResult
+
+__all__ = ["census_payload", "write_census"]
+
+
+def _relative(path: str, root: Path) -> str:
+    """``root``-relative path when the file sits under it, POSIX-style so
+    the artifact is identical across platforms."""
+    resolved = Path(path).resolve()
+    try:
+        return resolved.relative_to(root).as_posix()
+    except ValueError:
+        return resolved.as_posix()
+
+
+def census_payload(result: LintResult, root: Path | None = None) -> dict:
+    root = (root or Path.cwd()).resolve()
+    by_file: dict[str, int] = {}
+    reasons: dict[str, list[str]] = {}
+    for diagnostic, waiver in result.waived:
+        key = _relative(diagnostic.path, root)
+        by_file[key] = by_file.get(key, 0) + 1
+        reasons.setdefault(key, [])
+        if waiver.reason not in reasons[key]:
+            reasons[key].append(waiver.reason)
+    return {
+        "files": result.files,
+        "violations": len(result.violations),
+        "waived_total": len(result.waived),
+        "waived_by_rule": result.waived_by_rule(),
+        "waived_by_file": dict(sorted(by_file.items())),
+        "reasons_by_file": {key: sorted(values) for key, values in sorted(reasons.items())},
+    }
+
+
+def write_census(
+    result: LintResult, path: str | Path, root: Path | None = None
+) -> None:
+    payload = census_payload(result, root=root)
+    Path(path).parent.mkdir(parents=True, exist_ok=True)
+    atomic_write_text(Path(path), json.dumps(payload, indent=2, sort_keys=True) + "\n")

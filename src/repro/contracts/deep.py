@@ -1,0 +1,1035 @@
+"""Whole-program passes: lane-shape inference, RNG-key provenance, layering.
+
+The shallow rules (:mod:`repro.contracts.rules`) pattern-match one module at
+a time.  The three bug classes that actually shipped were cross-file
+properties, so these passes analyze the whole :class:`~repro.contracts.engine.
+Project` at once (sharing the resolution tables of
+:mod:`repro.contracts.project`):
+
+``LANE-SHAPE``
+    Abstract interpretation over numpy expressions in every public
+    ``*_lanes`` kernel.  The abstract domain tracks whether a value carries
+    the leading lane axis (``LANE``), definitely does not (``NOLANE``), is
+    the lane count itself (``LANECOUNT``), or is unknown; violations are
+    axis-dropping reductions (``lane_array.sum()`` with no axis, or
+    ``axis=0``), boolean-mask subscript reads (which compress and reorder
+    lanes), and lane-axis moves (``.T`` / ``transpose`` / ``swapaxes``
+    touching axis 0).  Only definite ``LANE`` values flag, so ``UNKNOWN``
+    never produces a false positive.
+
+``RNG-PROVENANCE``
+    Interprocedural comparison of every keyed ``default_rng([...])``
+    construction site.  Key elements abstract to integer constants,
+    opaque variables, and ``*``-splats; parameters are substituted from
+    resolved call sites (one hop), so ``FaultPlan._roll``'s ``domain``
+    argument resolves to its per-call-site ``_DOMAIN_*`` constant.  Two
+    distinct streams whose symbolic keys can unify -- no fixed position
+    holds two different constants and the lengths are compatible -- are a
+    collision: the PR 4 ``[seed + 1, lane]`` bug class, proven impossible
+    rather than grepped for.
+
+``LAYER-SAFE``
+    The declared module-dependency DAG enforced against the real import
+    graph: foundation (atomicio/constants/contracts) < domain models
+    (nn/sim/robot/pipeline/reliability) < core < accelerator < analysis <
+    serving < experiments < cli.  Imports may only point downward;
+    same-layer imports must stay inside one subpackage.
+
+``SPAWN-SAFE``
+    Everything dispatched through an ``EvaluationPool``-style worker pool
+    must be picklable by construction under the spawn context: worker
+    callables must be module-level functions (never lambdas, nested
+    closures or bound methods) and no lambda may ride along in a dispatch
+    payload.
+
+All four emit :class:`~repro.contracts.engine.Diagnostic` objects through
+the normal engine plumbing, so ``# repro: allow[RULE] reason=...`` waivers
+apply exactly as they do for the shallow rules.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.contracts.engine import (
+    Diagnostic,
+    ModuleInfo,
+    Project,
+    qualified_name,
+)
+from repro.contracts.project import (
+    FunctionDecl,
+    ProjectIndex,
+    build_index,
+)
+
+__all__ = ["DEEP_RULES", "DeepRule", "deep_rule_ids"]
+
+
+class DeepRule:
+    """Base class for whole-program passes."""
+
+    id: str = ""
+    title: str = ""
+    rationale: str = ""
+
+    def check_project(self, project: Project) -> Iterator[Diagnostic]:
+        raise NotImplementedError
+
+    def diagnostic(self, info: ModuleInfo, node: ast.AST, message: str) -> Diagnostic:
+        return Diagnostic(
+            path=info.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            rule=self.id,
+            message=message,
+        )
+
+
+# ---------------------------------------------------------------------------
+# LANE-SHAPE
+
+
+LANE = "lane"
+LANE_BOOL = "lane_bool"  # boolean mask over the lane axis
+NOLANE = "nolane"
+UNKNOWN = "unknown"
+LANECOUNT = "lanecount"  # the integer number of lanes
+RANGELANE = "rangelane"  # range(lanecount)
+SHAPE_LANE = "shape_lane"  # the .shape tuple of a LANE array
+
+_REDUCTIONS = {
+    "sum", "mean", "prod", "product", "min", "max", "amin", "amax", "median",
+    "std", "var", "average", "ptp", "nansum", "nanmean", "nanmin", "nanmax",
+}
+_METHOD_REDUCTIONS = {"sum", "mean", "prod", "min", "max", "std", "var", "ptp"}
+_ELEMENTWISE = {
+    "where", "clip", "abs", "absolute", "sqrt", "exp", "log", "log1p", "sign",
+    "minimum", "maximum", "copysign", "power", "mod", "floor", "ceil",
+    "round", "nan_to_num", "tanh", "cos", "sin", "arctan2", "hypot", "square",
+    "negative", "add", "subtract", "multiply", "divide", "true_divide",
+    "matmul", "cross",
+}
+_BOOL_ELEMENTWISE = {"isfinite", "isnan", "isclose", "logical_and",
+                     "logical_or", "logical_not", "logical_xor"}
+_PRESERVING_METHODS = {"astype", "copy", "clip", "round"}
+
+
+def _combine(*kinds: str) -> str:
+    if any(k in (LANE, LANE_BOOL) for k in kinds):
+        return LANE
+    if any(k == UNKNOWN for k in kinds):
+        return UNKNOWN
+    return NOLANE
+
+
+def _annotation_kind(ann: ast.expr | None, info: ModuleInfo) -> str:
+    if ann is None:
+        return UNKNOWN
+    if isinstance(ann, ast.Constant) and isinstance(ann.value, str):
+        return LANE if "ndarray" in ann.value else UNKNOWN
+    if isinstance(ann, (ast.Name, ast.Attribute)):
+        dotted = qualified_name(ann, info)
+        if dotted == "numpy.ndarray":
+            return LANE
+        if dotted in ("int", "float", "bool", "str"):
+            return NOLANE
+    return UNKNOWN
+
+
+class _LaneInterpreter:
+    """One pass over one kernel body, in statement order (no fixpoint: the
+    kernels are straight-line numpy code and a single pass is what a reader
+    simulates too)."""
+
+    def __init__(self, rule: "LaneShapeRule", info: ModuleInfo):
+        self.rule = rule
+        self.info = info
+        self.env: dict[str, str] = {}
+        self.findings: list[Diagnostic] = []
+
+    def flag(self, node: ast.AST, message: str) -> None:
+        self.findings.append(self.rule.diagnostic(self.info, node, message))
+
+    # -- statements --------------------------------------------------------
+
+    def run(self, body: list[ast.stmt]) -> None:
+        for stmt in body:
+            self.stmt(stmt)
+
+    def stmt(self, node: ast.stmt) -> None:
+        if isinstance(node, ast.Assign):
+            self.assign(node.targets, node.value)
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            kind = self.eval(node.value)
+            if isinstance(node.target, ast.Name):
+                ann = _annotation_kind(node.annotation, self.info)
+                self.env[node.target.id] = ann if ann != UNKNOWN else kind
+        elif isinstance(node, ast.AugAssign):
+            kind = self.eval(node.value)
+            if isinstance(node.target, ast.Name):
+                current = self.env.get(node.target.id, UNKNOWN)
+                self.env[node.target.id] = _combine(current, kind)
+            else:
+                self.eval_store_target(node.target)
+        elif isinstance(node, (ast.Expr, ast.Return)):
+            if node.value is not None:
+                self.eval(node.value)
+        elif isinstance(node, ast.If):
+            self.eval(node.test)
+            self.run(node.body)
+            self.run(node.orelse)
+        elif isinstance(node, ast.For):
+            self.bind_loop_target(node.target, self.eval(node.iter))
+            self.run(node.body)
+            self.run(node.orelse)
+        elif isinstance(node, ast.While):
+            self.eval(node.test)
+            self.run(node.body)
+            self.run(node.orelse)
+        elif isinstance(node, ast.With):
+            for item in node.items:
+                self.eval(item.context_expr)
+            self.run(node.body)
+        elif isinstance(node, ast.Try):
+            self.run(node.body)
+            for handler in node.handlers:
+                self.run(handler.body)
+            self.run(node.orelse)
+            self.run(node.finalbody)
+        elif isinstance(node, ast.Match):
+            self.eval(node.subject)
+            for case in node.cases:
+                self.run(case.body)
+        elif isinstance(node, (ast.Raise, ast.Assert)):
+            for value in (getattr(node, "exc", None), getattr(node, "test", None),
+                          getattr(node, "msg", None)):
+                if value is not None:
+                    self.eval(value)
+        # nested defs / classes / pass / break / continue: nothing to track
+
+    def assign(self, targets: list[ast.expr], value: ast.expr) -> None:
+        kind = self.eval(value)
+        for target in targets:
+            if isinstance(target, ast.Name):
+                self.env[target.id] = kind
+            elif isinstance(target, ast.Tuple):
+                self.bind_tuple_target(target, value, kind)
+            else:
+                self.eval_store_target(target)
+
+    def bind_tuple_target(
+        self, target: ast.Tuple, value: ast.expr, kind: str
+    ) -> None:
+        names = [t.id for t in target.elts if isinstance(t, ast.Name)]
+        if kind == SHAPE_LANE:
+            # lanes, n = q.shape -- the leading dimension is the lane count
+            for position, t in enumerate(target.elts):
+                if isinstance(t, ast.Name):
+                    self.env[t.id] = LANECOUNT if position == 0 else NOLANE
+            return
+        if kind == LANE:
+            # tuple-unpack of a *_lanes kernel result: each part is stacked
+            for name in names:
+                self.env[name] = LANE
+            return
+        if isinstance(value, ast.Tuple) and len(value.elts) == len(target.elts):
+            for t, v in zip(target.elts, value.elts):
+                if isinstance(t, ast.Name):
+                    self.env[t.id] = self.eval(v)
+            return
+        for name in names:
+            self.env[name] = UNKNOWN
+
+    def bind_loop_target(self, target: ast.expr, iter_kind: str) -> None:
+        if isinstance(target, ast.Name):
+            # iterating a lane-stacked array yields per-lane rows; iterating
+            # range(lanes) yields plain integers -- neither carries the axis
+            self.env[target.id] = (
+                NOLANE if iter_kind in (LANE, LANE_BOOL, RANGELANE) else UNKNOWN
+            )
+        elif isinstance(target, ast.Tuple):
+            for t in target.elts:
+                self.bind_loop_target(t, UNKNOWN)
+
+    def eval_store_target(self, target: ast.expr) -> None:
+        """Mask *writes* (``out[~moving] = 0.0``) are lane-aligned and fine;
+        only evaluate the pieces for nested findings."""
+        if isinstance(target, ast.Subscript):
+            self.eval(target.value)
+            if not self._is_mask_expr(target.slice):
+                self.eval(target.slice)
+        elif isinstance(target, ast.Attribute):
+            self.eval(target.value)
+
+    def _is_mask_expr(self, node: ast.expr) -> bool:
+        return self.eval(node) == LANE_BOOL
+
+    # -- expressions -------------------------------------------------------
+
+    def eval(self, node: ast.expr) -> str:
+        if isinstance(node, ast.Name):
+            return self.env.get(node.id, UNKNOWN)
+        if isinstance(node, ast.Constant):
+            return NOLANE
+        if isinstance(node, ast.NamedExpr):
+            kind = self.eval(node.value)
+            if isinstance(node.target, ast.Name):
+                self.env[node.target.id] = kind
+            return kind
+        if isinstance(node, ast.BinOp):
+            left, right = self.eval(node.left), self.eval(node.right)
+            if (
+                isinstance(node.op, (ast.BitAnd, ast.BitOr, ast.BitXor))
+                and LANE_BOOL in (left, right)
+            ):
+                return LANE_BOOL
+            return _combine(left, right)
+        if isinstance(node, ast.UnaryOp):
+            operand = self.eval(node.operand)
+            if isinstance(node.op, ast.Invert) and operand == LANE_BOOL:
+                return LANE_BOOL
+            return _combine(operand)
+        if isinstance(node, ast.BoolOp):
+            kinds = [self.eval(v) for v in node.values]
+            return LANE_BOOL if LANE_BOOL in kinds else _combine(*kinds)
+        if isinstance(node, ast.Compare):
+            kinds = [self.eval(node.left)] + [self.eval(c) for c in node.comparators]
+            return LANE_BOOL if _combine(*kinds) == LANE else NOLANE
+        if isinstance(node, ast.IfExp):
+            self.eval(node.test)
+            return _combine(self.eval(node.body), self.eval(node.orelse))
+        if isinstance(node, ast.Call):
+            return self.call(node)
+        if isinstance(node, ast.Attribute):
+            return self.attribute(node)
+        if isinstance(node, ast.Subscript):
+            return self.subscript(node)
+        if isinstance(node, ast.Starred):
+            return self.eval(node.value)
+        if isinstance(node, (ast.List, ast.Tuple, ast.Set)):
+            for element in node.elts:
+                self.eval(element)
+            return UNKNOWN
+        if isinstance(node, ast.Dict):
+            for value in node.values:
+                if value is not None:
+                    self.eval(value)
+            return UNKNOWN
+        if isinstance(node, (ast.ListComp, ast.SetComp, ast.GeneratorExp)):
+            self.comprehension(node)
+            return UNKNOWN
+        if isinstance(node, ast.DictComp):
+            saved = dict(self.env)
+            for gen in node.generators:
+                self.bind_loop_target(gen.target, self.eval(gen.iter))
+            self.eval(node.key)
+            self.eval(node.value)
+            self.env = saved
+            return UNKNOWN
+        if isinstance(node, ast.JoinedStr):
+            for value in node.values:
+                if isinstance(value, ast.FormattedValue):
+                    self.eval(value.value)
+            return NOLANE
+        if isinstance(node, ast.Lambda):
+            return UNKNOWN
+        return UNKNOWN
+
+    def comprehension(
+        self, node: ast.ListComp | ast.SetComp | ast.GeneratorExp
+    ) -> str:
+        """Evaluate a comprehension for findings; returns the *element*
+        kind (the caller decides what stacking does with it)."""
+        saved = dict(self.env)
+        iter_kind = UNKNOWN
+        for position, gen in enumerate(node.generators):
+            kind = self.eval(gen.iter)
+            if position == 0:
+                iter_kind = kind
+            self.bind_loop_target(gen.target, kind)
+            for condition in gen.ifs:
+                self.eval(condition)
+        self.eval(node.elt)
+        self.env = saved
+        return iter_kind
+
+    def attribute(self, node: ast.Attribute) -> str:
+        receiver = self.eval(node.value)
+        if node.attr == "shape":
+            return SHAPE_LANE if receiver in (LANE, LANE_BOOL) else NOLANE
+        if node.attr == "T" and receiver in (LANE, LANE_BOOL):
+            self.flag(
+                node,
+                ".T moves the lane axis off position 0 -- keep lanes leading "
+                "(transpose only the trailing axes: np.transpose(x, (0, 2, 1)))",
+            )
+            return UNKNOWN
+        if node.attr in ("ndim", "dtype", "size"):
+            return NOLANE
+        return UNKNOWN
+
+    def subscript(self, node: ast.Subscript) -> str:
+        receiver = self.eval(node.value)
+        if receiver == SHAPE_LANE:
+            index = node.slice
+            if isinstance(index, ast.Constant) and index.value == 0:
+                return LANECOUNT
+            return NOLANE
+        first = node.slice.elts[0] if isinstance(node.slice, ast.Tuple) else node.slice
+        if receiver in (LANE, LANE_BOOL):
+            if isinstance(node.slice, ast.Tuple):
+                for rest in node.slice.elts[1:]:
+                    if not isinstance(rest, ast.Slice):
+                        self.eval(rest)
+            if isinstance(first, ast.Slice):
+                return receiver  # q[:, i] keeps every lane in place
+            if isinstance(first, ast.Constant):
+                return NOLANE  # one lane (or None-expansion): axis is gone
+            kind = self.eval(first)
+            if kind == LANE_BOOL:
+                self.flag(
+                    node,
+                    "boolean-mask subscript read compresses and reorders the "
+                    "lane axis -- keep results lane-aligned (np.where / "
+                    "masked writes) or gather through explicit indices",
+                )
+                return UNKNOWN
+            if kind == NOLANE:
+                return NOLANE  # integer index inside a per-lane loop
+            return UNKNOWN
+        self.eval(node.slice)
+        return NOLANE if receiver == NOLANE else UNKNOWN
+
+    # -- calls -------------------------------------------------------------
+
+    def call(self, node: ast.Call) -> str:
+        dotted = qualified_name(node.func, self.info)
+        arg_kinds = [self.eval(a) for a in node.args]
+        for keyword in node.keywords:
+            self.eval(keyword.value)
+
+        if dotted == "len":
+            return LANECOUNT if arg_kinds and arg_kinds[0] in (LANE, LANE_BOOL) else NOLANE
+        if dotted == "range":
+            return RANGELANE if LANECOUNT in arg_kinds else NOLANE
+        if dotted in ("float", "int", "bool", "abs", "sorted", "zip", "enumerate",
+                      "sum", "min", "max"):
+            # builtin sum/min/max over generator inputs of scalars, never
+            # over a lane-stacked ndarray in this tree
+            return NOLANE
+
+        if dotted and dotted.startswith("numpy."):
+            return self.numpy_call(node, dotted, arg_kinds)
+
+        name = (
+            node.func.attr
+            if isinstance(node.func, ast.Attribute)
+            else node.func.id if isinstance(node.func, ast.Name) else ""
+        )
+        if isinstance(node.func, ast.Attribute):
+            receiver = self.eval(node.func.value)
+            if receiver in (LANE, LANE_BOOL):
+                return self.lane_method(node, name, receiver)
+        if name.endswith("_lanes"):
+            return LANE  # another batched kernel: lanes in, lanes out
+        return UNKNOWN
+
+    def numpy_call(self, node: ast.Call, dotted: str, arg_kinds: list[str]) -> str:
+        name = dotted[len("numpy."):]
+        first = arg_kinds[0] if arg_kinds else UNKNOWN
+
+        if name in ("zeros", "ones", "empty", "full"):
+            return LANE if self.shape_leads_with_lanecount(node.args[0]) else (
+                NOLANE if node.args and first != UNKNOWN else UNKNOWN
+            )
+        if name in ("zeros_like", "ones_like", "empty_like", "full_like"):
+            return LANE if first in (LANE, LANE_BOOL) else first
+        if name == "tile":
+            return LANE if len(node.args) > 1 and self.shape_leads_with_lanecount(node.args[1]) else UNKNOWN
+        if name == "broadcast_to":
+            return LANE if len(node.args) > 1 and self.shape_leads_with_lanecount(node.args[1]) else UNKNOWN
+        if name == "repeat":
+            repeats = self.eval(node.args[1]) if len(node.args) > 1 else UNKNOWN
+            axis = self.literal_axis(node)
+            return LANE if repeats == LANECOUNT and axis == 0 else UNKNOWN
+        if name in ("eye", "arange", "linspace", "identity"):
+            return NOLANE
+        if name in ("array", "asarray", "ascontiguousarray"):
+            if node.args and isinstance(node.args[0], (ast.ListComp, ast.GeneratorExp)):
+                element = self.comprehension(node.args[0])
+                return LANE if element in (LANE, LANE_BOOL, RANGELANE) else UNKNOWN
+            return first
+        if name == "stack":
+            axis = self.literal_axis(node)
+            if node.args and isinstance(node.args[0], (ast.ListComp, ast.GeneratorExp)):
+                element = self.comprehension(node.args[0])
+                if element in (LANE, LANE_BOOL, RANGELANE) and axis in (0, None):
+                    return LANE
+            return UNKNOWN
+        if name in ("transpose", "moveaxis", "swapaxes"):
+            return self.axis_move(node, name, first)
+        if name in _REDUCTIONS or name == "linalg.norm":
+            return self.reduction(node, f"np.{name}", first, arg_offset=1)
+        if name in ("any", "all", "count_nonzero", "argmax", "argmin"):
+            return NOLANE
+        if name in _ELEMENTWISE or name == "linalg.solve":
+            return _combine(*arg_kinds) if arg_kinds else UNKNOWN
+        if name in _BOOL_ELEMENTWISE:
+            return LANE_BOOL if _combine(*arg_kinds) == LANE else NOLANE
+        if name == "nonzero":
+            return UNKNOWN  # index arrays: the sanctioned gather currency
+        return UNKNOWN
+
+    def lane_method(self, node: ast.Call, name: str, receiver: str) -> str:
+        if name in _METHOD_REDUCTIONS:
+            return self.reduction(node, f".{name}()", receiver, arg_offset=0)
+        if name in ("any", "all", "argmax", "argmin", "item", "tolist"):
+            return NOLANE
+        if name in _PRESERVING_METHODS:
+            return receiver
+        if name in ("transpose", "swapaxes"):
+            return self.axis_move(node, name, receiver, method=True)
+        return UNKNOWN
+
+    def shape_leads_with_lanecount(self, shape: ast.expr) -> bool:
+        if isinstance(shape, (ast.Tuple, ast.List)) and shape.elts:
+            return self.eval(shape.elts[0]) == LANECOUNT
+        return self.eval(shape) == LANECOUNT
+
+    def literal_axis(self, node: ast.Call) -> object:
+        """The literal value of an ``axis=`` keyword: an int, a tuple of
+        ints, ``None`` when absent or ``axis=None``, or ``...`` (unknown)."""
+        for keyword in node.keywords:
+            if keyword.arg == "axis":
+                value = keyword.value
+                if isinstance(value, ast.Constant):
+                    return value.value
+                if isinstance(value, ast.Tuple) and all(
+                    isinstance(e, ast.Constant) for e in value.elts
+                ):
+                    return tuple(e.value for e in value.elts)
+                if isinstance(value, ast.UnaryOp) and isinstance(
+                    value.op, ast.USub
+                ) and isinstance(value.operand, ast.Constant):
+                    return -value.operand.value
+                return ...
+        return None
+
+    def reduction(
+        self, node: ast.Call, label: str, target: str, arg_offset: int
+    ) -> str:
+        if target not in (LANE, LANE_BOOL):
+            return UNKNOWN if target == UNKNOWN else NOLANE
+        axis = self.literal_axis(node)
+        if axis is None and len(node.args) > arg_offset:
+            positional = node.args[arg_offset]
+            if isinstance(positional, ast.Constant):
+                axis = positional.value
+        drops = (
+            axis is None
+            or axis == 0
+            or (isinstance(axis, tuple) and 0 in axis)
+        )
+        if drops:
+            self.flag(
+                node,
+                f"{label} reduces across the lane axis (axis 0 is implied or "
+                "named) -- pass a trailing axis (axis=1, axis=(1, 2), ...) so "
+                "every lane keeps its own result",
+            )
+            return NOLANE
+        if axis is ...:
+            return UNKNOWN
+        return LANE  # trailing-axis reduction keeps the leading lane axis
+
+    def axis_move(
+        self, node: ast.Call, name: str, target: str, method: bool = False
+    ) -> str:
+        if target not in (LANE, LANE_BOOL):
+            return UNKNOWN
+        offset = 0 if method else 1
+        axes = node.args[offset:]
+        moved = False
+        if name == "transpose":
+            if not axes:
+                moved = True  # full reversal puts lanes last
+            elif isinstance(axes[0], (ast.Tuple, ast.List)) and axes[0].elts:
+                lead = axes[0].elts[0]
+                moved = not (isinstance(lead, ast.Constant) and lead.value == 0)
+        elif name in ("swapaxes", "moveaxis"):
+            moved = any(
+                isinstance(a, ast.Constant) and a.value == 0 for a in axes[:2]
+            )
+        if moved:
+            self.flag(
+                node,
+                f"{name} moves the lane axis off position 0 -- every batched "
+                "kernel keeps lanes leading so downstream writes stay "
+                "lane-aligned",
+            )
+            return UNKNOWN
+        return target
+
+
+class LaneShapeRule(DeepRule):
+    id = "LANE-SHAPE"
+    title = "lane axis stays leading and intact through every *_lanes kernel"
+    rationale = (
+        "The batched rewrite keeps results bitwise-equal to the scalar "
+        "references only while every intermediate keeps lane i's data at "
+        "index i of axis 0.  An axis-dropping reduction, a boolean-mask "
+        "compression read, or a transpose that moves axis 0 silently mixes "
+        "lanes -- the differential harness catches it at runtime, this pass "
+        "catches it at parse time."
+    )
+
+    def check_project(self, project: Project) -> Iterator[Diagnostic]:
+        from repro.contracts.project import _declarations
+
+        for info in project.modules.values():
+            for decl in _declarations(info):
+                name = decl.node.name
+                if name.startswith("_") or not name.endswith("_lanes"):
+                    continue
+                yield from self.check_kernel(info, decl)
+
+    def check_kernel(
+        self, info: ModuleInfo, decl: FunctionDecl
+    ) -> Iterator[Diagnostic]:
+        interpreter = _LaneInterpreter(self, info)
+        args = decl.node.args
+        params = list(args.posonlyargs + args.args)
+        if decl.is_method and params:
+            interpreter.env[params[0].arg] = UNKNOWN
+            params = params[1:]
+        has_lane = False
+        for param in params + list(args.kwonlyargs):
+            kind = _annotation_kind(param.annotation, info)
+            interpreter.env[param.arg] = kind
+            has_lane = has_lane or kind == LANE
+        if not has_lane:
+            return  # nothing typed as an ndarray: no roots to propagate
+        interpreter.run(decl.node.body)
+        # sub-expressions can be abstractly evaluated more than once (a
+        # comprehension argument is walked again by the stacking rule, say);
+        # one finding per source location is what the reader needs
+        seen: set[tuple] = set()
+        for finding in interpreter.findings:
+            anchor = (finding.line, finding.col, finding.message)
+            if anchor not in seen:
+                seen.add(anchor)
+                yield finding
+
+
+# ---------------------------------------------------------------------------
+# RNG-PROVENANCE
+
+
+_CONST = "const"
+_VAR = "var"
+_STAR = "star"
+_PARAM = "param"
+_PARAM_STAR = "param_star"
+
+Element = tuple  # ("const", int) | ("var",) | ("star",) | ("param", name) | ...
+
+
+def _keys_can_collide(a: tuple, b: tuple) -> bool:
+    """True when some assignment of variable values and star lengths makes
+    the two keys identical.  Constants are the only guaranteed separators;
+    every variable ranges over all integers (streams are compared across
+    *runs*, so even ``seed + 1`` vs ``seed + 2`` can land on one value)."""
+    if not a and not b:
+        return True
+    if a and a[0][0] == _STAR:
+        return _keys_can_collide(a[1:], b) or (
+            bool(b) and _keys_can_collide(a, b[1:])
+        )
+    if b and b[0][0] == _STAR:
+        return _keys_can_collide(b, a)
+    if not a or not b:
+        return False
+    head_a, head_b = a[0], b[0]
+    if head_a[0] == _CONST and head_b[0] == _CONST and head_a[1] != head_b[1]:
+        return False
+    return _keys_can_collide(a[1:], b[1:])
+
+
+def _format_key(key: tuple) -> str:
+    parts = []
+    for element in key:
+        if element[0] == _CONST:
+            parts.append(str(element[1]))
+        elif element[0] == _STAR:
+            parts.append("*")
+        else:
+            parts.append("?")
+    return "[" + ", ".join(parts) + "]"
+
+
+class _Stream:
+    """One concrete keyed stream: a construction site, possibly specialized
+    by one call site of its enclosing function."""
+
+    def __init__(self, info: ModuleInfo, node: ast.Call, key: tuple):
+        self.info = info
+        self.node = node
+        self.key = key
+
+    @property
+    def anchor(self) -> tuple:
+        return (self.info.path, self.node.lineno, self.node.col_offset)
+
+
+class RngProvenanceRule(DeepRule):
+    id = "RNG-PROVENANCE"
+    title = "distinct keyed RNG streams must have provably disjoint keys"
+    rationale = (
+        "PR 4 keyed lane generators [seed + 1, lane] / [seed + 2, lane]: "
+        "across seeds the two families collide (seed S's feedback stream is "
+        "seed S+1's env stream).  The shallow RNG-KEYED rule bans the "
+        "arithmetic shape; this pass proves the global property -- every "
+        "pair of distinct default_rng key tuples in the tree differs in a "
+        "fixed integer position (a domain tag), so no assignment of seeds, "
+        "lanes or identities can make two streams identical."
+    )
+
+    def check_project(self, project: Project) -> Iterator[Diagnostic]:
+        index = build_index(project)
+        streams: list[_Stream] = []
+        for info in project.modules.values():
+            for node in ast.walk(info.tree):
+                if not isinstance(node, ast.Call):
+                    continue
+                if qualified_name(node.func, info) != "numpy.random.default_rng":
+                    continue
+                if not node.args or not isinstance(node.args[0], (ast.List, ast.Tuple)):
+                    continue  # scalar seeds are RNG-KEYED's (waived) business
+                streams.extend(self.streams_for(info, node, index))
+
+        streams.sort(key=lambda s: s.anchor)
+        for i, later in enumerate(streams):
+            for earlier in streams[:i]:
+                if earlier.node is later.node and earlier.key == later.key:
+                    continue
+                if _keys_can_collide(earlier.key, later.key):
+                    yield self.diagnostic(
+                        later.info,
+                        later.node,
+                        f"stream key {_format_key(later.key)} can collide "
+                        f"with the stream keyed {_format_key(earlier.key)} "
+                        f"at {earlier.info.path}:{earlier.node.lineno} -- "
+                        "give each stream family a unique fixed integer in "
+                        "some key position (a domain tag)",
+                    )
+
+    def streams_for(
+        self, info: ModuleInfo, node: ast.Call, index: ProjectIndex
+    ) -> list[_Stream]:
+        decl = index.declaration_of(node)
+        key = self.abstract_key(node.args[0], info, index, decl)
+        if decl is None or not any(e[0] in (_PARAM, _PARAM_STAR) for e in key):
+            return [_Stream(info, node, self.generalize(key))]
+        sites = index.call_sites.get(decl.qname, [])
+        if not sites:
+            return [_Stream(info, node, self.generalize(key))]
+        seen: set[tuple] = set()
+        streams = []
+        for site in sites:
+            specialized = self.specialize(key, decl, site, index)
+            if specialized not in seen:
+                seen.add(specialized)
+                streams.append(_Stream(info, node, specialized))
+        return streams
+
+    def abstract_key(
+        self,
+        seed: ast.List | ast.Tuple,
+        info: ModuleInfo,
+        index: ProjectIndex,
+        decl: FunctionDecl | None,
+    ) -> tuple:
+        params = set(decl.parameters()) if decl else set()
+        vararg = decl.vararg if decl else None
+        elements: list[Element] = []
+        for element in seed.elts:
+            if isinstance(element, ast.Constant) and isinstance(element.value, int):
+                elements.append((_CONST, int(element.value)))
+            elif isinstance(element, ast.Starred):
+                inner = element.value
+                if isinstance(inner, ast.Name) and inner.id == vararg:
+                    elements.append((_PARAM_STAR, inner.id))
+                else:
+                    elements.append((_STAR,))
+            elif isinstance(element, ast.Name):
+                constant = index.constant_value(element, info)
+                if constant is not None:
+                    elements.append((_CONST, constant))
+                elif element.id in params:
+                    elements.append((_PARAM, element.id))
+                else:
+                    elements.append((_VAR,))
+            else:
+                elements.append((_VAR,))
+        return tuple(elements)
+
+    @staticmethod
+    def generalize(key: tuple) -> tuple:
+        return tuple(
+            (_VAR,) if e[0] == _PARAM else (_STAR,) if e[0] == _PARAM_STAR else e
+            for e in key
+        )
+
+    def specialize(
+        self, key: tuple, decl: FunctionDecl, site, index: ProjectIndex
+    ) -> tuple:
+        fixed, overflow = site.bound_positional()
+        binding = dict(zip(decl.parameters(), fixed))
+        for keyword in site.node.keywords:
+            if keyword.arg is not None:
+                binding[keyword.arg] = keyword.value
+        out: list[Element] = []
+        for element in key:
+            if element[0] == _PARAM:
+                out.append(self.abstract_argument(binding.get(element[1]), site, index))
+            elif element[0] == _PARAM_STAR:
+                for arg in overflow:
+                    if isinstance(arg, ast.Starred):
+                        out.append((_STAR,))
+                    else:
+                        out.append(self.abstract_argument(arg, site, index))
+            else:
+                out.append(element)
+        return tuple(out)
+
+    @staticmethod
+    def abstract_argument(arg: ast.expr | None, site, index: ProjectIndex) -> Element:
+        if arg is None:
+            return (_VAR,)
+        if isinstance(arg, ast.Constant) and isinstance(arg.value, int):
+            return (_CONST, int(arg.value))
+        if isinstance(arg, ast.Name):
+            constant = index.constant_value(arg, site.info)
+            if constant is not None:
+                return (_CONST, constant)
+        return (_VAR,)
+
+
+# ---------------------------------------------------------------------------
+# LAYER-SAFE
+
+
+#: The declared layering, enforced bottom-up: an import may only point at
+#: the same subpackage or a strictly lower layer.  docs/architecture.md
+#: renders this DAG.
+LAYERS: tuple[tuple[str, int], ...] = (
+    ("repro.cli", 7),
+    ("repro.experiments", 6),
+    ("repro.serving", 5),
+    ("repro.analysis", 4),
+    ("repro.accelerator", 3),
+    ("repro.core", 2),
+    ("repro.nn", 1),
+    ("repro.sim", 1),
+    ("repro.robot", 1),
+    ("repro.reliability", 1),
+    ("repro.pipeline", 1),
+    ("repro.constants", 0),
+    ("repro.atomicio", 0),
+    ("repro.contracts", 0),
+    ("repro", 0),
+)
+
+
+def _layer_of(module: str) -> tuple[str, int] | None:
+    for prefix, layer in LAYERS:
+        if module == prefix or module.startswith(prefix + "."):
+            return prefix, layer
+    return None
+
+
+class LayerSafeRule(DeepRule):
+    id = "LAYER-SAFE"
+    title = "imports follow the declared module-dependency DAG"
+    rationale = (
+        "The layering (domain models below core below analysis below "
+        "serving below the CLIs) is what keeps spawn workers importable "
+        "without dragging the serving tier in, and keeps the batched "
+        "kernels free of upward knowledge.  An upward or cross-layer import "
+        "compiles fine and then deadlocks a worker or creates an import "
+        "cycle three PRs later."
+    )
+
+    def check_project(self, project: Project) -> Iterator[Diagnostic]:
+        for info in project.modules.values():
+            placed = _layer_of(info.module)
+            if placed is None:
+                continue  # tests / benchmarks / fixtures sit above the DAG
+            prefix, layer = placed
+            for node in ast.walk(info.tree):
+                targets: list[str] = []
+                if isinstance(node, ast.Import):
+                    targets = [a.name for a in node.names]
+                elif isinstance(node, ast.ImportFrom) and not node.level:
+                    if node.module == "repro":
+                        targets = [f"repro.{a.name}" for a in node.names]
+                    elif node.module:
+                        targets = [node.module]
+                for target in targets:
+                    yield from self.check_edge(info, node, prefix, layer, target)
+
+    def check_edge(
+        self, info: ModuleInfo, node: ast.stmt, prefix: str, layer: int, target: str
+    ) -> Iterator[Diagnostic]:
+        if not target.startswith("repro"):
+            return
+        placed = _layer_of(target)
+        if placed is None:
+            return
+        target_prefix, target_layer = placed
+        if target_prefix == prefix:
+            return  # intra-subpackage imports are always fine
+        if target_layer < layer:
+            return  # downward edge: the declared direction
+        if target_layer == layer == 0:
+            return  # foundation utilities may lean on each other
+        direction = "upward" if target_layer > layer else "sideways (same layer)"
+        yield self.diagnostic(
+            info,
+            node,
+            f"{direction} import: {prefix} (layer {layer}) must not import "
+            f"{target} ({target_prefix} is layer {target_layer}) -- the "
+            "declared DAG is foundation < nn/sim/robot/reliability/pipeline "
+            "< core < accelerator < analysis < serving < experiments < cli",
+        )
+
+
+# ---------------------------------------------------------------------------
+# SPAWN-SAFE
+
+
+_POOL_METHODS = {
+    "apply", "apply_async", "map", "map_async", "imap", "imap_unordered",
+    "starmap", "starmap_async", "submit",
+}
+
+
+def _mentions_pool(node: ast.expr) -> bool:
+    """The dispatch receiver names a pool (``pool.map``, ``self._pool.map``)
+    -- the discriminator that keeps hypothesis's ``strategy.map(...)`` and
+    other fluent APIs out of scope."""
+    while isinstance(node, ast.Attribute):
+        if "pool" in node.attr.lower():
+            return True
+        node = node.value
+    return isinstance(node, ast.Name) and "pool" in node.id.lower()
+
+
+class SpawnSafeRule(DeepRule):
+    id = "SPAWN-SAFE"
+    title = "pool-dispatched callables and payloads pickle by construction"
+    rationale = (
+        "EvaluationPool workers run under the spawn context: every task "
+        "callable and payload crosses a pickle boundary.  Lambdas, nested "
+        "closures and bound methods fail there -- at dispatch time, on a "
+        "worker, long after the code parsed fine.  Workers take module-level "
+        "functions and frozen dataclass chunks only."
+    )
+
+    def check_project(self, project: Project) -> Iterator[Diagnostic]:
+        for info in project.modules.values():
+            top_level = {
+                n.name for n in info.tree.body
+                if isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef))
+            }
+            # closures only: a def whose enclosing scope is another function
+            # (methods are not spawn workers in this tree, and a bound-method
+            # dispatch is caught separately by its Attribute shape)
+            from repro.contracts.engine import enclosing_function
+
+            nested = {
+                n.name
+                for n in ast.walk(info.tree)
+                if isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef))
+                and enclosing_function(n) is not None
+            }
+            for node in ast.walk(info.tree):
+                if not isinstance(node, ast.Call):
+                    continue
+                yield from self.check_call(info, node, top_level, nested)
+
+    def check_call(
+        self, info: ModuleInfo, node: ast.Call, top_level: set, nested: set
+    ) -> Iterator[Diagnostic]:
+        func = node.func
+        workers: list[ast.expr] = []
+        payloads: list[ast.expr] = []
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr in _POOL_METHODS
+            and _mentions_pool(func)
+        ):
+            if node.args:
+                workers.append(node.args[0])
+                payloads.extend(node.args[1:])
+            payloads.extend(k.value for k in node.keywords)
+        elif isinstance(func, ast.Attribute) and func.attr in ("Pool", "Process"):
+            for keyword in node.keywords:
+                if keyword.arg in ("initializer", "target"):
+                    workers.append(keyword.value)
+                elif keyword.arg in ("initargs", "args"):
+                    payloads.append(keyword.value)
+        else:
+            return
+
+        for worker in workers:
+            yield from self.check_worker(info, worker, top_level, nested)
+        for payload in payloads:
+            for sub in ast.walk(payload):
+                if isinstance(sub, ast.Lambda):
+                    yield self.diagnostic(
+                        info, sub,
+                        "lambda inside a pool-dispatch payload cannot cross "
+                        "the spawn pickle boundary -- ship data, not "
+                        "closures (frozen dataclass chunks)",
+                    )
+
+    def check_worker(
+        self, info: ModuleInfo, worker: ast.expr, top_level: set, nested: set
+    ) -> Iterator[Diagnostic]:
+        if isinstance(worker, ast.Lambda):
+            yield self.diagnostic(
+                info, worker,
+                "lambda dispatched to a spawn pool cannot be pickled -- "
+                "define a module-level worker function",
+            )
+        elif isinstance(worker, ast.Name):
+            if worker.id in nested and worker.id not in info.aliases:
+                yield self.diagnostic(
+                    info, worker,
+                    f"nested function {worker.id} dispatched to a spawn pool "
+                    "closes over local state and cannot be pickled -- hoist "
+                    "it to module level",
+                )
+        elif isinstance(worker, ast.Attribute):
+            if isinstance(worker.value, ast.Name) and worker.value.id == "self":
+                yield self.diagnostic(
+                    info, worker,
+                    "bound method dispatched to a spawn pool pickles the "
+                    "whole instance (pool handles included) -- use a "
+                    "module-level function taking the data it needs",
+                )
+
+
+DEEP_RULES: tuple[DeepRule, ...] = (
+    LaneShapeRule(),
+    RngProvenanceRule(),
+    LayerSafeRule(),
+    SpawnSafeRule(),
+)
+
+
+def deep_rule_ids() -> list[str]:
+    return [rule.id for rule in DEEP_RULES]

@@ -314,46 +314,88 @@ def default_tree() -> Path:
     return Path(__file__).resolve().parents[1]
 
 
-def _run(modules: list[ModuleInfo], waiver_problems: list[Diagnostic]) -> LintResult:
+def _run(
+    modules: list[ModuleInfo],
+    waiver_problems: list[Diagnostic],
+    deep: bool = False,
+    shallow: bool = True,
+) -> LintResult:
     from repro.contracts.rules import RULES
 
     project = Project(modules)
+    by_path = {info.path: info for info in modules}
     violations: list[Diagnostic] = list(waiver_problems)
     waived: list[tuple[Diagnostic, Waiver]] = []
-    for info in modules:
-        for rule in RULES:
-            for diagnostic in rule.check(info, project):
-                for waiver in info.waivers:
-                    if waiver.covers(diagnostic):
-                        waiver.used = True
-                        waived.append((diagnostic, waiver))
-                        break
-                else:
-                    violations.append(diagnostic)
+
+    def settle(diagnostic: Diagnostic) -> None:
+        owner = by_path.get(diagnostic.path)
+        for waiver in owner.waivers if owner is not None else ():
+            if waiver.covers(diagnostic):
+                waiver.used = True
+                waived.append((diagnostic, waiver))
+                return
+        violations.append(diagnostic)
+
+    if shallow:
+        for info in modules:
+            for rule in RULES:
+                for diagnostic in rule.check(info, project):
+                    settle(diagnostic)
+    if deep:
+        from repro.contracts.deep import DEEP_RULES
+
+        for rule in DEEP_RULES:
+            for diagnostic in rule.check_project(project):
+                settle(diagnostic)
+
+    # A waiver naming only deep rules is live even when the deep passes did
+    # not run (the shallow gate must not call the deep inventory stale).
+    from repro.contracts.deep import deep_rule_ids
+
+    deep_ids = set(deep_rule_ids())
     for info in modules:
         for waiver in info.waivers:
-            if not waiver.used:
-                violations.append(
-                    Diagnostic(
-                        info.path,
-                        waiver.line,
-                        1,
-                        STALE_WAIVER,
-                        "waiver suppresses nothing -- remove it "
-                        f"(rules: {', '.join(waiver.rules)})",
-                    )
+            if waiver.used:
+                continue
+            if not deep and set(waiver.rules) & deep_ids:
+                continue
+            if not shallow and not (set(waiver.rules) & deep_ids):
+                continue
+            violations.append(
+                Diagnostic(
+                    info.path,
+                    waiver.line,
+                    1,
+                    STALE_WAIVER,
+                    "waiver suppresses nothing -- remove it "
+                    f"(rules: {', '.join(waiver.rules)})",
                 )
+            )
     violations.sort(key=lambda d: (d.path, d.line, d.col, d.rule))
     return LintResult(violations=violations, waived=waived, files=len(modules))
 
 
-def lint_paths(paths: list[str | Path]) -> LintResult:
+def _walk_dir(root: Path) -> list[Path]:
+    """Every ``*.py`` under ``root`` except the deliberately-broken lint
+    fixture corpus (``tests/data``)."""
+    files = []
+    for file in sorted(root.rglob("*.py")):
+        parts = file.parts
+        if "data" in parts and "tests" in parts[: parts.index("data")]:
+            continue
+        files.append(file)
+    return files
+
+
+def lint_paths(
+    paths: list[str | Path], deep: bool = False, shallow: bool = True
+) -> LintResult:
     """Lint an explicit list of files and/or directories."""
     files: list[Path] = []
     for entry in paths:
         entry = Path(entry)
         if entry.is_dir():
-            files.extend(sorted(entry.rglob("*.py")))
+            files.extend(_walk_dir(entry))
         else:
             files.append(entry)
     modules: list[ModuleInfo] = []
@@ -362,17 +404,25 @@ def lint_paths(paths: list[str | Path]) -> LintResult:
         info, file_problems = load_module(file)
         modules.append(info)
         problems.extend(file_problems)
-    return _run(modules, problems)
+    return _run(modules, problems, deep=deep, shallow=shallow)
 
 
-def lint_tree(root: str | Path | None = None) -> LintResult:
+def lint_tree(
+    root: str | Path | None = None, deep: bool = False, shallow: bool = True
+) -> LintResult:
     """Lint a package tree (default: the live ``repro`` package)."""
-    return lint_paths([root if root is not None else default_tree()])
+    return lint_paths(
+        [root if root is not None else default_tree()], deep=deep, shallow=shallow
+    )
 
 
 def lint_source(
-    source: str, path: str = "<string>", module_name: str | None = None
+    source: str,
+    path: str = "<string>",
+    module_name: str | None = None,
+    deep: bool = False,
+    shallow: bool = True,
 ) -> LintResult:
     """Lint one in-memory source blob (the fixture-corpus entry point)."""
     info, problems = load_module(Path(path), module_name=module_name, source=source)
-    return _run([info], problems)
+    return _run([info], problems, deep=deep, shallow=shallow)

@@ -1,0 +1,179 @@
+"""The whole-program model shared by the deep passes.
+
+The per-file engine already builds a :class:`~repro.contracts.engine.Project`
+(modules + import edges).  The deep passes (:mod:`repro.contracts.deep`) need
+more: which dotted name a call target resolves to *across* modules, where a
+given function or method is called from, and which module-level names are
+compile-time integer constants.  This module derives all of that from the
+``Project`` once and hands the passes one :class:`ProjectIndex`.
+
+Everything here is resolution machinery, not policy -- no rule logic.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from repro.contracts.engine import (
+    ModuleInfo,
+    Project,
+    enclosing_function,
+    qualified_name,
+)
+
+__all__ = ["CallSite", "FunctionDecl", "ProjectIndex", "build_index"]
+
+
+@dataclass
+class FunctionDecl:
+    """One function or method definition, with enough signature structure to
+    bind call-site arguments to parameters."""
+
+    info: ModuleInfo
+    node: ast.FunctionDef | ast.AsyncFunctionDef
+    #: ``module.func`` for functions, ``module.Class.func`` for methods.
+    qname: str
+    is_method: bool
+
+    @property
+    def name(self) -> str:
+        return self.node.name
+
+    def parameters(self) -> list[str]:
+        """Positional parameter names, ``self`` stripped for methods."""
+        args = self.node.args
+        names = [a.arg for a in args.posonlyargs + args.args]
+        if self.is_method and names:
+            names = names[1:]
+        return names
+
+    @property
+    def vararg(self) -> str | None:
+        return self.node.args.vararg.arg if self.node.args.vararg else None
+
+
+@dataclass
+class CallSite:
+    """One resolved call of a :class:`FunctionDecl`."""
+
+    info: ModuleInfo
+    node: ast.Call
+    decl: FunctionDecl
+
+    def bound_positional(self) -> tuple[list[ast.expr], list[ast.expr]]:
+        """Split the call's positional arguments into (fixed, overflow):
+        ``fixed`` lines up with the declaration's named positional parameters
+        and ``overflow`` is whatever lands in its ``*args``."""
+        names = self.decl.parameters()
+        args = list(self.node.args)
+        return args[: len(names)], args[len(names):]
+
+
+@dataclass
+class ProjectIndex:
+    """Project-wide resolution tables for the deep passes."""
+
+    project: Project
+    #: every function/method declaration, keyed by qualified name.
+    functions: dict[str, FunctionDecl] = field(default_factory=dict)
+    #: bare function/method name -> declarations sharing it.
+    by_name: dict[str, list[FunctionDecl]] = field(default_factory=dict)
+    #: declaration qname -> resolved call sites anywhere in the project.
+    call_sites: dict[str, list[CallSite]] = field(default_factory=dict)
+    #: module name -> {name: int} for module-level integer constants.
+    constants: dict[str, dict[str, int]] = field(default_factory=dict)
+
+    def constant_value(self, name: ast.Name, info: ModuleInfo) -> int | None:
+        """The compile-time integer a name resolves to, following one
+        ``from module import NAME`` hop, or ``None``."""
+        local = self.constants.get(info.module, {})
+        if name.id in local:
+            return local[name.id]
+        origin = info.aliases.get(name.id)
+        if origin and "." in origin:
+            module, _, symbol = origin.rpartition(".")
+            return self.constants.get(module, {}).get(symbol)
+        return None
+
+    def declaration_of(self, node: ast.AST) -> FunctionDecl | None:
+        """The declaration whose body contains ``node``."""
+        function = enclosing_function(node)
+        if function is None:
+            return None
+        for decl in self.functions.values():
+            if decl.node is function:
+                return decl
+        return None
+
+
+def _declarations(info: ModuleInfo) -> list[FunctionDecl]:
+    decls = []
+    for node in info.tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            decls.append(FunctionDecl(info, node, f"{info.module}.{node.name}", False))
+        elif isinstance(node, ast.ClassDef):
+            for item in node.body:
+                if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    decls.append(
+                        FunctionDecl(
+                            info, item, f"{info.module}.{node.name}.{item.name}", True
+                        )
+                    )
+    return decls
+
+
+def _module_constants(info: ModuleInfo) -> dict[str, int]:
+    values: dict[str, int] = {}
+    for node in info.tree.body:
+        if not isinstance(node, ast.Assign) or not isinstance(node.value, ast.Constant):
+            continue
+        if not isinstance(node.value.value, int) or isinstance(node.value.value, bool):
+            continue
+        for target in node.targets:
+            if isinstance(target, ast.Name):
+                values[target.id] = node.value.value
+    return values
+
+
+def _resolve_call(
+    node: ast.Call, info: ModuleInfo, index: ProjectIndex
+) -> FunctionDecl | None:
+    func = node.func
+    if isinstance(func, ast.Name):
+        origin = info.aliases.get(func.id, func.id)
+        qname = origin if "." in origin else f"{info.module}.{origin}"
+        return index.functions.get(qname)
+    if isinstance(func, ast.Attribute):
+        dotted = qualified_name(func, info)
+        if dotted and dotted in index.functions:
+            return index.functions[dotted]
+        # ``self._roll(...)`` / ``plan.chunk_directive(...)``: the receiver
+        # type is unknown, so bind by method name when it is unambiguous
+        # across the whole project.
+        candidates = [
+            d for d in index.by_name.get(func.attr, []) if d.is_method
+        ]
+        if len(candidates) == 1:
+            return candidates[0]
+    return None
+
+
+def build_index(project: Project) -> ProjectIndex:
+    index = ProjectIndex(project)
+    modules = list(project.modules.values())
+    for info in modules:
+        for decl in _declarations(info):
+            index.functions[decl.qname] = decl
+            index.by_name.setdefault(decl.name, []).append(decl)
+        index.constants[info.module] = _module_constants(info)
+    for info in modules:
+        for node in ast.walk(info.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            decl = _resolve_call(node, info, index)
+            if decl is not None:
+                index.call_sites.setdefault(decl.qname, []).append(
+                    CallSite(info, node, decl)
+                )
+    return index

@@ -59,6 +59,21 @@ def _contains_binop(node: ast.expr) -> bool:
     return any(isinstance(child, ast.BinOp) for child in ast.walk(node))
 
 
+def _in_main_guard(node: ast.AST) -> bool:
+    """Whether ``node`` sits under ``if __name__ == "__main__":`` -- the
+    script-entry idiom, where a process exit is the module's own business."""
+    for parent in ancestors(node):
+        if isinstance(parent, ast.If):
+            test = parent.test
+            if (
+                isinstance(test, ast.Compare)
+                and isinstance(test.left, ast.Name)
+                and test.left.id == "__name__"
+            ):
+                return True
+    return False
+
+
 def _in_loop_or_comprehension(node: ast.AST) -> bool:
     for parent in ancestors(node):
         if isinstance(parent, (ast.For, ast.While, ast.ListComp, ast.SetComp,
@@ -448,6 +463,8 @@ class NoHardExitRule(Rule):
         if not self.applies(info):
             return
         for node in ast.walk(info.tree):
+            if _in_main_guard(node):
+                continue  # script-entry blocks exit on purpose
             if isinstance(node, ast.Call):
                 name = qualified_name(node.func, info)
                 if name in ("os._exit", "sys.exit"):

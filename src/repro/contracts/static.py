@@ -7,15 +7,31 @@ and their exit status folds into the lint gate; when absent they are
 skipped with a printed notice and only reprolint gates.  CI installs both,
 so the full static-analysis surface is enforced on every push even when a
 developer machine lacks the tools.
+
+The mypy pass is a **ratchet**: ``tool.repro.mypy-ratchet.max-errors`` in
+``pyproject.toml`` records the committed error budget, and the pass fails
+only when the live count *rises* above it.  Annotation debt can be paid
+down incrementally (the pass prints a nudge to tighten the budget when
+the count drops) but never silently re-accumulated.
 """
 
 from __future__ import annotations
 
 import importlib.util
+import re
 import subprocess
 import sys
+from pathlib import Path
 
-__all__ = ["available", "run_external", "run_mypy", "run_ruff"]
+__all__ = [
+    "available",
+    "mypy_error_budget",
+    "run_external",
+    "run_mypy",
+    "run_ruff",
+]
+
+_MYPY_ERRORS_RE = re.compile(r"Found (\d+) errors?")
 
 
 def available(module: str) -> bool:
@@ -34,13 +50,59 @@ def run_ruff(paths: list[str]) -> int | None:
     return subprocess.call([sys.executable, "-m", "ruff", "check", *paths])
 
 
+def mypy_error_budget(start: Path | None = None) -> int:
+    """The committed mypy error budget: ``tool.repro.mypy-ratchet.max-errors``
+    from the nearest ``pyproject.toml`` at or above ``start`` (default: the
+    working directory).  0 when no budget is recorded."""
+    try:
+        import tomllib
+    except ImportError:  # Python 3.10: no budget file parsing, strict gate
+        return 0
+    origin = (start or Path.cwd()).resolve()
+    for root in (origin, *origin.parents):
+        candidate = root / "pyproject.toml"
+        if not candidate.is_file():
+            continue
+        with candidate.open("rb") as handle:
+            data = tomllib.load(handle)
+        section = data.get("tool", {}).get("repro", {}).get("mypy-ratchet", {})
+        return int(section.get("max-errors", 0))
+    return 0
+
+
 def run_mypy(paths: list[str]) -> int | None:
-    """``mypy`` over ``paths``; ``None`` when mypy is not installed."""
+    """``mypy`` over ``paths`` (or the ``pyproject.toml`` file set when
+    empty), gated by the committed ratchet; ``None`` when mypy is not
+    installed."""
     if not available("mypy"):
         print("[static] mypy not installed; skipping type pass")
         return None
-    print("[static] mypy", *paths)
-    return subprocess.call([sys.executable, "-m", "mypy", *paths])
+    budget = mypy_error_budget()
+    print("[static] mypy", *paths, f"(ratchet: {budget} error(s) allowed)")
+    completed = subprocess.run(
+        [sys.executable, "-m", "mypy", *paths], capture_output=True, text=True
+    )
+    output = completed.stdout + completed.stderr
+    if output:
+        print(output, end="" if output.endswith("\n") else "\n")
+    match = _MYPY_ERRORS_RE.search(output)
+    if match is None and completed.returncode != 0:
+        return completed.returncode  # crash / config error: fail loudly
+    errors = int(match.group(1)) if match else 0
+    if errors > budget:
+        print(
+            f"[static] mypy ratchet FAILED: {errors} error(s) > {budget} "
+            "allowed -- fix the new errors (or, for pre-existing debt being "
+            "surfaced by a config change, raise "
+            "tool.repro.mypy-ratchet.max-errors with a reviewed diff)"
+        )
+        return 1
+    if errors < budget:
+        print(
+            f"[static] mypy ratchet: {errors} error(s) < {budget} allowed -- "
+            f"tighten max-errors to {errors} so the progress sticks"
+        )
+    return 0
 
 
 def run_external(paths: list[str]) -> int:
@@ -51,3 +113,34 @@ def run_external(paths: list[str]) -> int:
         if code:  # None (skipped) and 0 (clean) both leave the gate alone
             status = 1
     return status
+
+
+def main(argv: list[str] | None = None) -> int:
+    """``python -m repro.contracts.static``: run the external analyzers.
+
+    ``--mypy`` / ``--ruff`` select a single pass (CI uses ``--mypy`` so the
+    ratchet gates the type step); with neither flag both run.  Positional
+    paths are forwarded; with none, ruff gets the current directory and
+    mypy follows ``pyproject.toml``'s ``files``.
+    """
+    import argparse
+
+    parser = argparse.ArgumentParser(prog="python -m repro.contracts.static")
+    parser.add_argument("paths", nargs="*", help="files or directories")
+    parser.add_argument("--ruff", action="store_true", help="run only ruff")
+    parser.add_argument("--mypy", action="store_true", help="run only mypy")
+    args = parser.parse_args(argv)
+
+    run_both = args.ruff == args.mypy  # neither or both selected
+    status = 0
+    if args.ruff or run_both:
+        code = run_ruff(args.paths or ["."])
+        status = max(status, 1 if code else 0)
+    if args.mypy or run_both:
+        code = run_mypy(args.paths)
+        status = max(status, 1 if code else 0)
+    return status
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

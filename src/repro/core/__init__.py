@@ -1,17 +1,17 @@
 """Corki algorithm framework: the paper's primary contribution."""
 
 from repro.core.closed_loop import (
-    FeedbackSchedule,
     MIDPOINT_FEEDBACK,
     NO_FEEDBACK,
     RANDOM_FEEDBACK,
+    FeedbackSchedule,
     schedule_by_name,
 )
 from repro.core.config import (
     ADAPTIVE_DISTANCE_THRESHOLD,
     PREDICTION_HORIZON,
-    CorkiVariation,
     VARIATIONS,
+    CorkiVariation,
     variation_by_name,
 )
 from repro.core.fleet import (

@@ -49,9 +49,9 @@ from repro.core.policy import WINDOW_LENGTH, BaselinePolicy, CorkiPolicy
 from repro.core.runner import (
     MAX_EPISODE_FRAMES,
     EpisodeTrace,
-    _TokenWindow,
     _decide_steps,
     _reference_path,
+    _TokenWindow,
 )
 from repro.core.trajectory import pose_batch
 from repro.sim.env import (

@@ -22,9 +22,9 @@ import numpy as np
 
 from repro.analysis.reporting import format_table
 from repro.core.config import PREDICTION_HORIZON
-from repro.core.policy import CorkiPolicy, WINDOW_LENGTH
-from repro.core.trajectory import fit_cubic
+from repro.core.policy import WINDOW_LENGTH, CorkiPolicy
 from repro.core.training import TrainingConfig, deployment_slot_pattern, train_corki
+from repro.core.trajectory import fit_cubic
 from repro.experiments.profiles import Profile, get_profile
 from repro.nn.functional import mse_loss
 from repro.nn.optim import Adam, clip_gradients

@@ -9,7 +9,7 @@ from repro.core.config import VARIATIONS
 from repro.core.runner import run_baseline_episode, run_corki_episode
 from repro.experiments.context import shared_context
 from repro.experiments.profiles import Profile
-from repro.sim.env import ManipulationEnv, TRACKING_100HZ, TRACKING_30HZ
+from repro.sim.env import TRACKING_100HZ, TRACKING_30HZ, ManipulationEnv
 from repro.sim.tasks import TASKS
 from repro.sim.world import SEEN_LAYOUT
 

@@ -42,12 +42,16 @@ __all__ = ["FaultPlan", "ChunkDirective", "InjectedFault", "apply_chunk_directiv
 
 # Domain codes keep the decision streams of the injection sites disjoint,
 # exactly like the 1/2 codes splitting env from feedback streams in
-# ``lane_generators``.
-_DOMAIN_CRASH = 1
-_DOMAIN_HANG = 2
-_DOMAIN_SLOW = 3
-_DOMAIN_CACHE = 4
-_DOMAIN_LINE = 5
+# ``lane_generators``.  The values are allocated from the tree-wide domain
+# registry (docs/contracts.md, RNG-PROVENANCE): 1/2 are the evaluation lane
+# streams, 3/4 the pipeline jitter streams, 5 the oracle episodes -- fault
+# decisions own 6-10 so no fault stream can unify with a simulation stream
+# even for an adversarial seed choice.
+_DOMAIN_CRASH = 6
+_DOMAIN_HANG = 7
+_DOMAIN_SLOW = 8
+_DOMAIN_CACHE = 9
+_DOMAIN_LINE = 10
 
 
 class InjectedFault(RuntimeError):

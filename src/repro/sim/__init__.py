@@ -28,8 +28,8 @@ from repro.sim.objects import (
     Switch,
 )
 from repro.sim.tasks import (
-    TASKS,
     TASK_FAMILIES,
+    TASKS,
     Keyframe,
     Task,
     sample_job,

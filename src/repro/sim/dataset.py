@@ -21,7 +21,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.sim.env import ManipulationEnv, PERFECT_ACTUATION
+from repro.sim.env import PERFECT_ACTUATION, ManipulationEnv
 from repro.sim.expert import render_keyframes
 from repro.sim.tasks import TASKS, Task
 from repro.sim.world import SceneLayout

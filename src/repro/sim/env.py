@@ -42,7 +42,7 @@ from repro.sim.objects import (
     SceneView,
 )
 from repro.sim.tasks import Task
-from repro.sim.world import SceneLayout, WORKSPACE, sample_scene
+from repro.sim.world import WORKSPACE, SceneLayout, sample_scene
 
 __all__ = [
     "ActuationModel",

@@ -1,0 +1,27 @@
+"""Batched kernels that collapse or reorder the lane axis (LANE-SHAPE).
+
+Every violation here is a shape the differential harness would catch at
+runtime; the deep pass catches them at parse time.
+"""
+
+import numpy as np
+
+
+def energy(q: np.ndarray) -> float:
+    return float(np.sum(q * q))
+
+
+def energy_lanes(qs: np.ndarray) -> np.ndarray:
+    return np.sum(qs * qs)  # no axis: sums across lanes too
+
+
+def drift(q: np.ndarray) -> np.ndarray:
+    return q - np.mean(q)
+
+
+def drift_lanes(qs: np.ndarray) -> np.ndarray:
+    centered = qs - np.mean(qs, axis=0)  # axis 0 is the lane axis
+    moving = np.abs(centered).max(axis=1) > 0.5
+    packed = centered[moving]  # boolean gather compresses the lanes
+    flipped = np.transpose(centered, (1, 0))  # lanes leave position 0
+    return packed + flipped + centered.T

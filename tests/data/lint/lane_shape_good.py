@@ -1,0 +1,26 @@
+"""Batched kernels that keep the lane axis leading and intact.
+
+The idioms here are exactly the ones the live tree uses: trailing-axis
+reductions, mask *writes*, ``np.where`` selection, trailing-axes-only
+transposes, scalar ``.any()`` guards and per-lane integer loops.
+"""
+
+import numpy as np
+
+
+def settle(q: np.ndarray) -> np.ndarray:
+    return np.where(np.abs(q) > 1.0, 0.0, q)
+
+
+def settle_lanes(qs: np.ndarray) -> np.ndarray:
+    lanes, width = qs.shape
+    out = np.zeros((lanes, width))
+    moving = np.abs(qs).max(axis=1) > 1.0
+    out[~moving] = 0.0  # mask writes stay lane-aligned
+    norms = np.sqrt(np.sum(qs * qs, axis=1))  # trailing-axis reduction
+    outer = np.transpose(qs[:, None, :] * qs[:, :, None], (0, 2, 1))
+    for lane in range(lanes):
+        out[lane] = qs[lane] * norms[lane]
+    if moving.any():  # scalar guards reduce the mask, not the data
+        out = out + outer[:, 0, :]
+    return np.where(moving[:, None], out, qs)

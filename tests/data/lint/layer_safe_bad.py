@@ -1,0 +1,12 @@
+"""A domain-model module reaching up into the serving tier (LAYER-SAFE).
+
+The test linter presents this file as ``repro.robot.layering_fixture``
+(layer 1); ``repro.serving`` sits four layers above it, so the import is
+an upward edge the declared DAG forbids.
+"""
+
+from repro.serving.service import EvaluationService
+
+
+def evaluate(service: EvaluationService) -> float:
+    return 0.0

@@ -1,0 +1,13 @@
+"""Imports that follow the declared DAG (LAYER-SAFE clean).
+
+Linted as ``repro.robot.layering_fixture`` (layer 1): foundation imports
+point downward and ``repro.robot`` siblings stay intra-subpackage.
+"""
+
+import repro.robot.dynamics
+from repro import atomicio
+from repro.constants import JOINT_COUNT
+
+
+def joints() -> int:
+    return JOINT_COUNT + len((atomicio.__name__, repro.robot.dynamics.__name__))

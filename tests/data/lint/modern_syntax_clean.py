@@ -1,0 +1,30 @@
+"""Modern-syntax regression corpus: the engine must parse and track these.
+
+Walrus bindings, ``match`` statements, starred assignment targets and
+nested comprehensions all flow through both the shallow rules and the
+deep passes; this file must lint clean under ``--deep``.
+"""
+
+import numpy as np
+
+
+def classify(q: np.ndarray) -> str:
+    match int(q.size):
+        case 0:
+            return "empty"
+        case 1:
+            return "scalar"
+        case _:
+            return "vector"
+
+
+def head(q: np.ndarray) -> float:
+    first, *rest = q.tolist()
+    return float(first) + float(len(rest))
+
+
+def head_lanes(qs: np.ndarray) -> np.ndarray:
+    if (count := qs.shape[0]) == 0:
+        return qs
+    table = [[qs[lane, j] for j in range(qs.shape[1])] for lane in range(count)]
+    return np.asarray(table) * np.ones((count, qs.shape[1]))

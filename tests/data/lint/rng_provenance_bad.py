@@ -1,0 +1,18 @@
+"""Two keyed stream families whose keys can unify (RNG-PROVENANCE).
+
+``[seed, lane]`` and ``[seed, episode]`` look distinct but nothing in
+either key pins a constant: lane 3 of the first family IS episode 3 of
+the second.  This is the PR 4 bug class with the arithmetic stripped --
+the shallow RNG-KEYED rule is silent here, only the whole-program
+comparison sees it.
+"""
+
+import numpy as np
+
+
+def lane_stream(seed: int, lane: int) -> np.random.Generator:
+    return np.random.default_rng([seed, lane])
+
+
+def episode_stream(seed: int, episode: int) -> np.random.Generator:
+    return np.random.default_rng([seed, episode])

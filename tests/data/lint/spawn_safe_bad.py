@@ -1,0 +1,13 @@
+"""Unpicklable callables handed to a spawn pool (SPAWN-SAFE).
+
+A lambda and a nested closure both die at the pickle boundary -- at
+dispatch time, inside a worker, long after this file parsed fine.
+"""
+
+
+def run(chunks, pool):
+    def scale(chunk):
+        return [value * 2 for value in chunk]
+
+    doubled = pool.map(scale, chunks)
+    return pool.starmap(lambda a, b: a + b, doubled)

@@ -1,0 +1,9 @@
+"""Module-level workers and data-only payloads (SPAWN-SAFE clean)."""
+
+
+def scale_chunk(chunk):
+    return [value * 2 for value in chunk]
+
+
+def run(chunks, pool):
+    return pool.map(scale_chunk, chunks)

@@ -7,15 +7,15 @@ from hypothesis import strategies as st
 
 from repro.accelerator import (
     ALL_UNITS,
+    DESIGN_THRESHOLD,
+    ZC706,
     BufferOverflow,
     BufferUnderflow,
     CorkiAccelerator,
-    DESIGN_THRESHOLD,
     Fifo,
     JointImpactModel,
     LineBuffer,
     Scratchpad,
-    ZC706,
     ablation,
     baseline_cycles,
     mass_matrix_joint_sensitivity,

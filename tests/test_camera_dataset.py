@@ -5,12 +5,12 @@ import pytest
 
 from repro.core import PREDICTION_HORIZON
 from repro.sim import (
-    ActionNormalizer,
-    CameraModel,
     OBSERVATION_DIM,
     RAW_FEATURE_DIM,
     SEEN_LAYOUT,
     UNSEEN_LAYOUT,
+    ActionNormalizer,
+    CameraModel,
     baseline_target,
     collect_demonstrations,
     corki_targets,

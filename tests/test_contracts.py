@@ -9,15 +9,32 @@ package must lint clean.
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
 
 import pytest
 
 from repro.contracts import RULES, lint_paths, lint_source, lint_tree, rule_ids
 from repro.contracts.__main__ import main as contracts_main
+from repro.contracts.census import census_payload
+from repro.contracts.deep import DEEP_RULES, deep_rule_ids
 from repro.contracts.engine import BAD_WAIVER, STALE_WAIVER
 
 FIXTURES = Path(__file__).parent / "data" / "lint"
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+#: Module names the deep fixtures are linted under: LAYER-SAFE only places
+#: modules inside the ``repro`` package, so its fixtures borrow an address.
+DEEP_FIXTURE_MODULES = {"LAYER-SAFE": "repro.robot.layering_fixture"}
+
+
+def deep_lint(path: Path, module_name: str | None):
+    return lint_source(
+        path.read_text(encoding="utf-8"),
+        path=str(path),
+        module_name=module_name,
+        deep=True,
+    )
 
 
 def fixture_path(rule_id: str, kind: str) -> Path:
@@ -81,6 +98,271 @@ def test_diagnostics_carry_file_and_line():
         assert diagnostic.path == str(path)
         assert diagnostic.line >= 1
         assert diagnostic.format().startswith(f"{path}:{diagnostic.line}:")
+
+
+# ---------------------------------------------------------------------------
+# deep-pass fixture corpus (linted with the whole-program passes on)
+
+
+@pytest.mark.parametrize("rule_id", deep_rule_ids())
+def test_deep_bad_fixture_trips_exactly_its_rule(rule_id):
+    result = deep_lint(fixture_path(rule_id, "bad"), DEEP_FIXTURE_MODULES.get(rule_id))
+    hit = {d.rule for d in result.violations}
+    assert hit == {rule_id}, [d.format() for d in result.violations]
+
+
+@pytest.mark.parametrize("rule_id", deep_rule_ids())
+def test_deep_good_fixture_is_clean(rule_id):
+    result = deep_lint(fixture_path(rule_id, "good"), DEEP_FIXTURE_MODULES.get(rule_id))
+    assert result.ok, [d.format() for d in result.violations]
+
+
+def test_every_deep_rule_has_both_fixtures():
+    for rule_id in deep_rule_ids():
+        assert fixture_path(rule_id, "good").is_file()
+        assert fixture_path(rule_id, "bad").is_file()
+
+
+def test_deep_rule_metadata_is_complete():
+    for rule in DEEP_RULES:
+        assert rule.id and rule.title and rule.rationale
+    assert len(set(deep_rule_ids())) == len(DEEP_RULES) == 4
+    assert not set(deep_rule_ids()) & set(rule_ids())
+
+
+def test_pr4_collision_shape_is_proven_by_provenance():
+    """The exact PR 4 bug, this time *proven* colliding: across runs, seed
+    S's [seed + 2, lane] stream is seed S+1's [seed + 1, lane] stream."""
+    source = (
+        "import numpy as np\n"
+        "def lane_generators(seed, lane):\n"
+        "    env = np.random.default_rng([seed + 1, lane])\n"
+        "    feedback = np.random.default_rng([seed + 2, lane])\n"
+        "    return env, feedback\n"
+    )
+    result = lint_source(source, deep=True, shallow=False)
+    assert {d.rule for d in result.violations} == {"RNG-PROVENANCE"}
+    assert "can collide" in result.violations[0].message
+
+
+def test_provenance_accepts_domain_tagged_streams():
+    source = (
+        "import numpy as np\n"
+        "def lane_generators(seed, lane):\n"
+        "    env = np.random.default_rng([seed, 1, lane])\n"
+        "    feedback = np.random.default_rng([seed, 2, lane])\n"
+        "    return env, feedback\n"
+    )
+    assert lint_source(source, deep=True, shallow=False).ok
+
+
+def test_provenance_specializes_through_call_sites():
+    """A parameterized key is judged per call site: two helpers funnelling
+    different constants through one constructor stay disjoint."""
+    source = (
+        "import numpy as np\n"
+        "def make(seed, domain, lane):\n"
+        "    return np.random.default_rng([seed, domain, lane])\n"
+        "def env(seed, lane):\n"
+        "    return make(seed, 1, lane)\n"
+        "def feedback(seed, lane):\n"
+        "    return make(seed, 2, lane)\n"
+    )
+    assert lint_source(source, deep=True, shallow=False).ok
+
+
+def test_lane_shape_flags_axis_dropping_reduction():
+    source = (
+        "import numpy as np\n"
+        "def f(q):\n"
+        "    return q\n"
+        "def f_lanes(qs: np.ndarray) -> np.ndarray:\n"
+        "    return np.sum(qs, axis=0)\n"
+    )
+    result = lint_source(source, deep=True, shallow=False)
+    assert [d.rule for d in result.violations] == ["LANE-SHAPE"]
+    assert "reduces across the lane axis" in result.violations[0].message
+
+
+def test_lane_shape_accepts_trailing_axis_reduction():
+    source = (
+        "import numpy as np\n"
+        "def f(q):\n"
+        "    return q\n"
+        "def f_lanes(qs: np.ndarray) -> np.ndarray:\n"
+        "    return np.sum(qs, axis=1)\n"
+    )
+    assert lint_source(source, deep=True, shallow=False).ok
+
+
+def test_layer_safe_flags_upward_import():
+    result = lint_source(
+        "from repro.serving.service import EvaluationService\n",
+        module_name="repro.robot.helper",
+        deep=True,
+        shallow=False,
+    )
+    assert [d.rule for d in result.violations] == ["LAYER-SAFE"]
+    assert "upward import" in result.violations[0].message
+
+
+def test_layer_safe_allows_downward_and_sibling_imports():
+    result = lint_source(
+        "import repro.robot.dynamics\nfrom repro import constants\n",
+        module_name="repro.robot.helper",
+        deep=True,
+        shallow=False,
+    )
+    assert result.ok
+
+
+def test_spawn_safe_flags_lambda_and_bound_method():
+    source = (
+        "def run(self, pool, chunks):\n"
+        "    pool.map(lambda c: c, chunks)\n"
+        "    pool.map(self.roll, chunks)\n"
+    )
+    result = lint_source(source, deep=True, shallow=False)
+    assert [d.rule for d in result.violations] == ["SPAWN-SAFE", "SPAWN-SAFE"]
+
+
+def test_spawn_safe_ignores_fluent_map_apis():
+    """hypothesis's strategy.map(lambda ...) is not a pool dispatch."""
+    source = "def gen(strategy):\n    return strategy.map(lambda x: x + 1)\n"
+    assert lint_source(source, deep=True, shallow=False).ok
+
+
+# ---------------------------------------------------------------------------
+# deep/shallow profile interaction
+
+
+def test_deep_waiver_is_not_stale_in_shallow_run():
+    source = (
+        "import numpy as np\n"
+        "def f(qs):\n"
+        "    return qs\n"
+        "def f_lanes(qs: np.ndarray) -> np.ndarray:\n"
+        "    # repro: allow[LANE-SHAPE] reason=demonstration kernel\n"
+        "    return np.sum(qs)\n"
+    )
+    shallow = lint_source(source)  # deep pass off: the waiver must stay live
+    assert shallow.ok, [d.format() for d in shallow.violations]
+    deep = lint_source(source, deep=True)
+    assert deep.ok and len(deep.waived) == 1
+
+
+def test_shallow_waiver_is_not_stale_in_deep_only_run():
+    source = (
+        "import sys\n"
+        "# repro: allow[NO-HARD-EXIT] reason=demonstration exit\n"
+        "sys.exit(1)\n"
+    )
+    result = lint_source(source, deep=True, shallow=False)
+    assert result.ok and not result.waived
+
+
+def test_deep_waiver_is_stale_when_deep_pass_finds_nothing():
+    source = "# repro: allow[LANE-SHAPE] reason=suppresses nothing\nx = 1\n"
+    result = lint_source(source, deep=True)
+    assert {d.rule for d in result.violations} == {STALE_WAIVER}
+
+
+# ---------------------------------------------------------------------------
+# modern-syntax regression corpus
+
+
+def test_modern_syntax_fixture_is_clean_under_deep():
+    path = FIXTURES / "modern_syntax_clean.py"
+    result = deep_lint(path, None)
+    assert result.ok, [d.format() for d in result.violations]
+
+
+def test_walrus_bound_rng_is_still_checked():
+    result = lint_source(
+        "import numpy as np\n"
+        "def f(seed):\n"
+        "    if (rng := np.random.default_rng()) is not None:\n"
+        "        return rng\n"
+    )
+    assert "RNG-KEYED" in {d.rule for d in result.violations}
+
+
+def test_match_case_bodies_are_walked_by_deep_passes():
+    source = (
+        "import numpy as np\n"
+        "def f(q):\n"
+        "    return q\n"
+        "def f_lanes(qs: np.ndarray, mode: int) -> np.ndarray:\n"
+        "    match mode:\n"
+        "        case 0:\n"
+        "            return np.sum(qs, axis=0)\n"
+        "        case _:\n"
+        "            return qs\n"
+    )
+    result = lint_source(source, deep=True, shallow=False)
+    assert [d.rule for d in result.violations] == ["LANE-SHAPE"]
+
+
+def test_starred_shape_unpack_tracks_lane_count():
+    source = (
+        "import numpy as np\n"
+        "def f(q):\n"
+        "    return q\n"
+        "def f_lanes(qs: np.ndarray) -> np.ndarray:\n"
+        "    lanes, *trailing = qs.shape\n"
+        "    return np.zeros((lanes, 3)) + qs.sum(axis=1)[:, None]\n"
+    )
+    assert lint_source(source, deep=True, shallow=False).ok
+
+
+def test_nested_comprehension_stacking_stays_lane_aligned():
+    source = (
+        "import numpy as np\n"
+        "def f(q):\n"
+        "    return q\n"
+        "def f_lanes(qs: np.ndarray) -> np.ndarray:\n"
+        "    return np.stack([row * 2 for row in qs])\n"
+    )
+    assert lint_source(source, deep=True, shallow=False).ok
+
+
+def test_main_guard_exit_is_allowed():
+    result = lint_source(
+        "import sys\n"
+        "def main() -> int:\n"
+        "    return 0\n"
+        'if __name__ == "__main__":\n'
+        "    raise SystemExit(main())\n"
+    )
+    assert result.ok, [d.format() for d in result.violations]
+
+
+# ---------------------------------------------------------------------------
+# waiver census artifact
+
+
+def test_committed_census_matches_live_tree():
+    """CI regenerates artifacts/lint-census.json and diffs it; this is the
+    same gate as a test, so a waiver-count drift fails before push."""
+    committed = json.loads((REPO_ROOT / "artifacts" / "lint-census.json").read_text())
+    live = census_payload(lint_tree(deep=True), root=REPO_ROOT)
+    assert committed == live, (
+        "waiver census drifted -- regenerate with "
+        "`python -m repro.contracts --deep --census artifacts/lint-census.json`"
+    )
+
+
+def test_census_cli_writes_parseable_json(tmp_path, capsys):
+    out = tmp_path / "census.json"
+    good = fixture_path("RNG-KEYED", "good")
+    assert contracts_main([str(good), "--census", str(out)]) == 0
+    payload = json.loads(out.read_text())
+    assert set(payload) == {
+        "files", "violations", "waived_total", "waived_by_rule",
+        "waived_by_file", "reasons_by_file",
+    }
+    assert payload["files"] == 1 and payload["violations"] == 0
+    assert "waiver census written" in capsys.readouterr().out
 
 
 # ---------------------------------------------------------------------------
@@ -213,6 +495,30 @@ def test_live_tree_is_lint_clean():
     assert result.files > 50  # the whole package was actually walked
 
 
+def test_live_tree_is_deep_clean():
+    """The whole-program passes hold over the shipped package: every lane
+    kernel preserves the lane axis, every RNG stream family is provably
+    disjoint, the layering DAG and spawn-safety hold."""
+    result = lint_tree(deep=True)
+    assert result.ok, "\n".join(d.format() for d in result.violations)
+
+
+def test_support_trees_are_deep_clean():
+    """The CI support-tree profile: benchmarks/, examples/ and the test
+    helpers share the cross-file invariants (deep passes only)."""
+    for tree in ("benchmarks", "examples", "tests"):
+        result = lint_tree(REPO_ROOT / tree, deep=True, shallow=False)
+        assert result.ok, "\n".join(d.format() for d in result.violations)
+
+
+def test_cli_deep_flags(capsys):
+    assert contracts_main(["--deep"]) == 0
+    assert "waived" in capsys.readouterr().out
+    bad = fixture_path("SPAWN-SAFE", "bad")
+    assert contracts_main(["--deep-only", str(bad)]) == 1
+    assert "SPAWN-SAFE" in capsys.readouterr().out
+
+
 def test_cli_exit_codes_and_output(capsys):
     bad = fixture_path("RNG-KEYED", "bad")
     assert contracts_main([str(bad)]) == 1
@@ -235,6 +541,14 @@ def test_experiments_cli_lint_subcommand(capsys):
     assert cli_main(["lint"]) == 0
     out = capsys.readouterr().out
     assert "reprolint:" in out
+
+
+def test_experiments_cli_lint_deep(capsys):
+    from repro.cli import main as cli_main
+
+    assert cli_main(["lint", "--deep"]) == 0
+    out = capsys.readouterr().out
+    assert "LAYER-SAFE" in out  # the deep waiver census shows in the summary
 
 
 def test_experiments_cli_lint_runs_alone(capsys):

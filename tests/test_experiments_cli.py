@@ -4,9 +4,9 @@ import pytest
 
 from repro.cli import main
 from repro.experiments import EXPERIMENTS, FULL, QUICK, get_profile
+from repro.experiments.ablation_datapath import run as run_ablation
 from repro.experiments.fig02_breakdown import run as run_fig2
 from repro.experiments.fig09_mass_matrix import run as run_fig9
-from repro.experiments.ablation_datapath import run as run_ablation
 from repro.experiments.resources_report import run as run_resources
 
 

@@ -2,7 +2,6 @@
 
 import os
 
-
 from repro.analysis.export import load_index, save_report
 
 

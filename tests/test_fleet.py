@@ -16,9 +16,9 @@ import numpy as np
 import pytest
 
 from repro.core import (
+    VARIATIONS,
     FleetLane,
     FleetRunner,
-    VARIATIONS,
     run_baseline_episode,
     run_baseline_fleet,
     run_corki_episode,
@@ -27,11 +27,11 @@ from repro.core import (
 )
 from repro.sim import (
     BLOCK_NAMES,
-    BatchedManipulationEnv,
-    CameraModel,
     SEEN_LAYOUT,
     TASKS,
     WORKSPACE,
+    BatchedManipulationEnv,
+    CameraModel,
     ManipulationEnv,
     sample_scene,
 )

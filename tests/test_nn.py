@@ -9,6 +9,7 @@ from hypothesis.extra.numpy import array_shapes, arrays
 from repro.nn import (
     LSTM,
     MLP,
+    SGD,
     Adam,
     CompactVLM,
     Embedding,
@@ -16,7 +17,6 @@ from repro.nn import (
     Linear,
     LSTMCell,
     PatchFeatureEncoder,
-    SGD,
     Tensor,
     bce_with_logits,
     clip_gradients,

@@ -4,11 +4,11 @@ import numpy as np
 import pytest
 
 from repro.core import (
+    PREDICTION_HORIZON,
+    WINDOW_LENGTH,
     BaselinePolicy,
     CorkiPolicy,
-    PREDICTION_HORIZON,
     TrainingConfig,
-    WINDOW_LENGTH,
     build_baseline_dataset,
     build_corki_dataset,
     deployment_slot_pattern,
@@ -16,10 +16,10 @@ from repro.core import (
     train_corki,
 )
 from repro.sim import (
-    ActionNormalizer,
     OBSERVATION_DIM,
     SEEN_LAYOUT,
     TASKS,
+    ActionNormalizer,
     collect_demonstrations,
     corki_targets,
 )

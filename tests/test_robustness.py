@@ -5,11 +5,11 @@ import numpy as np
 from repro.core import VARIATIONS, run_corki_episode
 from repro.core.runner import _TokenWindow
 from repro.sim import (
-    ActuationModel,
-    ManipulationEnv,
     PERFECT_ACTUATION,
     SEEN_LAYOUT,
     TASKS,
+    ActuationModel,
+    ManipulationEnv,
     collect_demonstrations,
 )
 

@@ -4,13 +4,13 @@ import numpy as np
 import pytest
 
 from repro.core import (
-    EpisodeTrace,
     VARIATIONS,
+    EpisodeTrace,
     run_baseline_episode,
     run_corki_episode,
     run_job,
 )
-from repro.sim import ManipulationEnv, SEEN_LAYOUT, TASKS
+from repro.sim import SEEN_LAYOUT, TASKS, ManipulationEnv
 
 
 @pytest.fixture()

@@ -4,10 +4,10 @@ import numpy as np
 import pytest
 
 from repro.sim import (
-    ManipulationEnv,
     PERFECT_ACTUATION,
     SEEN_LAYOUT,
     TASKS,
+    ManipulationEnv,
     task_by_instruction,
 )
 from repro.sim.tasks import sample_job

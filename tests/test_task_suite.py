@@ -23,8 +23,8 @@ from repro.sim import (
     BLOCK_NAMES,
     PERFECT_ACTUATION,
     SEEN_LAYOUT,
-    TASKS,
     TASK_FAMILIES,
+    TASKS,
     UNSEEN_LAYOUT,
     ManipulationEnv,
     sample_job,
