@@ -19,6 +19,14 @@ Run:  PYTHONPATH=src python examples/serving_client.py
 the examples smoke test.  Pass ``workers=2`` to ``EvaluationService`` to
 fan requests across the warm multi-process pool instead (wrap the call in
 ``if __name__ == "__main__":`` -- pool workers re-import this module).
+
+``REPRO_SERVING_TCP=HOST:PORT`` switches the script into a *network*
+walkthrough: instead of standing up an in-process service it drives a
+running TCP server (``python -m repro.serving --tcp HOST:PORT``) over a
+socket -- a cold request burst, a cached rerun checked byte-identical
+modulo the ``cached`` flag, one injected garbage frame (the connection
+survives, the bad frame gets its own error envelope), and the server's
+merged stats.  The CI ``serving-tcp`` job runs exactly this mode.
 """
 
 import json
@@ -36,6 +44,7 @@ from repro.core import (
     train_corki,
 )
 from repro.serving import EpisodeRequest, EvaluationService, ResultCache
+from repro.serving.client import ServingClient
 from repro.sim import OBSERVATION_DIM, SEEN_LAYOUT, TASKS, collect_demonstrations
 from repro.sim.tasks import sample_job
 
@@ -55,7 +64,88 @@ def train_small_policies() -> TrainedPolicies:
     return TrainedPolicies(baseline, corki, demos_per_task=1, epochs=1)
 
 
+def job_frames(count: int) -> list[dict]:
+    """JSONL request frames mirroring lanes 0..count-1 of a batch run."""
+    job_rng = np.random.default_rng(SEED)
+    jobs = [sample_job(job_rng, JOB_LENGTH) for _ in range(count)]
+    return [
+        {
+            "id": f"job-{lane}",
+            "system": "corki-5",
+            "instructions": [task.instruction for task in job],
+            "seed": SEED,
+            "lane": lane,
+        }
+        for lane, job in enumerate(jobs)
+    ]
+
+
+def run_tcp_walkthrough(address: str) -> None:
+    """Drive a running ``python -m repro.serving --tcp`` server over a socket."""
+    host, _, port_text = address.rpartition(":")
+    frames = job_frames(REQUESTS)
+    with ServingClient(host, int(port_text), attempts=40, retry_wait=0.25) as client:
+        print(f"cold burst: {REQUESTS} five-task job requests over {address} ...")
+        started = time.perf_counter()
+        for frame in frames:
+            client.send(frame)
+        client.flush()
+        cold: dict[str, bytes] = {}
+        for _ in frames:
+            line = client.recv_raw()
+            cold[json.loads(line)["id"]] = line
+        cold_s = time.perf_counter() - started
+        statuses = [json.loads(cold[frame["id"]])["status"] for frame in frames]
+        assert statuses == ["ok"] * REQUESTS, statuses
+        print(f"  {cold_s:.2f}s, cached: "
+              f"{[json.loads(cold[frame['id']])['cached'] for frame in frames]}")
+
+        print("re-sending the identical burst (warm cache) ...")
+        started = time.perf_counter()
+        for frame in frames:
+            client.send(frame)
+        client.flush()
+        warm: dict[str, bytes] = {}
+        for _ in frames:
+            line = client.recv_raw()
+            warm[json.loads(line)["id"]] = line
+        warm_s = time.perf_counter() - started
+        for frame in frames:
+            fresh = json.loads(cold[frame["id"]])
+            rerun = json.loads(warm[frame["id"]])
+            assert rerun.pop("cached") is True
+            fresh.pop("cached")
+            assert json.dumps(fresh) == json.dumps(rerun), frame["id"]
+        print(f"  {warm_s:.3f}s ({cold_s / max(warm_s, 1e-9):.0f}x faster), "
+              "byte-identical modulo the `cached` flag")
+
+        print("injecting one garbage frame next to a valid request ...")
+        client.send_raw(b"this is not json")
+        client.send({
+            "id": "after-garbage",
+            "system": "roboflamingo",
+            "instruction": TASKS[0].instruction,
+            "seed": SEED,
+            "lane": 0,
+            "max_frames": 40,
+        })
+        client.flush()
+        by_id = {response.get("id"): response for response in
+                 (client.recv() for _ in range(2))}
+        assert by_id[None]["status"] == "error", by_id
+        assert by_id["after-garbage"]["status"] == "ok", by_id
+        print(f"  error envelope: {json.dumps(by_id[None])}")
+        print("  the valid frame on the same connection still served")
+
+        print("\nserver stats:", json.dumps(client.stats()))
+
+
 def main() -> None:
+    tcp_address = os.environ.get("REPRO_SERVING_TCP")
+    if tcp_address:
+        run_tcp_walkthrough(tcp_address)
+        return
+
     print("training small policies ...")
     policies = train_small_policies()
 

@@ -31,6 +31,18 @@ Two measurement rules keep the numbers honest:
   rolling and result assembly are *all* on the clock, because that is what
   serving a request costs.  ``"mode": "serve-cached"`` repeats the same
   request set against a warm result cache -- the cache-hit ceiling.
+* **The TCP axis adds the wire.**  Rows with ``"mode": "tcp-serve"`` /
+  ``"tcp-serve-cached"`` drive the same request workload through a real
+  loopback socket against the asyncio front end
+  (:mod:`repro.serving.server`): framing, admission and response
+  serialization all land on the clock.  These rows carry the serving SLOs
+  -- sustained episodes/sec plus ``p50_ms``/``p99_ms`` per-request latency
+  (response arrival minus that request's send, the whole batch pipelined).
+* **Weak scaling has a direction.**  ``"mode": "weak-scaling"`` rows
+  summarise the sharded axis: each worker count's throughput as a ratio of
+  the ``workers=1`` run at the same lanes/worker.  The benchmark suite
+  records the ratio on every host and *gates* it (ratio >= 0.9 for
+  ``workers=2``) only where ``os.cpu_count()`` can honour it.
 """
 
 from __future__ import annotations
@@ -43,13 +55,14 @@ from typing import Sequence
 
 import numpy as np
 
-BENCH_SCHEMA = "repro-fleet-bench/3"
+BENCH_SCHEMA = "repro-fleet-bench/4"
 FLEET_SIZES = (1, 8, 32, 128)
 BENCH_FRAMES = 20
 SHARDED_WORKERS = (1, 2, 4)
 SHARDED_LANES_PER_WORKER = 128
 SERVE_SLOTS = (8, 32)
 SERVE_REQUESTS = 64
+TCP_SERVE_SLOTS = (8, 32)
 DEFAULT_BENCH_PATH = Path(__file__).resolve().parents[3] / "artifacts" / "BENCH_fleet.json"
 
 
@@ -137,14 +150,17 @@ def measure_fleet_throughput(
     rounds: int = 3,
     workers: Sequence[int] | None = SHARDED_WORKERS,
     serve: Sequence[int] | None = SERVE_SLOTS,
+    tcp: Sequence[int] | None = TCP_SERVE_SLOTS,
 ) -> dict:
     """Measure baseline and Corki-5 fleet throughput across fleet sizes.
 
     Environments and generators are rebuilt per round outside the timed
     region (see :func:`episodes_per_second`); the timed region is the fleet
     run alone.  ``workers`` appends the sharded multi-process axis
-    (:func:`measure_sharded_throughput`) and ``serve`` the request-serving
-    axis (:func:`measure_serving_throughput`); pass ``None`` to skip either.
+    (:func:`measure_sharded_throughput`, plus its ``weak-scaling`` summary
+    rows), ``serve`` the request-serving axis
+    (:func:`measure_serving_throughput`) and ``tcp`` the socket-path SLO
+    axis (:func:`measure_tcp_serving`); pass ``None`` to skip any of them.
     Returns the artifact dict (see :data:`BENCH_SCHEMA`); pass it to
     :func:`write_bench_json` to persist.
     """
@@ -187,19 +203,28 @@ def measure_fleet_throughput(
             }
         )
     if workers:
-        results.extend(
-            measure_sharded_throughput(
-                policies=(baseline, corki, None),
-                workers=workers,
-                frames=frames,
-                rounds=rounds,
-            )
+        sharded = measure_sharded_throughput(
+            policies=(baseline, corki, None),
+            workers=workers,
+            frames=frames,
+            rounds=rounds,
         )
+        results.extend(sharded)
+        results.extend(weak_scaling_summary(sharded))
     if serve:
         results.extend(
             measure_serving_throughput(
                 policies=(baseline, corki, None),
                 slots=serve,
+                frames=frames,
+                rounds=rounds,
+            )
+        )
+    if tcp:
+        results.extend(
+            measure_tcp_serving(
+                policies=(baseline, corki, None),
+                slots=tcp,
                 frames=frames,
                 rounds=rounds,
             )
@@ -290,6 +315,147 @@ def measure_serving_throughput(
                 }
             )
     return rows
+
+
+def measure_tcp_serving(
+    policies=None,
+    slots: Sequence[int] = TCP_SERVE_SLOTS,
+    requests: int = SERVE_REQUESTS,
+    frames: int = BENCH_FRAMES,
+    rounds: int = 3,
+    seed: int = 211,
+) -> list[dict]:
+    """Serving SLOs over the TCP/JSONL front end on a loopback socket.
+
+    The workload is the serve axis's -- ``requests`` single-episode
+    requests cycling the task registry -- but driven through a *real*
+    asyncio server (:mod:`repro.serving.server`), so framing, admission,
+    the drain executor hop and response serialization are all on the
+    clock.  The client pipelines the whole batch (every frame sent, one
+    blank-line flush), then collects responses; per-request latency is
+    response arrival minus that request's send time, and sustained
+    throughput is ``requests / (last arrival - first send)``.  Two rows
+    per (policy, slot count) -- ``"mode": "tcp-serve"`` with caching off
+    and ``"tcp-serve-cached"`` against a cache warmed off the clock --
+    each carrying ``p50_ms`` / ``p99_ms`` over the best round's latencies.
+    """
+    from repro.analysis.evaluation import TrainedPolicies
+    # repro: allow[LAYER-SAFE] reason=the bench suite measures the serving tier from below; lazy import keeps the layering clean at module scope
+    from repro.serving.client import ServingClient
+    # repro: allow[LAYER-SAFE] reason=the bench suite measures the serving tier from below; lazy import keeps the layering clean at module scope
+    from repro.serving.server import start_server_thread
+    from repro.sim import TASKS
+
+    baseline, corki, _ = policies if policies is not None else train_bench_policies()
+    trained = TrainedPolicies(baseline, corki, 0, 0)
+    frame_sets = {
+        system: [
+            {
+                "id": f"q{k}",
+                "system": system,
+                "instruction": TASKS[k % len(TASKS)].instruction,
+                "seed": seed,
+                "lane": k,
+                "max_frames": frames,
+            }
+            for k in range(requests)
+        ]
+        for system in ("roboflamingo", "corki-5")
+    }
+
+    def measure(handle, batch) -> dict:
+        best_elapsed, best_latencies = None, None
+        for _ in range(rounds):
+            with ServingClient(handle.host, handle.port, attempts=3) as client:
+                sent_at: dict[str, float] = {}
+                first_send = time.perf_counter()
+                for frame in batch:
+                    sent_at[frame["id"]] = time.perf_counter()
+                    client.send(frame)
+                client.flush()
+                latencies, last_arrival = [], first_send
+                for _ in batch:
+                    response = client.recv()
+                    last_arrival = time.perf_counter()
+                    if response.get("status") != "ok":
+                        raise RuntimeError(f"bench request failed: {response}")
+                    latencies.append(
+                        (last_arrival - sent_at[response["id"]]) * 1000.0
+                    )
+            elapsed = last_arrival - first_send
+            if best_elapsed is None or elapsed < best_elapsed:
+                best_elapsed, best_latencies = elapsed, latencies
+        return {
+            "requests": len(batch),
+            "episodes_per_second": round(len(batch) / best_elapsed, 1),
+            "p50_ms": round(float(np.percentile(best_latencies, 50)), 2),
+            "p99_ms": round(float(np.percentile(best_latencies, 99)), 2),
+        }
+
+    rows = []
+    for n in slots:
+        for system, policy_name in (("roboflamingo", "baseline"), ("corki-5", "corki-5")):
+            batch = frame_sets[system]
+            with start_server_thread(trained, slots=n, use_cache=False) as cold:
+                with ServingClient(cold.host, cold.port, attempts=3) as client:
+                    client.request(*batch[:2])  # engine warm-up, off the clock
+                rows.append(
+                    {
+                        "policy": policy_name,
+                        "mode": "tcp-serve",
+                        "fleet_size": n,
+                        **measure(cold, batch),
+                    }
+                )
+            with start_server_thread(trained, slots=n) as warm:
+                with ServingClient(warm.host, warm.port, attempts=3) as client:
+                    client.request(*batch)  # fill the cache, off the clock
+                rows.append(
+                    {
+                        "policy": policy_name,
+                        "mode": "tcp-serve-cached",
+                        "fleet_size": n,
+                        **measure(warm, batch),
+                    }
+                )
+    return rows
+
+
+def weak_scaling_summary(rows: list[dict]) -> list[dict]:
+    """Summarise sharded rows as ratios against their ``workers=1`` run.
+
+    For every ``(policy, lanes/worker)`` cell measured at more than one
+    worker count, each ``workers=W > 1`` row yields a
+    ``"mode": "weak-scaling"`` row whose ``ratio_vs_workers_1`` is its
+    throughput over the ``workers=1`` throughput -- >= 1.0 is ideal weak
+    scaling, and the benchmark suite gates ``workers=2`` at >= 0.9 on
+    hosts with the cores to honour it.  Cells without a ``workers=1``
+    anchor are skipped (nothing sound to normalise by).
+    """
+    anchors = {
+        (row["policy"], row["fleet_size"]): row["episodes_per_second"]
+        for row in rows
+        if row.get("workers") == 1
+    }
+    summary = []
+    for row in rows:
+        count = row.get("workers")
+        if count is None or count == 1:
+            continue
+        anchor = anchors.get((row["policy"], row["fleet_size"]))
+        if not anchor:
+            continue
+        summary.append(
+            {
+                "policy": row["policy"],
+                "mode": "weak-scaling",
+                "fleet_size": row["fleet_size"],
+                "workers": count,
+                "episodes_per_second": row["episodes_per_second"],
+                "ratio_vs_workers_1": round(row["episodes_per_second"] / anchor, 3),
+            }
+        )
+    return summary
 
 
 def measure_sharded_throughput(
@@ -422,8 +588,21 @@ def format_report(report: dict) -> str:
         entry for entry in report["results"]
         if entry.get("workers") is None and entry.get("mode") is None
     ]
-    sharded = [entry for entry in report["results"] if entry.get("workers") is not None]
-    served = [entry for entry in report["results"] if entry.get("mode") is not None]
+    sharded = [
+        entry for entry in report["results"]
+        if entry.get("workers") is not None and entry.get("mode") is None
+    ]
+    served = [
+        entry for entry in report["results"]
+        if entry.get("mode") in ("serve", "serve-cached")
+    ]
+    tcp_rows = [
+        entry for entry in report["results"]
+        if str(entry.get("mode", "")).startswith("tcp-")
+    ]
+    scaling = [
+        entry for entry in report["results"] if entry.get("mode") == "weak-scaling"
+    ]
     for n in sorted({entry["fleet_size"] for entry in in_process}):
         base = recorded_throughput(report, "baseline", n)
         cork = recorded_throughput(report, "corki-5", n)
@@ -468,5 +647,35 @@ def format_report(report: dict) -> str:
                 f"{n:>10}  {mode:>12}  "
                 f"{'-' if base is None else format(base, '.1f'):>10}  "
                 f"{'-' if cork is None else format(cork, '.1f'):>10}"
+            )
+    if tcp_rows:
+        lines.append("")
+        lines.append(
+            "TCP front end (loopback socket; sustained eps, pipelined-batch latency)"
+        )
+        lines.append(
+            f"{'slots':>10}  {'mode':>16}  {'policy':>10}  "
+            f"{'eps':>8}  {'p50 ms':>8}  {'p99 ms':>8}"
+        )
+        for entry in sorted(
+            tcp_rows, key=lambda e: (e["fleet_size"], e["mode"], e["policy"])
+        ):
+            lines.append(
+                f"{entry['fleet_size']:>10}  {entry['mode']:>16}  {entry['policy']:>10}  "
+                f"{entry['episodes_per_second']:>8.1f}  "
+                f"{entry['p50_ms']:>8.2f}  {entry['p99_ms']:>8.2f}"
+            )
+    if scaling:
+        lines.append("")
+        lines.append("Weak scaling vs workers=1 (>= 1.0 ideal; CI gates >= 0.9)")
+        lines.append(
+            f"{'workers':>10}  {'lanes/wkr':>10}  {'policy':>10}  {'ratio':>8}"
+        )
+        for entry in sorted(
+            scaling, key=lambda e: (e["workers"], e["fleet_size"], e["policy"])
+        ):
+            lines.append(
+                f"{entry['workers']:>10}  {entry['fleet_size']:>10}  "
+                f"{entry['policy']:>10}  {entry['ratio_vs_workers_1']:>8.3f}"
             )
     return "\n".join(lines)

@@ -77,6 +77,8 @@ __all__ = [
     "EvaluationPool",
     "archive_policies",
     "restore_policies",
+    "save_archive",
+    "load_archive",
     "lease_pool",
     "release_pool",
     "shard_lanes",
@@ -176,6 +178,50 @@ def restore_policies(archive: PolicyArchive):
     baseline.set_normalizer(ActionNormalizer(scale))
     corki.set_normalizer(ActionNormalizer(scale))
     return TrainedPolicies(baseline, corki, archive.demos_per_task, archive.epochs)
+
+
+_ARCHIVE_SCHEMA = "repro-policy-archive/1"
+
+
+def save_archive(path, archive: PolicyArchive):
+    """Persist one :class:`PolicyArchive` as a single npz file (atomic).
+
+    This is the on-disk shape the serving tier's hot-reload op loads
+    (``{"op": "reload", "archive": PATH}``): the exact bytes
+    :func:`archive_policies` produced, wrapped as uint8 arrays, so
+    ``restore_policies(load_archive(path))`` reproduces the trained pair --
+    and therefore its :func:`~repro.serving.cache.policy_digest` -- exactly.
+    """
+    from repro.atomicio import atomic_savez
+
+    return atomic_savez(
+        path,
+        schema=np.array(_ARCHIVE_SCHEMA),
+        baseline_npz=np.frombuffer(archive.baseline_npz, dtype=np.uint8),
+        corki_npz=np.frombuffer(archive.corki_npz, dtype=np.uint8),
+        normalizer_scale=np.frombuffer(archive.normalizer_scale, dtype=np.uint8),
+        dims=np.array([
+            archive.token_dim, archive.hidden_dim,
+            archive.demos_per_task, archive.epochs,
+        ], dtype=int),
+    )
+
+
+def load_archive(path) -> PolicyArchive:
+    """Inverse of :func:`save_archive`; raises on any malformed file."""
+    with np.load(path) as data:
+        if "schema" not in data.files or str(data["schema"]) != _ARCHIVE_SCHEMA:
+            raise ValueError(f"{path} is not a {_ARCHIVE_SCHEMA} policy archive")
+        dims = [int(value) for value in data["dims"]]
+        return PolicyArchive(
+            baseline_npz=data["baseline_npz"].tobytes(),
+            corki_npz=data["corki_npz"].tobytes(),
+            normalizer_scale=data["normalizer_scale"].tobytes(),
+            token_dim=dims[0],
+            hidden_dim=dims[1],
+            demos_per_task=dims[2],
+            epochs=dims[3],
+        )
 
 
 # -- chunk specifications ------------------------------------------------------

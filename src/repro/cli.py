@@ -86,6 +86,12 @@ def main(argv: list[str] | None = None) -> int:
              "answer {'status': 'rejected'} instead of queueing unboundedly",
     )
     parser.add_argument(
+        "--tcp", default=None, metavar="HOST:PORT",
+        help="('serve' only) serve the JSONL protocol over a TCP socket "
+             "instead of stdin/stdout (port 0 binds an ephemeral port, "
+             "announced on stderr)",
+    )
+    parser.add_argument(
         "--chunk-timeout", type=float, default=None, metavar="S",
         help="('serve' only) seconds before a dispatched worker chunk is "
              "declared lost and re-dispatched (hard-crash recovery)",
@@ -196,8 +202,10 @@ def _run_serve(args) -> int:
     ``--fleet-size`` the in-process continuous-batching slot count,
     ``--result-cache`` / ``--result-cache-dir DIR`` persist the
     content-addressed result cache on disk, ``--max-queue`` bounds
-    admission, and ``--chunk-timeout`` arms hard-crash recovery for pooled
-    dispatch.
+    admission, ``--chunk-timeout`` arms hard-crash recovery for pooled
+    dispatch, and ``--tcp HOST:PORT`` swaps stdin/stdout for the asyncio
+    TCP front end (same request schema plus priorities, deadlines and the
+    hot-reload op -- see docs/serving.md).
     """
     from repro.serving.__main__ import main as serve_main
 
@@ -218,6 +226,12 @@ def _run_serve(args) -> int:
         forwarded += ["--max-queue", str(args.max_queue)]
     if args.chunk_timeout is not None:
         forwarded += ["--chunk-timeout", str(args.chunk_timeout)]
+    if args.tcp is not None:
+        forwarded += ["--tcp", args.tcp]
+        if args.max_queue is not None:
+            # Over TCP, admission control lives at the server's pending
+            # batch; --max-queue maps onto it so both spellings shed alike.
+            forwarded += ["--max-pending", str(args.max_queue)]
     return serve_main(forwarded)
 
 

@@ -7,7 +7,7 @@ lane randomness (``default_rng([seed, domain, ...])``), so a chaos run is
 reproducible: the same plan against the same workload injects the same
 faults, every time, on any machine.
 
-Three injection sites exist today:
+Five injection sites exist today:
 
 * **worker chunks** -- :meth:`FaultPlan.chunk_directive` decides whether a
   chunk dispatch crashes (raise :class:`InjectedFault`, or hard-kill the
@@ -22,6 +22,14 @@ Three injection sites exist today:
 * **request lines** -- :meth:`FaultPlan.mangles_line` truncates a JSONL
   request line mid-flight (:meth:`FaultPlan.mangle_line`), exercising the
   per-request error path of the serving loop.
+* **connections** -- :meth:`FaultPlan.drops_connection` closes an accepted
+  TCP connection before it is served, exercising the server's
+  accept-failure accounting (the server must survive; other connections
+  must be unaffected).
+* **frames** -- :meth:`FaultPlan.corrupts_frame` mangles one JSONL frame of
+  one connection (:meth:`FaultPlan.mangle_line` again), the per-connection
+  analogue of the stdin line fault: the frame errors, the connection and
+  the server live on.
 
 Faults inject only on the first ``faulted_attempts`` tries of an operation
 (first ``faulted_reads`` reads of a cache key), so a plan with rate 1.0
@@ -52,6 +60,10 @@ _DOMAIN_HANG = 7
 _DOMAIN_SLOW = 8
 _DOMAIN_CACHE = 9
 _DOMAIN_LINE = 10
+# 11/12 belong to the fleet-bench workload streams; the TCP serving tier
+# (PR 10) owns 13/14.
+_DOMAIN_CONNECTION = 13
+_DOMAIN_FRAME = 14
 
 
 class InjectedFault(RuntimeError):
@@ -111,6 +123,8 @@ class FaultPlan:
     slow_seconds: float = 0.05
     cache_corrupt_rate: float = 0.0
     malformed_line_rate: float = 0.0
+    connection_drop_rate: float = 0.0
+    frame_corrupt_rate: float = 0.0
     faulted_attempts: int = 1
     faulted_reads: int = 1
 
@@ -120,6 +134,7 @@ class FaultPlan:
         for name in (
             "crash_rate", "hang_rate", "slow_rate",
             "cache_corrupt_rate", "malformed_line_rate",
+            "connection_drop_rate", "frame_corrupt_rate",
         ):
             rate = getattr(self, name)
             if not 0.0 <= rate <= 1.0:
@@ -164,6 +179,18 @@ class FaultPlan:
     def mangles_line(self, index: int) -> bool:
         """Whether request line ``index`` of a JSONL stream arrives mangled."""
         return self._roll(_DOMAIN_LINE, index) < self.malformed_line_rate
+
+    def drops_connection(self, connection: int) -> bool:
+        """Whether the ``connection``-th accepted TCP connection is dropped
+        at accept (closed before a single frame is read).  Connections do
+        not retry, so the decision is unbudgeted -- like request lines."""
+        return self._roll(_DOMAIN_CONNECTION, connection) < self.connection_drop_rate
+
+    def corrupts_frame(self, connection: int, frame: int) -> bool:
+        """Whether frame ``frame`` of connection ``connection`` arrives
+        mangled (:meth:`mangle_line`); keyed per connection so one noisy
+        link does not decide for its neighbours."""
+        return self._roll(_DOMAIN_FRAME, connection, frame) < self.frame_corrupt_rate
 
     # -- fault payload transforms ----------------------------------------------
 

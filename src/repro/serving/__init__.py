@@ -14,13 +14,19 @@ ROADMAP's production north star implies.  Three pieces:
 * :mod:`repro.serving.jsonl` -- the stdin/stdout JSONL protocol behind
   ``repro-serve`` (``python -m repro.serving``, or ``repro-experiments
   serve``).
+* :mod:`repro.serving.server` / :mod:`repro.serving.client` -- the same
+  protocol over a TCP socket (``repro-serve --tcp HOST:PORT``): asyncio
+  front end with admission control, per-connection flow control, request
+  priorities/deadlines and hot policy-weight reload.
 
 See ``docs/serving.md`` for the request lifecycle, cache-key anatomy and
 measured throughput, and ``examples/serving_client.py`` for a walkthrough.
 """
 
 from repro.serving.cache import CACHE_SCHEMA, ResultCache, policy_digest, result_key
+from repro.serving.client import ServingClient
 from repro.serving.jsonl import serve_jsonl
+from repro.serving.server import EvaluationServer, ServerHandle, start_server_thread
 from repro.serving.service import (
     EpisodeRequest,
     EvaluationService,
@@ -31,11 +37,15 @@ from repro.serving.service import (
 __all__ = [
     "CACHE_SCHEMA",
     "EpisodeRequest",
+    "EvaluationServer",
     "EvaluationService",
     "ResultCache",
     "ServedResult",
+    "ServerHandle",
+    "ServingClient",
     "estimate_for_request",
     "policy_digest",
     "result_key",
     "serve_jsonl",
+    "start_server_thread",
 ]

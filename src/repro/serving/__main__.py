@@ -3,11 +3,21 @@
 Usage::
 
     PYTHONPATH=src python -m repro.serving [--workers N] [--slots N]
+        [--tcp HOST:PORT] [--max-pending N] [--max-inflight N]
         [--cache-dir PATH] [--no-cache] [--max-entries N]
         [--demos N] [--epochs N]
         [--max-queue N] [--chunk-timeout S] [--retry-attempts N]
         [--fault-seed N] [--fault-crash-rate P] [--fault-hard-crash]
         [--fault-hang-rate P] [--fault-cache-rate P] [--fault-line-rate P]
+        [--fault-conn-rate P] [--fault-frame-rate P]
+
+``--tcp HOST:PORT`` swaps the stdin/stdout loop for the asyncio TCP front
+end (:mod:`repro.serving.server`): same request schema plus ``priority``,
+server-side admission control (``--max-pending``), per-connection flow
+control (``--max-inflight``) and the ``reload`` op for hot weight swaps.
+The bound address is announced on stderr (``[serving on HOST:PORT]``) so a
+supervisor -- or the CI smoke job -- knows when to connect; port ``0``
+binds an ephemeral port.
 
 The ``--fault-*`` flags arm a deterministic :class:`repro.reliability.
 FaultPlan` (requires ``--fault-seed``): injected worker crashes, hangs,
@@ -42,6 +52,22 @@ def main(argv: list[str] | None = None, policies=None, stdin=None, stdout=None) 
     parser.add_argument(
         "--slots", type=int, default=32, metavar="N",
         help="in-flight lanes for the in-process continuous-batching path",
+    )
+    parser.add_argument(
+        "--tcp", default=None, metavar="HOST:PORT",
+        help="serve the JSONL protocol over a TCP socket instead of "
+             "stdin/stdout (port 0 binds an ephemeral port, announced on "
+             "stderr)",
+    )
+    parser.add_argument(
+        "--max-pending", type=int, default=None, metavar="N",
+        help="(--tcp only) bound the server's pending batch; overflow "
+             "frames answer {'status': 'rejected'} immediately",
+    )
+    parser.add_argument(
+        "--max-inflight", type=int, default=None, metavar="N",
+        help="(--tcp only) per-connection flow control: stop reading a "
+             "connection with N unanswered admissions",
     )
     parser.add_argument(
         "--cache-dir", default=None, metavar="PATH",
@@ -105,6 +131,14 @@ def main(argv: list[str] | None = None, policies=None, stdin=None, stdout=None) 
         "--fault-line-rate", type=float, default=0.0, metavar="P",
         help="probability a request line arrives mangled",
     )
+    fault.add_argument(
+        "--fault-conn-rate", type=float, default=0.0, metavar="P",
+        help="(--tcp only) probability an accepted connection is dropped",
+    )
+    fault.add_argument(
+        "--fault-frame-rate", type=float, default=0.0, metavar="P",
+        help="(--tcp only) probability a request frame arrives mangled",
+    )
     args = parser.parse_args(argv)
     if args.workers < 1:
         print("--workers must be >= 1", file=sys.stderr)
@@ -124,6 +158,8 @@ def main(argv: list[str] | None = None, policies=None, stdin=None, stdout=None) 
             hang_rate=args.fault_hang_rate,
             cache_corrupt_rate=args.fault_cache_rate,
             malformed_line_rate=args.fault_line_rate,
+            connection_drop_rate=args.fault_conn_rate,
+            frame_corrupt_rate=args.fault_frame_rate,
         )
     retry = None
     if args.retry_attempts is not None:
@@ -140,6 +176,8 @@ def main(argv: list[str] | None = None, policies=None, stdin=None, stdout=None) 
             max_entries=args.max_entries,
             fault_plan=fault_plan,
         )
+    if args.tcp is not None:
+        return _serve_tcp(args, policies, cache, fault_plan, retry)
     with EvaluationService(
         policies,
         workers=args.workers,
@@ -155,6 +193,52 @@ def main(argv: list[str] | None = None, policies=None, stdin=None, stdout=None) 
             service, stdin or sys.stdin, stdout or sys.stdout, fault_plan=fault_plan
         )
     print(f"[served {served} requests]", file=sys.stderr)
+    return 0
+
+
+def _serve_tcp(args, policies, cache, fault_plan, retry) -> int:
+    """Run the asyncio TCP front end until interrupted (SIGINT exits 0)."""
+    import asyncio
+
+    from repro.serving.server import EvaluationServer
+
+    host, _, port_text = args.tcp.rpartition(":")
+    try:
+        port = int(port_text)
+    except ValueError:
+        print(f"--tcp expects HOST:PORT, got {args.tcp!r}", file=sys.stderr)
+        return 2
+
+    async def _run() -> None:
+        server = EvaluationServer(
+            policies,
+            host or "127.0.0.1",
+            port,
+            workers=args.workers,
+            slots=args.slots,
+            cache=cache,
+            use_cache=not args.no_cache,
+            max_pending=args.max_pending,
+            max_inflight=args.max_inflight,
+            retry=retry,
+            chunk_timeout=args.chunk_timeout,
+            fault_plan=fault_plan,
+        )
+        await server.start()
+        print(f"[serving on {server.host}:{server.port}]", file=sys.stderr, flush=True)
+        try:
+            await server.serve_forever()
+        except asyncio.CancelledError:
+            pass
+        finally:
+            served = server.stats()["requests_served"]
+            await server.close()
+            print(f"[served {served} requests]", file=sys.stderr)
+
+    try:
+        asyncio.run(_run())
+    except KeyboardInterrupt:
+        pass
     return 0
 
 

@@ -25,6 +25,15 @@ Robustness: entries are validated on read; a corrupted payload (truncated
 file, stray bytes, missing arrays) is evicted and reported as a miss, so
 the caller re-rolls instead of crashing.  Capacity is bounded by an LRU
 policy over ``max_entries``; evicted entries also leave the disk store.
+
+Shared mounts: several processes may point at one cache directory (the
+multi-server deployment shape ``docs/serving.md`` documents).  Keys are
+content addresses, so concurrent writers of the same key write the same
+bytes; atomic ``os.replace`` keeps every read a complete payload; and an
+advisory ``flock`` on ``<dir>/.lock`` (shared for reads, exclusive for
+writes and evictions) serialises the metadata races those two guarantees
+do not cover -- an eviction never yanks a file mid-read, and a read that
+loses the race to an eviction reports a miss instead of raising.
 """
 
 from __future__ import annotations
@@ -35,9 +44,15 @@ import os
 import tempfile
 import weakref
 from collections import OrderedDict
+from contextlib import contextmanager
 from pathlib import Path
 
 import numpy as np
+
+try:
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX hosts mount unlocked
+    fcntl = None  # type: ignore[assignment]
 
 from repro.core.runner import MAX_EPISODE_FRAMES, EpisodeTrace
 
@@ -248,13 +263,43 @@ class ResultCache:
     def _path(self, key: str) -> Path | None:
         return None if self.directory is None else self.directory / f"{key}.npz"
 
+    @contextmanager
+    def _mount_lock(self, shared: bool):
+        """Advisory lock over the shared directory (no-op without a mount).
+
+        ``flock`` on a sidecar ``<dir>/.lock`` file: shared for reads,
+        exclusive for writes/evictions.  Advisory is enough -- every writer
+        in this codebase takes the lock, and a foreign writer that does not
+        is still harmless thanks to atomic ``os.replace`` (the lock guards
+        unlink-vs-read metadata races, not payload integrity).
+        """
+        if self.directory is None or fcntl is None:
+            yield
+            return
+        # repro: allow[ATOMIC-WRITE] reason=zero-length flock sidecar; the lock fd carries no payload, data files go through mkstemp+os.replace
+        with open(self.directory / ".lock", "a+b") as handle:
+            fcntl.flock(handle, fcntl.LOCK_SH if shared else fcntl.LOCK_EX)
+            try:
+                yield
+            finally:
+                fcntl.flock(handle, fcntl.LOCK_UN)
+
+    def _read_disk(self, path: Path) -> bytes | None:
+        """One locked disk read; a file another process evicted between our
+        existence check and the read is a miss, never an exception."""
+        with self._mount_lock(shared=True):
+            try:
+                return path.read_bytes()
+            except FileNotFoundError:
+                return None
+
     def get(self, key: str) -> list[EpisodeTrace] | None:
         """The cached traces for ``key``, or ``None`` (miss / corrupt entry)."""
         payload = self._entries.get(key)
         if payload is None:
             path = self._path(key)
-            if path is not None and path.exists():
-                payload = path.read_bytes()
+            if path is not None:
+                payload = self._read_disk(path)
         if payload is None:
             self.misses += 1
             return None
@@ -289,14 +334,17 @@ class ResultCache:
             # Unique temp name (mkstemp, same filesystem) + atomic rename:
             # a deterministic name like `<key>.tmp` would let two processes
             # caching the same key interleave their writes, which is the
-            # torn-file failure this dance exists to rule out.
+            # torn-file failure this dance exists to rule out.  The mount
+            # lock additionally keeps the replace from racing a concurrent
+            # eviction's unlink of the same key.
             fd, tmp = tempfile.mkstemp(
                 dir=self.directory, prefix=f".{key[:16]}.", suffix=".tmp"
             )
             try:
                 with os.fdopen(fd, "wb") as handle:
                     handle.write(payload)
-                os.replace(tmp, path)
+                with self._mount_lock(shared=False):
+                    os.replace(tmp, path)
             except BaseException:
                 try:
                     os.unlink(tmp)
@@ -305,19 +353,25 @@ class ResultCache:
                 raise
         self._shrink()
 
+    def _unlink(self, path: Path) -> None:
+        """Remove one entry's file; losing the unlink race to another
+        process mounting the same directory is success, not an error."""
+        with self._mount_lock(shared=False):
+            path.unlink(missing_ok=True)
+
     def _drop(self, key: str) -> None:
         self._entries.pop(key, None)
         path = self._path(key)
-        if path is not None and path.exists():
-            path.unlink()
+        if path is not None:
+            self._unlink(path)
 
     def _shrink(self) -> None:
         while self.max_entries is not None and len(self._entries) > self.max_entries:
             evicted, _ = self._entries.popitem(last=False)
             self.evictions += 1
             path = self._path(evicted)
-            if path is not None and path.exists():
-                path.unlink()
+            if path is not None:
+                self._unlink(path)
 
     def stats(self) -> dict[str, int]:
         """Counters for the service's ``stats`` op and the bench report."""

@@ -1,0 +1,130 @@
+"""A small synchronous client for the TCP/JSONL evaluation server.
+
+The wire protocol is plain enough to drive with ``nc`` -- newline-delimited
+JSON frames, a blank line to flush -- but tests, benches and the example
+all want the same few moves: connect (with retries while a freshly started
+server binds), stream frames, flush, collect responses, match them by
+``id``.  This client is those moves and nothing more; it deliberately
+holds no protocol state beyond the socket, so one client object maps to
+one connection's framing exactly.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import time
+
+__all__ = ["ServingClient"]
+
+
+class ServingClient:
+    """One TCP connection speaking the JSONL serving protocol.
+
+    ::
+
+        with ServingClient(host, port) as client:
+            responses = client.request(
+                {"id": "a", "system": "corki-5", "instruction": "...", "seed": 3},
+                {"id": "b", "system": "corki-5", "instruction": "...", "seed": 3,
+                 "lane": 1, "priority": 5},
+            )
+            by_id = {r.get("id"): r for r in responses}
+
+    ``attempts`` retries the initial connect (the CI smoke job races the
+    server's bind); responses come back in *server dispatch order* --
+    priority order within a batch -- so callers match by ``id`` rather
+    than position.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        attempts: int = 1,
+        retry_wait: float = 0.25,
+        timeout: float | None = 300.0,
+    ):
+        last: OSError | None = None
+        for attempt in range(max(1, attempts)):
+            try:
+                self._socket = socket.create_connection((host, port), timeout=timeout)
+                break
+            except OSError as error:
+                last = error
+                if attempt + 1 < attempts:
+                    time.sleep(retry_wait)
+        else:
+            raise ConnectionError(
+                f"could not connect to {host}:{port} after {attempts} attempt(s)"
+            ) from last
+        self._file = self._socket.makefile("rwb")
+
+    # -- framing ---------------------------------------------------------------
+
+    def send(self, obj: dict) -> None:
+        """Buffer one request frame (no flush: batches build server-side)."""
+        self._file.write((json.dumps(obj) + "\n").encode())
+
+    def send_raw(self, line: bytes) -> None:
+        """Buffer one pre-framed line verbatim -- the seam fault-injection
+        walkthroughs use to put a malformed frame on the wire."""
+        if not line.endswith(b"\n"):
+            line += b"\n"
+        self._file.write(line)
+
+    def flush(self) -> None:
+        """Blank-line flush: everything sent so far becomes one batch."""
+        self._file.write(b"\n")
+        self._file.flush()
+
+    def recv_raw(self) -> bytes:
+        """Block for one response frame; the exact bytes off the wire
+        (newline included) -- what the byte-identity tests compare."""
+        line = self._file.readline()
+        if not line:
+            raise ConnectionError("server closed the connection")
+        return line
+
+    def recv(self) -> dict:
+        """Block for one response frame."""
+        return json.loads(self.recv_raw())
+
+    # -- conveniences ----------------------------------------------------------
+
+    def request(self, *objs: dict) -> list[dict]:
+        """Send ``objs`` as one batch; return one response per request, in
+        arrival (= server dispatch) order."""
+        for obj in objs:
+            self.send(obj)
+        self.flush()
+        return [self.recv() for _ in objs]
+
+    def stats(self) -> dict:
+        """The server's merged counters (flushes any buffered frames)."""
+        self.send({"op": "stats"})
+        self._file.flush()
+        return self.recv()["stats"]
+
+    def reload(self, archive_path: str) -> str:
+        """Stage a hot weight reload from an archive file; returns the
+        staged ``policy_digest``."""
+        self.send({"op": "reload", "archive": archive_path})
+        self._file.flush()
+        response = self.recv()
+        if "reloaded" not in response:
+            raise RuntimeError(f"reload failed: {response.get('error', response)}")
+        return response["reloaded"]
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+        finally:
+            self._socket.close()
+
+    def __enter__(self) -> "ServingClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

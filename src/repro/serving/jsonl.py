@@ -62,7 +62,7 @@ def request_from_json(obj: dict) -> EpisodeRequest:
     for text in instructions:
         task_by_instruction(text)  # raises KeyError naming the instruction
     kwargs = {}
-    for key in ("lane", "layout", "max_frames"):
+    for key in ("lane", "layout", "max_frames", "priority"):
         if key in obj:
             kwargs[key] = obj[key] if key == "layout" else int(obj[key])
     if obj.get("deadline_ms") is not None:

@@ -83,6 +83,14 @@ class EpisodeRequest:
     immediately" -- useful for probing the timeout path).  Deadlines do not
     enter the cache key: an expired request served later would still roll
     the same bytes.
+
+    ``priority`` orders *dispatch*, not results: within one drain, higher
+    priorities enter the engines first (slot admission in-process, chunk
+    build order pooled), so under contention they finish -- and a network
+    front end answers them -- sooner.  Ties keep submission order; the
+    default is ``0``; negative values yield.  Priority is scheduling
+    metadata, like the deadline: it does not enter the cache key, because
+    it cannot change a single byte of the result.
     """
 
     system: str
@@ -92,6 +100,7 @@ class EpisodeRequest:
     layout: str = "seen"
     max_frames: int = MAX_EPISODE_FRAMES
     deadline_ms: float | None = None
+    priority: int = 0
 
     def __post_init__(self) -> None:
         if self.deadline_ms is not None and self.deadline_ms < 0:
@@ -110,6 +119,8 @@ class EpisodeRequest:
             raise ValueError(f"seed and lane must be >= 0, got {self.seed}/{self.lane}")
         if self.max_frames < 1:
             raise ValueError(f"max_frames must be >= 1, got {self.max_frames}")
+        if not isinstance(self.priority, int) or isinstance(self.priority, bool):
+            raise ValueError(f"priority must be an int, got {self.priority!r}")
 
 
 @dataclass
@@ -362,6 +373,12 @@ class EvaluationService:
                 if key is not None:
                     primary_by_key[key] = index
                 misses.append((index, admission, key))
+        # Priority-aware dispatch: higher-priority misses enter the engines
+        # first (continuous-batching slot admission in-process, chunk build
+        # order pooled); ties keep submission order.  Results still return
+        # in submission order -- priority moves work, not the response
+        # contract -- and cache hits above never waited at all.
+        misses.sort(key=lambda miss: (-miss[1].request.priority, miss[0]))
         if misses:
             if self.workers <= 1 or self._pool is None:
                 self._roll_continuous(misses, results)

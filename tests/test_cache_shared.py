@@ -1,0 +1,187 @@
+"""Concurrency tests for the shared on-disk cache tier.
+
+``docs/serving.md`` promises that several server processes may mount one
+cache directory.  The guarantees under test: a read never observes a
+**torn** payload (interleaved bytes from two writers of the same key), a
+read never observes a **cross-keyed** payload (another key's bytes served
+under this one), and losing an unlink-vs-read race to a concurrent
+eviction is a miss -- never an exception.  The negative case reuses the
+PR 7 corrupt-read fault domain to prove the torn-payload *detector* fires
+when a payload really is truncated.
+
+Real processes, real disk: the racing workers run in ``spawn``-context
+processes (module-level functions, per the SPAWN-SAFE contract) mounting
+the same directory, with payloads *tagged* so any mixing is detectable --
+every field of every trace encodes the writer's tag, so a payload that
+decodes at all must decode to exactly one writer's bytes.
+"""
+
+import multiprocessing
+
+import numpy as np
+import pytest
+
+from repro.core.runner import EpisodeTrace
+from repro.reliability import FaultPlan
+from repro.serving.cache import ResultCache, decode_traces, encode_traces
+
+_SHARED_KEY = "ab" * 32
+_KEY_A = "0a" * 32
+_KEY_B = "0b" * 32
+_ROUNDS = 20
+
+
+def tagged_traces(tag: int) -> list[EpisodeTrace]:
+    """Two traces whose every field is a function of ``tag``: a torn or
+    cross-keyed payload cannot decode to any single tag's trace list."""
+    fill = float(tag)
+    return [
+        EpisodeTrace(
+            success=bool(tag % 2),
+            frames=tag,
+            executed_steps=[tag] * 5,
+            ee_path=np.full((6, 3), fill),
+            reference_path=np.full((6, 3), fill + 0.5),
+            gripper_path=np.full(6, fill - 0.25),
+        )
+        for _ in range(2)
+    ]
+
+
+def tag_of(traces: list[EpisodeTrace]) -> int | None:
+    """The single tag a trace list encodes, or ``None`` if inconsistent."""
+    if len(traces) != 2:
+        return None
+    tag = traces[0].frames
+    for trace in traces:
+        consistent = (
+            trace.frames == tag
+            and trace.success == bool(tag % 2)
+            and trace.executed_steps == [tag] * 5
+            and bool(np.all(trace.ee_path == float(tag)))
+            and bool(np.all(trace.reference_path == float(tag) + 0.5))
+            and bool(np.all(trace.gripper_path == float(tag) - 0.25))
+        )
+        if not consistent:
+            return None
+    return tag
+
+
+def _race_worker(cache_dir, my_key, other_key, tag, other_tag, barrier, queue):
+    """One mounting process: write my tag under the shared key and my own
+    key every round; read both the shared key and the *other* process's
+    key through a cold cache (forcing disk reads).  Report anomalies."""
+    writer = ResultCache(directory=cache_dir)
+    barrier.wait(timeout=60)
+    anomalies = []
+    for _ in range(_ROUNDS):
+        writer.put(_SHARED_KEY, tagged_traces(tag))
+        writer.put(my_key, tagged_traces(tag))
+        reader = ResultCache(directory=cache_dir)  # cold: reads hit the disk
+        shared = reader.get(_SHARED_KEY)
+        if shared is not None and tag_of(shared) not in (tag, other_tag):
+            anomalies.append(("torn", tag_of(shared)))
+        theirs = reader.get(other_key)
+        if theirs is not None and tag_of(theirs) != other_tag:
+            anomalies.append(("cross-keyed", tag_of(theirs)))
+    queue.put((tag, anomalies, writer.stats()["corrupt"]))
+
+
+def _churn_worker(cache_dir, rounds):
+    """Evict in a tight loop: ``max_entries=1`` makes every other put evict
+    (and unlink) the previous key, racing any concurrent reader."""
+    cache = ResultCache(directory=cache_dir, max_entries=1)
+    for _ in range(rounds):
+        cache.put(_KEY_A, tagged_traces(3))
+        cache.put(_KEY_B, tagged_traces(4))
+
+
+class TestSharedMountRaces:
+    def test_two_processes_racing_one_key_never_torn_or_cross_keyed(self, tmp_path):
+        """Two spawn-context processes hammer put/get on the same key (and
+        on each other's keys); no read may decode to a mixed payload."""
+        ctx = multiprocessing.get_context("spawn")
+        barrier = ctx.Barrier(2)
+        queue = ctx.Queue()
+        workers = [
+            ctx.Process(
+                target=_race_worker,
+                args=(str(tmp_path), _KEY_A, _KEY_B, 3, 4, barrier, queue),
+            ),
+            ctx.Process(
+                target=_race_worker,
+                args=(str(tmp_path), _KEY_B, _KEY_A, 4, 3, barrier, queue),
+            ),
+        ]
+        for worker in workers:
+            worker.start()
+        reports = [queue.get(timeout=300) for _ in workers]
+        for worker in workers:
+            worker.join(timeout=60)
+            assert worker.exitcode == 0
+        assert sorted(report[0] for report in reports) == [3, 4]
+        for _, anomalies, corrupt in reports:
+            assert anomalies == []
+            assert corrupt == 0  # atomic replace: no torn file ever detected
+        # The settled state is readable and belongs to one of the writers.
+        final = ResultCache(directory=tmp_path).get(_SHARED_KEY)
+        assert final is not None and tag_of(final) in (3, 4)
+
+    def test_reader_racing_evictions_misses_instead_of_raising(self, tmp_path):
+        """While a child process churns evictions (unlinking entry files),
+        cold reads of the churned keys are intact hits or clean misses."""
+        ctx = multiprocessing.get_context("spawn")
+        churner = ctx.Process(target=_churn_worker, args=(str(tmp_path), 200))
+        churner.start()
+        observed = {"hit": 0, "miss": 0}
+        try:
+            while churner.is_alive():
+                reader = ResultCache(directory=tmp_path)
+                got = reader.get(_KEY_A)
+                if got is None:
+                    observed["miss"] += 1
+                else:
+                    assert tag_of(got) == 3
+                    observed["hit"] += 1
+        finally:
+            churner.join(timeout=120)
+        assert churner.exitcode == 0
+        assert observed["hit"] + observed["miss"] > 0
+
+    def test_lock_sidecar_lives_in_the_mount(self, tmp_path):
+        """The advisory lock is a sidecar in the shared directory itself,
+        so every mounting process serialises on the same file."""
+        cache = ResultCache(directory=tmp_path)
+        cache.put(_KEY_A, tagged_traces(3))
+        assert (tmp_path / ".lock").exists()
+        assert (tmp_path / f"{_KEY_A}.npz").exists()
+
+
+class TestCorruptReadDetector:
+    def test_corrupt_read_domain_fires_across_mounts(self, tmp_path):
+        """The negative case: with the PR 7 corrupt-read fault domain armed
+        on one mount, a truly truncated payload is detected (evicted,
+        reported as a miss) -- and the budget exhausted, the re-written
+        entry round-trips byte-identically."""
+        plan = FaultPlan(seed=5, cache_corrupt_rate=1.0)
+        writer = ResultCache(directory=tmp_path)
+        reader = ResultCache(directory=tmp_path, fault_plan=plan)
+        traces = tagged_traces(7)
+        writer.put(_KEY_A, traces)
+
+        assert reader.get(_KEY_A) is None  # first read arrives truncated
+        assert reader.stats()["corrupt"] == 1
+        assert not (tmp_path / f"{_KEY_A}.npz").exists()  # evicted on disk
+
+        writer.put(_KEY_A, traces)  # the re-roll re-caches
+        recovered = reader.get(_KEY_A)  # read budget spent: served intact
+        assert recovered is not None and tag_of(recovered) == 7
+        assert encode_traces(recovered) == encode_traces(traces)
+
+    def test_truncation_is_what_the_detector_detects(self):
+        """Ground the fault model: a truncated encoding really fails to
+        decode (rather than decoding to wrong-but-plausible traces)."""
+        payload = encode_traces(tagged_traces(9))
+        plan = FaultPlan(seed=5, cache_corrupt_rate=1.0)
+        with pytest.raises(Exception):
+            decode_traces(plan.truncate(payload))

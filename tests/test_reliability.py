@@ -317,7 +317,11 @@ class TestAtomicCacheWrites:
         cache = ResultCache(directory=tmp_path)
         for index in range(3):
             cache.put(f"{index:02d}" * 32, reference[0])
-        names = sorted(entry.name for entry in tmp_path.iterdir())
+        # The flock sidecar (`.lock`) is the one non-entry file the shared
+        # mount contract allows (docs/serving.md, tests/test_cache_shared.py).
+        names = sorted(
+            entry.name for entry in tmp_path.iterdir() if entry.name != ".lock"
+        )
         assert len(names) == 3 and all(name.endswith(".npz") for name in names)
 
     def test_failed_replace_leaves_no_partial_entry(
@@ -334,7 +338,7 @@ class TestAtomicCacheWrites:
         monkeypatch.setattr("repro.serving.cache.os.replace", exploding_replace)
         with pytest.raises(OSError, match="disk full"):
             cache.put(key, reference[0])
-        assert list(tmp_path.iterdir()) == []
+        assert [entry.name for entry in tmp_path.iterdir() if entry.name != ".lock"] == []
 
 
 # -- deadlines -----------------------------------------------------------------
